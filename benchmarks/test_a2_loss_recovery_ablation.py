@@ -1,0 +1,144 @@
+"""A2 — ablation (Section VI-C): loss-recovery mechanisms.
+
+The paper's arithmetic: a retransmission only lands in time when the
+RTT is well under half the deadline, so recovery should be selective —
+and where ARQ cannot fit, redundancy (FEC, multipath duplication) must
+take over.
+
+A loss-recovery-class stream runs over a lossy path at two RTTs (20 ms
+— ARQ fits; 60 ms — ARQ cannot) with four mechanisms: none, ARQ, FEC,
+and multipath duplication (AGGREGATE policy over two lossy paths).
+
+Expected shape: at 20 ms RTT ARQ ≈ FEC ≫ none; at 60 ms RTT ARQ decays
+toward none (recoveries arrive dead) while FEC and duplication hold —
+the crossover the paper argues for.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.report import ascii_table
+from repro.core.protocol import MartpReceiver, MartpSender, PathEndpoint
+from repro.core.scheduler import MultipathPolicy, PathState
+from repro.core.traffic import Priority, StreamSpec, TrafficClass
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.simnet.queues import DropTailQueue
+from repro.transport.udp import UdpSocket
+
+LOSS = 0.06
+DEADLINE = 0.075
+N_MESSAGES = 1500
+SEND_INTERVAL = 0.005
+
+
+def make_stream(traffic_class, fec):
+    return StreamSpec(
+        stream_id=0, name="ref", traffic_class=traffic_class,
+        priority=Priority.HIGHEST, nominal_rate_bps=2e6, message_bytes=1000,
+        deadline=DEADLINE, fec=fec, fec_group=6,
+    )
+
+
+def run_mechanism(mechanism, rtt, seed):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    net.add_host("client")
+    net.add_host("client2")
+    net.add_host("server")
+    # Loss on the data (uplink) direction only, so the experiment
+    # isolates recovery of data losses from feedback losses.
+    for client in ("client", "client2"):
+        net.add_link(client, "server", 20e6, delay=rtt / 2, loss=LOSS,
+                     queue=DropTailQueue(1000))
+        net.add_link("server", client, 50e6, delay=rtt / 2)
+    net.build_routes()
+
+    if mechanism == "none":
+        stream = make_stream(TrafficClass.FULL_BEST_EFFORT, fec=False)
+    elif mechanism == "arq":
+        stream = make_stream(TrafficClass.LOSS_RECOVERY, fec=False)
+    elif mechanism == "fec":
+        stream = make_stream(TrafficClass.FULL_BEST_EFFORT, fec=True)
+    elif mechanism == "duplicate":
+        stream = make_stream(TrafficClass.LOSS_RECOVERY, fec=False)
+    else:
+        raise ValueError(mechanism)
+
+    receiver = MartpReceiver(net["server"], 7000, [stream])
+    endpoints = [
+        PathEndpoint(state=PathState(name="wifi"),
+                     socket=UdpSocket(net["client"], 6000),
+                     dst="server", dst_port=7000)
+    ]
+    policy = MultipathPolicy.WIFI_PREFERRED
+    if mechanism == "duplicate":
+        endpoints.append(
+            PathEndpoint(state=PathState(name="lte", is_metered=True),
+                         socket=UdpSocket(net["client2"], 6001),
+                         dst="server", dst_port=7000)
+        )
+        policy = MultipathPolicy.AGGREGATE
+    sender = MartpSender(endpoints, [stream], policy=policy)
+    sender.start()
+    for i in range(N_MESSAGES):
+        sim.schedule(i * SEND_INTERVAL, sender.submit, 0, 1000)
+    sim.run(until=N_MESSAGES * SEND_INTERVAL + 2.0)
+
+    rx = receiver.stream_stats(0)
+    tx = sender.stream_stats(0)
+    # Offered = distinct data messages put on the wire (next_seq counts
+    # only first transmissions; retransmits and FEC parity excluded).
+    offered = tx.next_seq + tx.dropped
+    effective = rx.received + rx.recovered  # FEC recoveries count
+    in_time = rx.in_time / max(rx.received, 1)
+    return {
+        "delivery": min(1.0, effective / max(offered, 1)),
+        "in_time": in_time,
+        # NB: ArqBuffer defines __len__, so test identity, not truthiness.
+        "retx": tx.arq.retransmissions if tx.arq is not None else 0,
+        "abandoned": tx.arq.abandoned if tx.arq is not None else 0,
+    }
+
+
+def test_a2_loss_recovery_mechanisms(benchmark, record_result):
+    mechanisms = ["none", "arq", "fec", "duplicate"]
+    rtts = [0.020, 0.060]
+    outcome = run_once(
+        benchmark,
+        lambda: {
+            (m, rtt): run_mechanism(m, rtt, seed=101)
+            for m in mechanisms for rtt in rtts
+        },
+    )
+
+    rows = []
+    for m in mechanisms:
+        for rtt in rtts:
+            r = outcome[(m, rtt)]
+            rows.append([
+                m, f"{rtt * 1000:.0f} ms",
+                f"{r['delivery']:.1%}", f"{r['in_time']:.1%}",
+                r["retx"], r["abandoned"],
+            ])
+    table = ascii_table(
+        ["mechanism", "RTT", "effective delivery", "in-time (of received)",
+         "retransmissions", "abandoned"],
+        rows,
+        title=f"Ablation A2 — loss recovery at {LOSS:.0%} loss, {DEADLINE * 1000:.0f} ms deadline",
+    )
+    record_result("A2_loss_recovery", table)
+
+    # Baseline: no recovery loses ~ the loss rate.
+    for rtt in rtts:
+        assert outcome[("none", rtt)]["delivery"] < 1.0 - LOSS / 2
+    # Fast path: ARQ and FEC recover most losses.
+    assert outcome[("arq", 0.020)]["delivery"] > 0.97
+    assert outcome[("fec", 0.020)]["delivery"] > 0.97
+    # Slow path: ARQ stops helping (deadline-aware abandonment)...
+    assert outcome[("arq", 0.060)]["abandoned"] > 0
+    # ...while FEC and duplication stay effective.
+    assert outcome[("fec", 0.060)]["delivery"] > outcome[("arq", 0.060)]["delivery"] - 0.02
+    assert outcome[("duplicate", 0.060)]["delivery"] > 0.97
+    # Duplication needs no retransmissions at all to get there.
+    assert outcome[("duplicate", 0.060)]["retx"] < outcome[("arq", 0.020)]["retx"]

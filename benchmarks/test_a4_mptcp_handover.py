@@ -1,0 +1,112 @@
+"""A4 — extension: MPTCP for aggregation and handover (Section V-B1).
+
+The paper cites MPTCP for (1) combining WiFi + 4G capacity toward MAR's
+bandwidth needs and (2) enhancing WiFi handover.  Both claims measured:
+
+- aggregation: MPTCP goodput over WiFi(10) + LTE(5 Mb/s) vs single-path
+  TCP over WiFi alone — expect ~1.4x or better;
+- handover: WiFi dies at t=10 s; single-path TCP stalls for good while
+  MPTCP re-injects stranded bytes on LTE and keeps delivering — expect
+  MPTCP's post-failure goodput ≈ the LTE path rate, single-path ≈ 0.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.report import ascii_table, format_rate
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.simnet.queues import DropTailQueue
+from repro.transport.mptcp import MptcpReceiver, MptcpSender
+from repro.transport.tcp import TcpConnection, TcpListener
+
+WIFI_UP = 10e6
+LTE_UP = 5e6
+DURATION = 30.0
+FAIL_AT = 10.0
+
+
+def build_net(seed=121):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    net.add_host("client-wifi")
+    net.add_host("client-lte")
+    net.add_host("server")
+    net.add_duplex("server", "client-wifi", 50e6, WIFI_UP, delay=0.010,
+                   queue_up=DropTailQueue(200))
+    net.add_duplex("server", "client-lte", 50e6, LTE_UP, delay=0.030,
+                   queue_up=DropTailQueue(200))
+    net.build_routes()
+    return sim, net
+
+
+def run_single(fail_wifi: bool):
+    sim, net = build_net()
+    got = []
+    TcpListener(net["server"], 80,
+                on_accept=lambda c: setattr(c, "on_data",
+                                            lambda n: got.append((sim.now, n))))
+    conn = TcpConnection(net["client-wifi"], 5000, "server", 80)
+    conn.on_established = conn.send_forever
+    conn.connect()
+    if fail_wifi:
+        sim.schedule(FAIL_AT, lambda: setattr(
+            net.path_links("client-wifi", "server")[0], "loss", 0.999999))
+    sim.run(until=DURATION)
+    return got
+
+
+def run_mptcp(fail_wifi: bool):
+    sim, net = build_net()
+    receiver = MptcpReceiver(net["server"], [80, 81])
+    subflows = [
+        TcpConnection(net["client-wifi"], 5000, "server", 80),
+        TcpConnection(net["client-lte"], 5001, "server", 81),
+    ]
+    sender = MptcpSender(subflows)
+    sender.on_established = lambda: sender.send(200_000_000)
+    sender.connect()
+    if fail_wifi:
+        def fail():
+            net.path_links("client-wifi", "server")[0].loss = 0.999999
+            sender.set_alive(0, False)
+        sim.schedule(FAIL_AT, fail)
+    sim.run(until=DURATION)
+    return receiver
+
+
+def goodput(log, t0, t1):
+    return sum(n for t, n in log if t0 < t <= t1) * 8 / (t1 - t0)
+
+
+def test_a4_mptcp_aggregation_and_handover(benchmark, record_result):
+    outcome = run_once(benchmark, lambda: {
+        "single": run_single(fail_wifi=False),
+        "single-fail": run_single(fail_wifi=True),
+        "mptcp": run_mptcp(fail_wifi=False),
+        "mptcp-fail": run_mptcp(fail_wifi=True),
+    })
+
+    single_rate = goodput(outcome["single"], 2, DURATION)
+    mptcp_rate = outcome["mptcp"].throughput_bps(2, DURATION)
+    single_after = goodput(outcome["single-fail"], FAIL_AT + 2, DURATION)
+    mptcp_after = outcome["mptcp-fail"].throughput_bps(FAIL_AT + 2, DURATION)
+
+    table = ascii_table(
+        ["configuration", "goodput"],
+        [
+            ["single-path TCP (WiFi)", format_rate(single_rate)],
+            ["MPTCP (WiFi+LTE)", format_rate(mptcp_rate)],
+            ["single-path, after WiFi dies", format_rate(single_after)],
+            ["MPTCP, after WiFi dies", format_rate(mptcp_after)],
+        ],
+        title="A4 — MPTCP aggregation and handover (WiFi 10 + LTE 5 Mb/s)",
+    )
+    record_result("A4_mptcp_handover", table)
+
+    # Aggregation: both pipes used.
+    assert mptcp_rate > single_rate * 1.25
+    # Handover: single-path TCP is dead after the WiFi failure...
+    assert single_after < 0.2e6
+    # ...while MPTCP keeps delivering near the LTE rate.
+    assert mptcp_after > LTE_UP * 0.5

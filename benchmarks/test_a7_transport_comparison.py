@@ -1,0 +1,215 @@
+"""A7 — extension: head-of-line blocking across transports (§V-C).
+
+The paper's survey concludes "there does not seem to be an optimal
+network protocol solution for Mobile AR".  This benchmark makes the
+comparison concrete for the defining MAR pattern — a thin
+latency-critical control stream multiplexed with a fat video stream
+over one lossy uplink:
+
+- **TCP**: one ordered byte stream; a lost video segment blocks every
+  control message behind it (head-of-line blocking across streams);
+- **QUIC-like**: separate streams; loss on the video stream never
+  delays control, but control messages lost on the wire still pay a
+  retransmission RTT (in-stream reliability);
+- **MARTP**: classful — control is its own critical class *and* video
+  is never retransmitted at all, so the control path sees neither kind
+  of blocking.
+
+Expected shape: control-message p95 latency orders MARTP ≤ QUIC < TCP,
+with TCP's p95 inflated by multiple RTTs of blocking.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.report import ascii_table, format_time
+from repro.analysis.stats import percentile
+from repro.core.protocol import MartpReceiver, MartpSender, PathEndpoint
+from repro.core.scheduler import PathState
+from repro.core.traffic import Priority, StreamSpec, TrafficClass
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.simnet.queues import DropTailQueue
+from repro.transport.quic import QuicConnection
+from repro.transport.tcp import TcpConnection, TcpListener
+from repro.transport.udp import UdpSocket
+
+LOSS = 0.02
+RTT = 0.030
+UP_BPS = 8e6
+CONTROL_BYTES = 200
+CONTROL_INTERVAL = 0.05
+VIDEO_CHUNK = 6000
+VIDEO_INTERVAL = 0.033          # ~1.45 Mb/s video
+DURATION = 30.0
+
+
+def build_path(seed):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    net.add_host("client")
+    net.add_host("server")
+    # Loss only on the data direction, like A2, to isolate transport
+    # behaviour from feedback loss.
+    net.add_link("client", "server", UP_BPS, delay=RTT / 2, loss=LOSS,
+                 queue=DropTailQueue(500))
+    net.add_link("server", "client", 50e6, delay=RTT / 2)
+    net.build_routes()
+    return sim, net
+
+
+def drive(sim, send_control, send_video):
+    n_control = int(DURATION / CONTROL_INTERVAL)
+    for i in range(n_control):
+        sim.schedule(i * CONTROL_INTERVAL, send_control, i)
+    n_video = int(DURATION / VIDEO_INTERVAL)
+    for i in range(n_video):
+        sim.schedule(i * VIDEO_INTERVAL, send_video)
+    return n_control
+
+
+def run_tcp(seed=151):
+    sim, net = build_path(seed)
+    delivered = {"bytes": 0}
+    latencies = []
+    boundaries = []   # (end_offset, sent_at, recorded?)
+
+    def on_data(nbytes):
+        delivered["bytes"] += nbytes
+        while boundaries and boundaries[0][0] <= delivered["bytes"]:
+            end, sent_at = boundaries.pop(0)
+            latencies.append(sim.now - sent_at)
+
+    TcpListener(net["server"], 80,
+                on_accept=lambda c: setattr(c, "on_data", on_data))
+    conn = TcpConnection(net["client"], 5000, "server", 80)
+    offset = {"total": 0}
+
+    def send_control(i):
+        if conn.state != "established":
+            return
+        offset["total"] += CONTROL_BYTES
+        boundaries.append((offset["total"], sim.now))
+        conn.send(CONTROL_BYTES)
+
+    def send_video():
+        if conn.state != "established":
+            return
+        offset["total"] += VIDEO_CHUNK
+        conn.send(VIDEO_CHUNK)
+
+    conn.connect()
+    n = drive(sim, send_control, send_video)
+    sim.run(until=DURATION + 5.0)
+    return latencies, n
+
+
+def run_quic(seed=151):
+    sim, net = build_path(seed)
+    latencies = []
+    sends = []      # (end_offset, sent_at)
+    state = {"delivered": 0}
+
+    def on_stream_data(stream_id, nbytes):
+        if stream_id != 1:
+            return
+        state["delivered"] += nbytes
+        while sends and sends[0][0] <= state["delivered"]:
+            end, sent_at = sends.pop(0)
+            latencies.append(sim.now - sent_at)
+
+    QuicConnection(net["server"], 443, "client", 5000,
+                   on_stream_data=on_stream_data)
+    client = QuicConnection(net["client"], 5000, "server", 443)
+    client.connect(resumed=True)
+    offset = {"control": 0}
+
+    def send_control(i):
+        offset["control"] += CONTROL_BYTES
+        sends.append((offset["control"], sim.now))
+        client.send_stream(1, CONTROL_BYTES)
+
+    def send_video():
+        client.send_stream(2, VIDEO_CHUNK)
+
+    n = drive(sim, send_control, send_video)
+    sim.run(until=DURATION + 5.0)
+    return latencies, n
+
+
+def run_martp(seed=151):
+    sim, net = build_path(seed)
+    control = StreamSpec(
+        stream_id=0, name="control", traffic_class=TrafficClass.CRITICAL,
+        priority=Priority.HIGHEST, nominal_rate_bps=64_000,
+        min_rate_bps=64_000, message_bytes=CONTROL_BYTES, deadline=2.0,
+    )
+    video = StreamSpec(
+        stream_id=1, name="video", traffic_class=TrafficClass.FULL_BEST_EFFORT,
+        priority=Priority.LOWEST, nominal_rate_bps=2e6,
+        message_bytes=1200, deadline=0.2,
+    )
+    latencies = []
+    MartpReceiver(net["server"], 7000, [control, video],
+                  on_message=lambda sid, seq, lat: latencies.append(lat)
+                  if sid == 0 else None)
+    endpoint = PathEndpoint(state=PathState(name="wifi"),
+                            socket=UdpSocket(net["client"], 6000),
+                            dst="server", dst_port=7000)
+    sender = MartpSender([endpoint], [control, video])
+    sender.start()
+
+    def send_control(i):
+        sender.submit(0, CONTROL_BYTES)
+
+    def send_video():
+        remaining = VIDEO_CHUNK
+        while remaining > 0:
+            sender.submit(1, min(1200, remaining))
+            remaining -= 1200
+
+    n = drive(sim, send_control, send_video)
+    sim.run(until=DURATION + 5.0)
+    return latencies, n
+
+
+def test_a7_transport_hol_comparison(benchmark, record_result):
+    outcome = run_once(benchmark, lambda: {
+        "TCP (single ordered stream)": run_tcp(),
+        "QUIC-like (per-stream order)": run_quic(),
+        "MARTP (classful)": run_martp(),
+    })
+
+    rows = []
+    stats = {}
+    for name, (latencies, n_sent) in outcome.items():
+        p50 = percentile(latencies, 50)
+        p95 = percentile(latencies, 95)
+        p99 = percentile(latencies, 99)
+        stats[name] = (p50, p95, p99, len(latencies) / n_sent)
+        rows.append([
+            name, format_time(p50), format_time(p95), format_time(p99),
+            f"{len(latencies) / n_sent:.1%}",
+        ])
+    table = ascii_table(
+        ["transport", "control p50", "p95", "p99", "delivered"],
+        rows,
+        title=(f"A7 — control-message latency multiplexed with video "
+               f"({LOSS:.0%} loss, {RTT * 1000:.0f} ms RTT)"),
+    )
+    record_result("A7_transport_comparison", table)
+
+    tcp = stats["TCP (single ordered stream)"]
+    quic = stats["QUIC-like (per-stream order)"]
+    martp = stats["MARTP (classful)"]
+    one_way = RTT / 2
+    # Everyone delivers essentially everything (all are reliable here).
+    for name, s in stats.items():
+        assert s[3] > 0.97, name
+    # Medians are all near the propagation floor.
+    assert tcp[0] < one_way * 4
+    # The tails separate: TCP's p95 suffers cross-stream HOL blocking.
+    assert tcp[1] > quic[1] * 1.5
+    assert tcp[1] > martp[1] * 1.5
+    # MARTP's tail is no worse than QUIC's (nothing ever blocks control).
+    assert martp[1] <= quic[1] * 1.25

@@ -1,0 +1,98 @@
+"""A8 — extension: MAC model cross-validation (Figure 2's foundation).
+
+Two independent 802.11 models live in this repo: the airtime *grant*
+model (``wireless.wifi``, used by the Figure 2 benchmark) and a
+slot-level DCF simulation with real contention windows and collisions
+(``wireless.dcf``).  This benchmark cross-validates them and
+characterizes what the grant model abstracts away:
+
+- the performance-anomaly equalization must agree between models;
+- collision probability must grow with station count (slot model only);
+- aggregate goodput must decay under heavy contention (slot model),
+  which the collision-free grant model cannot show.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.report import ascii_table, format_rate
+from repro.simnet.engine import Simulator
+from repro.wireless.dcf import DcfChannel, DcfStation
+from repro.wireless.wifi import WifiCell, WifiStation, anomaly_throughput
+
+DURATION = 8.0
+
+
+def run_slot_model(rates, seed=181):
+    sim = Simulator(seed=seed)
+    channel = DcfChannel(sim)
+    stations = [channel.add_station(DcfStation(f"s{i}", r))
+                for i, r in enumerate(rates)]
+    sim.run(until=DURATION)
+    return channel, stations
+
+
+def run_grant_model(rates, seed=181):
+    sim = Simulator(seed=seed)
+    cell = WifiCell(sim)
+    stations = [cell.add_station(WifiStation(f"s{i}", r))
+                for i, r in enumerate(rates)]
+    sim.run(until=DURATION)
+    return cell, stations
+
+
+def test_a8_mac_model_cross_validation(benchmark, record_result):
+    def run_all():
+        out = {"anomaly-slot": run_slot_model([54e6, 18e6]),
+               "anomaly-grant": run_grant_model([54e6, 18e6])}
+        for n in (2, 5, 10, 20):
+            out[f"contention-{n}"] = run_slot_model([54e6] * n)
+        return out
+
+    outcome = run_once(benchmark, run_all)
+
+    # --- anomaly agreement ---
+    _, slot_stations = outcome["anomaly-slot"]
+    _, grant_stations = outcome["anomaly-grant"]
+    slot_fast = slot_stations[0].throughput_bps(1, DURATION)
+    slot_slow = slot_stations[1].throughput_bps(1, DURATION)
+    grant_fast = grant_stations[0].throughput_bps(1, DURATION)
+    analytic = anomaly_throughput([54e6, 18e6])[0]
+
+    anomaly_rows = [
+        ["slot-level DCF", format_rate(slot_fast), format_rate(slot_slow)],
+        ["airtime grant model", format_rate(grant_fast),
+         format_rate(grant_stations[1].throughput_bps(1, DURATION))],
+        ["Heusse closed form", format_rate(analytic), format_rate(analytic)],
+    ]
+    contention_rows = []
+    for n in (2, 5, 10, 20):
+        channel, stations = outcome[f"contention-{n}"]
+        agg = channel.aggregate_throughput_bps(1, DURATION)
+        contention_rows.append([
+            n, f"{channel.collision_probability:.1%}", format_rate(agg),
+        ])
+    table = (
+        ascii_table(["model", "station A (54 Mb/s)", "station B (18 Mb/s)"],
+                    anomaly_rows,
+                    title="A8a — performance anomaly across MAC models")
+        + "\n\n"
+        + ascii_table(["stations", "collision probability", "aggregate goodput"],
+                      contention_rows,
+                      title="A8b — slot-level contention cost (all at 54 Mb/s)")
+    )
+    record_result("A8_dcf_validation", table)
+
+    # Anomaly equalization in both models.
+    assert slot_fast == pytest.approx(slot_slow, rel=0.15)
+    assert slot_fast == pytest.approx(analytic, rel=0.3)
+    assert grant_fast == pytest.approx(analytic, rel=0.1)
+    # Collision probability strictly grows with contention.
+    probs = [outcome[f"contention-{n}"][0].collision_probability
+             for n in (2, 5, 10, 20)]
+    assert probs == sorted(probs)
+    assert probs[-1] > 3 * probs[0]
+    # Goodput decays under heavy contention (what the grant model hides).
+    aggs = [outcome[f"contention-{n}"][0].aggregate_throughput_bps(1, DURATION)
+            for n in (2, 5, 10, 20)]
+    assert aggs[-1] < aggs[0]

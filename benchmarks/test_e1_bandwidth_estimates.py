@@ -1,0 +1,74 @@
+"""E1 — Section III-B: the bandwidth-requirement ladder.
+
+Regenerates the paper's chain of estimates: retina rate → camera-FOV
+raw rate → uncompressed 4K60 → lossy-compressed rate → the ~10 Mb/s
+minimum for AR-usable video, and checks each rung's magnitude.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.report import ascii_table, format_rate
+from repro.mar.video import (
+    camera_fov_rate_bps,
+    compressed_bitrate,
+    raw_retina_rate_bps,
+    uncompressed_bitrate,
+)
+from repro.wireless.profiles import MAR_MIN_UPLINK_BPS, all_profiles
+
+
+def build_ladder():
+    retina_lo, retina_hi = raw_retina_rate_bps()
+    # The paper's 9-12 Gb/s range scales the *upper* retina estimate by
+    # the 60 and 70 degree fields of view: 10 Mb/s x (60/2)^2 = 9 Gb/s,
+    # 10 Mb/s x (70/2)^2 = 12.25 Gb/s.
+    _, fov_lo = camera_fov_rate_bps(60.0)
+    _, fov_hi = camera_fov_rate_bps(70.0)
+    raw_4k = uncompressed_bitrate(3840, 2160, 60, 12)
+    compressed_lo = compressed_bitrate(raw_4k, ratio=300)
+    compressed_hi = compressed_bitrate(raw_4k, ratio=200)
+    return {
+        "retina": (retina_lo, retina_hi),
+        "fov": (fov_lo, fov_hi),
+        "raw4k": raw_4k,
+        "compressed": (compressed_lo, compressed_hi),
+    }
+
+
+def test_e1_bandwidth_ladder(benchmark, record_result):
+    ladder = run_once(benchmark, build_ladder)
+
+    rows = [
+        ["eye -> brain (foveal)", "6-10 Mb/s",
+         f"{format_rate(ladder['retina'][0])} - {format_rate(ladder['retina'][1])}"],
+        ["60-70 deg camera FOV, raw", "9-12 Gb/s",
+         f"{format_rate(ladder['fov'][0])} - {format_rate(ladder['fov'][1])}"],
+        ["uncompressed 4K60 12bpp", "711 'Mb/s' (sic: MiB/s)",
+         f"{format_rate(ladder['raw4k'])} = {ladder['raw4k'] / 8 / 2**20:.0f} MiB/s"],
+        ["lossy-compressed 4K", "20-30 Mb/s",
+         f"{format_rate(ladder['compressed'][0])} - {format_rate(ladder['compressed'][1])}"],
+        ["minimum AR-usable feed", "~10 Mb/s", format_rate(MAR_MIN_UPLINK_BPS)],
+    ]
+    table = ascii_table(["quantity", "paper", "reproduced"], rows,
+                        title="Section III-B — bandwidth estimate ladder")
+
+    uplink_rows = [
+        [p.name, format_rate(p.up_mean),
+         "yes" if p.up_mean >= MAR_MIN_UPLINK_BPS else "no"]
+        for p in all_profiles()
+    ]
+    table2 = ascii_table(["technology", "measured uplink", ">= 10 Mb/s floor"],
+                         uplink_rows,
+                         title="Which access technologies carry the minimal feed?")
+    record_result("E1_bandwidth_estimates", table + "\n\n" + table2)
+
+    # Ladder magnitudes.
+    assert 6e6 <= ladder["retina"][0] and ladder["retina"][1] <= 10e6
+    assert 8e9 < ladder["fov"][0] < 13e9
+    assert ladder["raw4k"] / 8 / 2**20 == pytest.approx(711, rel=0.01)
+    assert 15e6 < ladder["compressed"][0] < ladder["compressed"][1] < 35e6
+    # Today's cellular uplinks sit below the floor (the paper's point).
+    failing = [p.name for p in all_profiles()
+               if not p.d2d and p.up_mean < MAR_MIN_UPLINK_BPS]
+    assert "HSPA+" in failing and "LTE" in failing

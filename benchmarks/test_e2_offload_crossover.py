@@ -1,0 +1,81 @@
+"""E2 — Section III equations: when does offloading win?
+
+Sweeps the (one-way latency, uplink bandwidth) plane for each device
+and marks where P_offloading beats P_local and where it also meets the
+application deadline δa.
+
+Expected shape: on weak devices offloading wins almost everywhere; on
+desktops it wins nowhere interesting; the deadline-feasible region
+shrinks as RTT grows, with the crossover for the gaming archetype
+falling well under 75 ms RTT.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.report import ascii_table, format_time
+from repro.mar.application import APP_ARCHETYPES
+from repro.mar.compute import ExecutionBudget, local_delay, offloading_delay
+from repro.mar.devices import CLOUD, DESKTOP, SMART_GLASSES, SMARTPHONE
+
+GAMING = APP_ARCHETYPES["gaming"]
+
+LATENCIES = [0.002, 0.005, 0.010, 0.020, 0.040, 0.080]
+BANDWIDTH = 20e6
+
+
+def sweep():
+    grid = {}
+    for device in (SMART_GLASSES, SMARTPHONE, DESKTOP):
+        row = []
+        for latency in LATENCIES:
+            budget = ExecutionBudget(BANDWIDTH, 50e6, latency)
+            remote = offloading_delay(device, CLOUD, GAMING, budget, use_features=False)
+            local = local_delay(device, GAMING)
+            wins = remote < local
+            feasible = remote < GAMING.deadline
+            row.append((remote, wins, feasible))
+        grid[device.name] = (local, row)
+    return grid
+
+
+def test_e2_offloading_crossover(benchmark, record_result):
+    grid = run_once(benchmark, sweep)
+
+    rows = []
+    for device, (local, cells) in grid.items():
+        marks = []
+        for remote, wins, feasible in cells:
+            if feasible and wins:
+                marks.append("OF")      # offload and deadline met
+            elif wins:
+                marks.append("of")      # offload wins but misses δa
+            else:
+                marks.append(".")       # run locally
+        rows.append([device, format_time(local)] + marks)
+    table = ascii_table(
+        ["device", "P_local"] + [format_time(l) + " owd" for l in LATENCIES],
+        rows,
+        title=("Section III — offloading decision for the gaming archetype "
+               "(OF = offload & in-time, of = offload, . = local)"),
+    )
+    record_result("E2_offload_crossover", table)
+
+    glasses_local, glasses_cells = grid["smart glasses"]
+    desktop_local, desktop_cells = grid["desktop PC"]
+    # Offloading always wins on glasses across the sweep, and the
+    # glasses are never deadline-feasible locally.
+    assert all(wins for _, wins, _ in glasses_cells)
+    assert glasses_local > GAMING.deadline
+    # A desktop never *needs* the network: local execution meets δa.
+    assert desktop_local < GAMING.deadline
+    # And beyond trivial latencies offloading stops paying off on it.
+    assert not all(wins for _, wins, _ in desktop_cells)
+    # The deadline-feasible region for gaming ends below 40 ms one-way
+    # (paper: 75 ms round trip budget minus compute/transfer).
+    phone_cells = grid["smartphone"][1]
+    feasible_latencies = [l for l, (_, _, ok) in zip(LATENCIES, phone_cells) if ok]
+    assert feasible_latencies and max(feasible_latencies) <= 0.040
+    # Latency monotonically inflates offloaded delay.
+    remotes = [r for r, _, _ in phone_cells]
+    assert remotes == sorted(remotes)

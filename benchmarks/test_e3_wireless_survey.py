@@ -1,0 +1,106 @@
+"""E3 — Section IV-A: the wireless access-network survey, measured.
+
+For each access technology the paper quotes real-world throughput and
+latency figures.  This benchmark *measures* those quantities end-to-end
+through the corresponding stochastic link models: a greedy probe flow
+reports achieved downlink throughput; echo probes report RTT.
+
+Expected shape: the measured numbers land near the paper's quoted
+means; HSPA+ shows the largest variance; no cellular technology meets
+all three MAR requirements; home WiFi and the 5G KPI profile do.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.report import ascii_table, format_rate, format_time
+from repro.analysis.stats import summarize
+from repro.simnet.engine import Simulator
+from repro.simnet.flows import CBRSource, PacketSink
+from repro.simnet.network import Network
+from repro.simnet.packet import Packet
+from repro.transport.udp import UdpSocket
+from repro.wireless.profiles import FIVE_G, HSPA_PLUS, LTE, WIFI_AC, WIFI_HOME, WIFI_N
+
+PROFILES = [HSPA_PLUS, LTE, WIFI_N, WIFI_AC, WIFI_HOME, FIVE_G]
+DURATION = 15.0
+
+
+def measure(profile, seed=61):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    net.add_host("infra")
+    net.add_host("phone")
+    profile.build_duplex(net, "infra", "phone")
+    net.build_routes()
+
+    sink = PacketSink(net["phone"], 80)
+    # Saturating probe (2x the profile max) measures achievable rate.
+    # Fast links use aggregated probe packets so the event count stays
+    # bounded; the rate measurement is unaffected.
+    probe_size = max(1400, int(profile.down_max / 1e6) * 40)
+    CBRSource(net["infra"], "phone", 80, rate_bps=profile.down_max * 2,
+              packet_size=probe_size)
+
+    rtts = []
+
+    def on_pong(packet):
+        rtts.append(sim.now - packet.payload["t0"])
+
+    pinger = UdpSocket(net["phone"], 90, on_receive=on_pong)
+    echo = UdpSocket(net["infra"], 91,
+                     on_receive=lambda p: echo.sendto(p.src, p.src_port, 64,
+                                                      kind="pong", t0=p.payload["t0"]))
+
+    def ping():
+        pinger.sendto("infra", 91, 64, kind="ping", t0=sim.now)
+        if sim.now < DURATION:
+            sim.schedule(0.2, ping)
+
+    sim.schedule(0.0, ping)
+    sim.run(until=DURATION)
+
+    series = sink.stats.throughput_timeseries(1.0, until=DURATION)
+    rates = [r for _, r in series if r > 0]
+    return summarize(rates), summarize(rtts)
+
+
+def test_e3_wireless_survey(benchmark, record_result):
+    measurements = run_once(benchmark, lambda: {p.name: measure(p) for p in PROFILES})
+
+    rows = []
+    for profile in PROFILES:
+        rate_summary, rtt_summary = measurements[profile.name]
+        rows.append([
+            profile.name,
+            format_rate(profile.down_mean),
+            format_rate(rate_summary.mean),
+            f"{rate_summary.std / max(rate_summary.mean, 1):.0%}",
+            format_time(profile.rtt),
+            format_time(rtt_summary.mean),
+            "yes" if profile.mar_ready() else "no",
+        ])
+    table = ascii_table(
+        ["technology", "paper downlink", "measured", "CoV", "paper RTT",
+         "measured RTT", "MAR-ready"],
+        rows,
+        title="Section IV-A — access technologies, paper vs measured",
+    )
+    record_result("E3_wireless_survey", table)
+
+    for profile in PROFILES:
+        rate_summary, rtt_summary = measurements[profile.name]
+        # Measured throughput within a factor ~2 of the paper's mean
+        # (stochastic rate process + probe overhead).
+        assert rate_summary.mean == pytest.approx(profile.down_mean, rel=0.8), profile.name
+        # Measured RTT at least the propagation floor, near quoted value.
+        assert rtt_summary.mean >= profile.rtt * 0.9, profile.name
+        assert rtt_summary.mean < profile.rtt + profile.rtt_jitter + 0.4, profile.name
+
+    hspa_rate, _ = measurements["HSPA+"]
+    wifi_home_rate, _ = measurements["WiFi(controlled)"]
+    # HSPA+ variance (CoV) exceeds controlled WiFi's.
+    assert hspa_rate.std / hspa_rate.mean > wifi_home_rate.std / wifi_home_rate.mean
+    # Ordering: LTE ~ faster than HSPA+, 5G fastest.
+    assert measurements["LTE"][0].mean > measurements["HSPA+"][0].mean
+    assert measurements["5G(KPI)"][0].mean > measurements["LTE"][0].mean

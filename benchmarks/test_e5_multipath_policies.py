@@ -1,0 +1,92 @@
+"""E5 — Section VI-D: the three multipath usage policies.
+
+1. "WiFi all the time, 4G for handover" — LTE only bridges brief
+   handover gaps (cheapest, but long WiFi outages go dark);
+2. "WiFi most of the time, 4G when WiFi is not available" — LTE covers
+   every outage (near-100 % service, modest LTE usage);
+3. "WiFi and 4G" — both simultaneously (best latency/quality, most
+   metered bytes).
+
+A WiFi availability pattern with one short handover gap (1 s) and one
+long outage (8 s) plays against all three policies.
+
+Expected shape: metered-byte fraction orders 1 < 2 < 3; delivery during
+the long outage orders 1 < 2 <= 3; overall MOS orders 1 <= 2 <= 3.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.report import ascii_table
+from repro.core.metrics import mos_score
+from repro.core.scheduler import MultipathPolicy
+from repro.core.session import OffloadSession, ScenarioBuilder
+
+DURATION = 60.0
+#: (start, end) of WiFi outages: one long outage, one handover blip.
+OUTAGES = [(20.0, 28.0), (42.0, 43.0)]
+#: Policy 1 bridges gaps up to this long on LTE.
+HANDOVER_BRIDGE = 2.0
+
+
+def run_policy(policy, seed=71):
+    scenario = ScenarioBuilder(seed=seed).multipath()
+    session = OffloadSession(scenario, policy=policy)
+    scheduler = session.sender.scheduler
+
+    for start, end in OUTAGES:
+        scenario.sim.schedule(start, scheduler.set_usable, "wifi", False)
+        scenario.sim.schedule(end, scheduler.set_usable, "wifi", True)
+        if policy is MultipathPolicy.WIFI_ONLY_HANDOVER and end - start > HANDOVER_BRIDGE:
+            # Policy 1 stops paying for LTE once it is clearly not a
+            # handover: LTE bridges only the first seconds of an outage.
+            scenario.sim.schedule(start + HANDOVER_BRIDGE,
+                                  scheduler.set_usable, "lte", False)
+            scenario.sim.schedule(end, scheduler.set_usable, "lte", True)
+
+    report = session.run(DURATION)
+    return session, report
+
+
+def test_e5_multipath_policies(benchmark, record_result):
+    policies = [
+        MultipathPolicy.WIFI_ONLY_HANDOVER,
+        MultipathPolicy.WIFI_PREFERRED,
+        MultipathPolicy.AGGREGATE,
+    ]
+    outcome = run_once(benchmark, lambda: {p: run_policy(p) for p in policies})
+
+    rows = []
+    stats = {}
+    for policy, (session, report) in outcome.items():
+        metered = session.sender.scheduler.metered_fraction()
+        ref = report.per_class[2]
+        stats[policy] = (metered, ref.delivery_ratio, mos_score(report))
+        rows.append([
+            policy.value,
+            f"{metered:.1%}",
+            f"{ref.delivery_ratio:.1%}",
+            f"{ref.in_time_ratio:.1%}",
+            f"{report.mean_video_quality:.2f}",
+            f"{mos_score(report):.2f}",
+        ])
+    table = ascii_table(
+        ["policy", "metered bytes", "ref delivery", "ref in-time",
+         "video quality", "MOS"],
+        rows,
+        title="Section VI-D — multipath policies under WiFi outages",
+    )
+    record_result("E5_multipath_policies", table)
+
+    m1 = stats[MultipathPolicy.WIFI_ONLY_HANDOVER]
+    m2 = stats[MultipathPolicy.WIFI_PREFERRED]
+    m3 = stats[MultipathPolicy.AGGREGATE]
+    # Metered usage: handover-only < wifi-preferred < aggregate.
+    assert m1[0] < m2[0] < m3[0]
+    # Service continuity: policy 1 loses data in the long outage.
+    assert m1[1] < m2[1]
+    # Aggregate delivers at least as well as wifi-preferred.
+    assert m3[1] >= m2[1] - 0.02
+    # QoE ordering.
+    assert m1[2] <= m2[2] + 0.05
+    assert m2[2] <= m3[2] + 0.1

@@ -1,0 +1,80 @@
+"""E6 — Section VI-F: locating edge datacenters.
+
+Solves min |C| s.t. every (user, application) meets its offloading
+deadline, across a sweep of deadline-derived latency budgets, with
+three solvers plus the LP lower bound.
+
+Expected shape: local-search <= greedy everywhere; every solver sits
+between the LP bound and ln(n) times it; relaxing the deadline
+monotonically reduces the number of datacenters; tight AR deadlines
+(7 ms class) need several times more sites than relaxed ones.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.report import ascii_table, format_time
+from repro.edge.assignment import assign_users
+from repro.edge.placement import (
+    PlacementProblem,
+    solve_greedy,
+    solve_local_search,
+    solve_lp_rounding,
+)
+from repro.edge.topology import CityTopology
+
+BUDGETS = [0.0045, 0.006, 0.008, 0.012]
+SEED = 81
+
+
+def run_sweep():
+    results = []
+    for budget in BUDGETS:
+        topo = CityTopology.random_city(
+            n_users=150, n_sites=36, latency_budget=budget,
+            budget_jitter=0.15, seed=SEED,
+        )
+        if not topo.feasible():
+            continue
+        problem = PlacementProblem(topo)
+        greedy = solve_greedy(problem)
+        local = solve_local_search(problem)
+        lp = solve_lp_rounding(problem)
+        assignment = assign_users(topo, local.chosen)
+        results.append((budget, greedy, local, lp, assignment))
+    return results
+
+
+def test_e6_edge_datacenter_placement(benchmark, record_result):
+    results = run_once(benchmark, run_sweep)
+    assert len(results) >= 3  # the sweep must be mostly feasible
+
+    rows = []
+    for budget, greedy, local, lp, assignment in results:
+        rows.append([
+            format_time(budget),
+            greedy.n_datacenters,
+            local.n_datacenters,
+            lp.n_datacenters,
+            f"{lp.lower_bound:.2f}",
+            f"{assignment.mean_latency() * 1000:.2f} ms",
+        ])
+    table = ascii_table(
+        ["latency budget (one-way)", "greedy |C|", "local-search |C|",
+         "LP-rounding |C|", "LP bound", "mean user latency"],
+        rows,
+        title="Section VI-F — minimum edge datacenters vs deadline",
+    )
+    record_result("E6_edge_placement", table)
+
+    for budget, greedy, local, lp, assignment in results:
+        assert greedy.feasible and local.feasible and lp.feasible
+        assert local.n_datacenters <= greedy.n_datacenters
+        assert local.n_datacenters >= lp.lower_bound - 1e-9
+        assert assignment.all_assigned
+
+    # Monotone: relaxing the deadline never needs more datacenters.
+    counts = [local.n_datacenters for _, _, local, _, _ in results]
+    assert counts == sorted(counts, reverse=True)
+    # The tight-deadline extreme is substantially more expensive.
+    assert counts[0] >= 2 * counts[-1]

@@ -1,0 +1,88 @@
+"""E8 — extension: the user-cost side of multipath (§V-C + §VI-D).
+
+"Most mobile networks continue to be expensive to the user" — the
+reason the paper proposes *three* multipath behaviours rather than just
+"use everything".  This benchmark runs the E5 policy sessions, converts
+each policy's metered bytes into a monthly bill for one hour of daily
+MAR use, and prices the quality difference.
+
+Expected shape: the aggregate policy posts a dramatically higher bill
+on a small plan (quota overrun) than the WiFi-preferred policy, for a
+modest MOS gain; WiFi-preferred stays inside every plan's quota — the
+economics that make it the sensible default.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.report import ascii_table
+from repro.core.metrics import mos_score
+from repro.core.scheduler import MultipathPolicy
+from repro.core.session import OffloadSession, ScenarioBuilder
+from repro.mar.dataplan import TYPICAL_PLANS, cheapest_plan, monthly_cost_of_usage
+
+SESSION_SECONDS = 40.0
+DAILY_USE_SECONDS = 3600.0
+
+
+def run_policies():
+    out = {}
+    for policy in MultipathPolicy:
+        scenario = ScenarioBuilder(seed=171).multipath()
+        session = OffloadSession(scenario, policy=policy)
+        # A couple of WiFi outages so LTE actually gets exercised.
+        sched = session.sender.scheduler
+        bridge = 1.0   # policy 1 pays for LTE only this long per outage
+        for start, end in ((10.0, 14.0), (25.0, 26.0)):
+            scenario.sim.schedule(start, sched.set_usable, "wifi", False)
+            scenario.sim.schedule(end, sched.set_usable, "wifi", True)
+            if (policy is MultipathPolicy.WIFI_ONLY_HANDOVER
+                    and end - start > bridge):
+                scenario.sim.schedule(start + bridge, sched.set_usable,
+                                      "lte", False)
+                scenario.sim.schedule(end, sched.set_usable, "lte", True)
+        report = session.run(SESSION_SECONDS)
+        metered = sum(
+            p.bytes_sent for p in sched.paths.values() if p.is_metered
+        )
+        out[policy] = (metered, report)
+    return out
+
+
+def test_e8_dataplan_economics(benchmark, record_result):
+    outcome = run_once(benchmark, run_policies)
+
+    small = TYPICAL_PLANS["small"]
+    rows = []
+    monthly = {}
+    for policy, (metered_session, report) in outcome.items():
+        per_day = metered_session * (DAILY_USE_SECONDS / SESSION_SECONDS)
+        per_month = per_day * 30
+        cost = monthly_cost_of_usage(small, per_day)
+        monthly[policy] = (per_month, cost)
+        rows.append([
+            policy.value,
+            f"{per_month / 1e9:.1f} GB/mo",
+            f"{small.quota_fraction(per_month):.1f}x quota",
+            f"${cost:.0f}/mo (small plan)",
+            cheapest_plan(per_month).name,
+            f"{mos_score(report):.2f}",
+        ])
+    table = ascii_table(
+        ["policy", "metered data", "vs 2 GB quota", "bill", "cheapest plan", "MOS"],
+        rows,
+        title="E8 — one hour of daily MAR, priced per §VI-D policy",
+    )
+    record_result("E8_dataplan_economics", table)
+
+    handover = monthly[MultipathPolicy.WIFI_ONLY_HANDOVER]
+    preferred = monthly[MultipathPolicy.WIFI_PREFERRED]
+    aggregate = monthly[MultipathPolicy.AGGREGATE]
+    # Data usage strictly ordered by policy aggressiveness.
+    assert handover[0] < preferred[0] < aggregate[0]
+    # The aggregate policy overruns the small plan's quota badly...
+    assert aggregate[0] > small.quota_bytes * 2
+    assert aggregate[1] > small.monthly_fee * 2
+    # ...while a frugal policy stays within it.
+    assert handover[0] < small.quota_bytes
+    assert handover[1] == small.monthly_fee

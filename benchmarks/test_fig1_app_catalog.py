@@ -1,0 +1,61 @@
+"""F1 — Figure 1: MAR usage classes and their resource envelopes.
+
+Figure 1 is a photo collage of four MAR usages (orientation, virtual
+memorial, gaming, art).  The reproducible content is the resource
+envelope each class implies; this benchmark regenerates a quantitative
+catalog: per-archetype frame rate, compute, database and network
+demands, plus which offloading strategy each class needs on a
+smartphone over a typical WiFi path.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import ascii_table, format_rate, format_time
+from repro.mar.application import APP_ARCHETYPES
+from repro.mar.compute import ExecutionBudget, feasible_locally, offloading_delay
+from repro.mar.devices import CLOUD, SMARTPHONE
+
+WIFI = ExecutionBudget(bandwidth_up_bps=15e6, bandwidth_down_bps=40e6, latency=0.018)
+
+
+def build_catalog():
+    rows = []
+    for name, app in APP_ARCHETYPES.items():
+        local_ok = feasible_locally(SMARTPHONE, app)
+        offload = offloading_delay(SMARTPHONE, CLOUD, app, WIFI, use_features=True,
+                                   local_fraction=0.45)
+        offload_ok = offload < app.deadline
+        if local_ok:
+            verdict = "runs locally"
+        elif offload_ok:
+            verdict = "needs offloading"
+        else:
+            verdict = "needs edge (<WiFi RTT)"
+        rows.append([
+            name,
+            f"{app.fps:g}",
+            f"{app.megacycles_per_frame:g} Mc",
+            f"{app.db_requests_per_s:g}/s x {app.object_bytes // 1000} KB",
+            format_time(app.deadline),
+            format_rate(app.uplink_bps),
+            verdict,
+        ])
+    return rows
+
+
+def test_fig1_application_catalog(benchmark, record_result):
+    rows = run_once(benchmark, build_catalog)
+    rendered = ascii_table(
+        ["archetype", "fps", "p(a)/frame", "database d(a) x o(a)", "deadline",
+         "offload uplink", "on a smartphone"],
+        rows,
+        title="Figure 1 — MAR usage classes, quantified (smartphone over WiFi)",
+    )
+    record_result("F1_app_catalog", rendered)
+
+    verdicts = {r[0]: r[-1] for r in rows}
+    # Light orientation apps run locally; gaming cannot.
+    assert verdicts["orientation"] == "runs locally"
+    assert verdicts["gaming"] != "runs locally"
+    # Every archetype is at least serviceable with offloading.
+    assert all(v != "impossible" for v in verdicts.values())

@@ -1,0 +1,64 @@
+"""F2 — Figure 2: the 802.11 performance anomaly.
+
+User A and user B both sit in the 54 Mb/s ring; B then moves into the
+18 Mb/s ring.  The paper's claim (after Heusse et al.): A's throughput
+falls to roughly B's level even though A never moved, because DCF
+shares transmission *opportunities*, not airtime.
+
+Expected shape: phase-1 throughputs equal at the 54/54 analytic value;
+phase-2 both collapse to the 54/18 analytic value; A loses ≥ 25 %.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.report import Figure, ascii_table, format_rate
+from repro.simnet.engine import Simulator
+from repro.wireless.wifi import WifiCell, WifiStation, anomaly_throughput
+
+PHASE = 10.0
+
+
+def run_anomaly():
+    sim = Simulator(seed=21)
+    cell = WifiCell(sim)
+    a = cell.add_station(WifiStation("A", 54e6))
+    b = cell.add_station(WifiStation("B", 54e6))
+    sim.run(until=PHASE)
+    cell.set_rate("B", 18e6)          # B walks into the 18 Mb/s ring
+    sim.run(until=2 * PHASE)
+    series = {
+        "A": [(t, a.throughput_bps(t, t + 1.0)) for t in range(0, int(2 * PHASE))],
+        "B": [(t, b.throughput_bps(t, t + 1.0)) for t in range(0, int(2 * PHASE))],
+    }
+    return a, b, series
+
+
+def test_fig2_performance_anomaly(benchmark, record_result):
+    a, b, series = run_once(benchmark, run_anomaly)
+
+    a1, b1 = a.throughput_bps(1, PHASE), b.throughput_bps(1, PHASE)
+    a2, b2 = a.throughput_bps(PHASE + 1, 2 * PHASE), b.throughput_bps(PHASE + 1, 2 * PHASE)
+    predicted_equal = anomaly_throughput([54e6, 54e6])[0]
+    predicted_mixed = anomaly_throughput([54e6, 18e6])[0]
+
+    fig = Figure("Figure 2 — 802.11 performance anomaly (B moves at t=10 s)",
+                 x_label="time (s)", y_label="goodput (b/s)")
+    fig.add_series("A (54 Mb/s, static)", series["A"])
+    fig.add_series("B (54->18 Mb/s)", series["B"])
+    table = ascii_table(
+        ["phase", "station A", "station B", "analytic prediction"],
+        [
+            ["both at 54 Mb/s", format_rate(a1), format_rate(b1), format_rate(predicted_equal)],
+            ["B at 18 Mb/s", format_rate(a2), format_rate(b2), format_rate(predicted_mixed)],
+        ],
+    )
+    record_result("F2_wifi_anomaly", fig.render() + "\n\n" + table)
+
+    # Phase 1: equal sharing at the analytic rate.
+    assert a1 == pytest.approx(b1, rel=0.1)
+    assert a1 == pytest.approx(predicted_equal, rel=0.1)
+    # Phase 2: A collapses to B's level although A never moved.
+    assert a2 == pytest.approx(b2, rel=0.1)
+    assert a2 == pytest.approx(predicted_mixed, rel=0.1)
+    assert a2 < a1 * 0.75

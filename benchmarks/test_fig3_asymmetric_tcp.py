@@ -1,0 +1,106 @@
+"""F3 — Figure 3: uploads starving a TCP download on an asymmetric link.
+
+Heusse et al.'s experiment (reprinted as the paper's Figure 3): one TCP
+download shares an ADSL-like 8:1 asymmetric access link with 0, then 1,
+then 2 TCP uploads.  The uplink buffer is oversized (1000 packets), so
+once an upload fills it, the download's ACKs sit behind ~12 s of queued
+data and its ACK clock collapses.
+
+Expected shape: the download runs near link rate alone, then loses well
+over 3x of its throughput the moment the first upload starts.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import Figure, ascii_table, format_rate
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.simnet.queues import DropTailQueue
+from repro.transport.tcp import TcpConnection, TcpListener
+
+PHASE = 30.0
+
+
+def run_experiment(uplink_buffer=1000):
+    sim = Simulator(seed=31)
+    net = Network(sim)
+    net.add_host("client")
+    net.add_host("server")
+    net.add_duplex(
+        "server", "client", 8e6, 1e6, delay=0.01,
+        queue_down=DropTailQueue(100), queue_up=DropTailQueue(uplink_buffer),
+    )
+    net.build_routes()
+
+    TcpListener(net["client"], 80)
+    TcpListener(net["server"], 81)
+
+    download = TcpConnection(net["server"], 5000, "client", 80)
+    download.on_established = download.send_forever
+    download.connect()
+
+    uploads = [
+        TcpConnection(net["client"], 6001, "server", 81),
+        TcpConnection(net["client"], 6002, "server", 81),
+    ]
+
+    def start_upload(conn):
+        conn.on_established = conn.send_forever
+        conn.connect()
+
+    sim.schedule(PHASE, start_upload, uploads[0])
+    sim.schedule(2 * PHASE, start_upload, uploads[1])
+
+    samples = []
+
+    def sample():
+        samples.append((sim.now, download.snd_una))
+        if sim.now < 3 * PHASE:
+            sim.schedule(1.0, sample)
+
+    sim.schedule(1.0, sample)
+    sim.run(until=3 * PHASE)
+    return samples, uploads
+
+
+def phase_rate(samples, t0, t1):
+    start = next(v for t, v in samples if t >= t0)
+    end = next(v for t, v in samples if t >= t1 - 1.5)
+    return (end - start) * 8 / (t1 - t0)
+
+
+def test_fig3_upload_starves_download(benchmark, record_result):
+    samples, uploads = run_once(benchmark, run_experiment)
+
+    alone = phase_rate(samples, 2, PHASE)
+    one_up = phase_rate(samples, PHASE + 2, 2 * PHASE)
+    two_up = phase_rate(samples, 2 * PHASE + 2, 3 * PHASE)
+
+    throughput_series = [
+        (t1, (v1 - v0) * 8)
+        for (t0, v0), (t1, v1) in zip(samples, samples[1:])
+    ]
+    fig = Figure(
+        "Figure 3 — download goodput; uploads start at t=30 s and t=60 s",
+        x_label="time (s)", y_label="goodput (b/s)",
+    )
+    fig.add_series("download", throughput_series)
+    table = ascii_table(
+        ["phase", "download goodput", "vs alone"],
+        [
+            ["download alone", format_rate(alone), "1.0x"],
+            ["+1 upload", format_rate(one_up), f"{alone / max(one_up, 1):.0f}x slower"],
+            ["+2 uploads", format_rate(two_up), f"{alone / max(two_up, 1):.0f}x slower"],
+        ],
+    )
+    record_result("F3_asymmetric_tcp", fig.render() + "\n\n" + table)
+
+    # Alone, the download uses most of the 8 Mb/s downlink.
+    assert alone > 5e6
+    # A single upload on the oversized-buffer uplink collapses it >= 3x
+    # (the paper's figure shows an order of magnitude).
+    assert one_up < alone / 3
+    # A second upload makes things strictly worse.
+    assert two_up <= one_up * 1.2
+    # The uploads themselves do make progress (they're not starved).
+    assert uploads[0].snd_una > 1_000_000

@@ -1,0 +1,63 @@
+"""T1 — Table I: the MAR device ecosystem.
+
+Regenerates the device-characteristics table and extends it with the
+quantity the paper derives from it: which Figure 1 application
+archetypes each platform can run *locally* in time (Eq. 1).  Expected
+shape: smart glasses run nothing heavy, smartphones struggle with
+gaming, desktops/cloud run everything.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import ascii_table
+from repro.mar.application import APP_ARCHETYPES
+from repro.mar.compute import feasible_locally
+from repro.mar.devices import all_devices
+
+
+def build_tables():
+    device_rows = []
+    for d in all_devices():
+        battery = f"{d.battery_hours[0]:g}-{d.battery_hours[1]:g}h" if d.battery_hours else "unlimited"
+        storage = f"{d.storage_gb[0]:g}-{d.storage_gb[1]:g} GB"
+        if d.storage_gb[1] >= 1e6:
+            storage = "unlimited"
+        device_rows.append([
+            d.name,
+            d.computing_power,
+            f"{d.compute_cycles_per_s / 1e9:.1f} Gcyc/s",
+            storage,
+            battery,
+            "/".join(d.network_access),
+            d.portability,
+        ])
+    feasibility_rows = []
+    for d in all_devices():
+        row = [d.name]
+        for name, app in APP_ARCHETYPES.items():
+            row.append("yes" if feasible_locally(d, app) else "no")
+        feasibility_rows.append(row)
+    return device_rows, feasibility_rows
+
+
+def test_table1_device_ecosystem(benchmark, record_result):
+    device_rows, feasibility_rows = run_once(benchmark, build_tables)
+
+    table1 = ascii_table(
+        ["platform", "compute", "sustained", "storage", "battery", "network", "portability"],
+        device_rows,
+        title="Table I — devices participating in a MAR ecosystem",
+    )
+    table1b = ascii_table(
+        ["platform"] + list(APP_ARCHETYPES),
+        feasibility_rows,
+        title="Derived: local in-time execution feasibility (Eq. 1, P_local < δa)",
+    )
+    record_result("T1_devices", table1 + "\n\n" + table1b)
+
+    # Shape assertions: the paper's qualitative ordering.
+    by_name = {row[0]: row[1:] for row in feasibility_rows}
+    assert by_name["smart glasses"] == ["no"] * 4          # glasses run nothing
+    assert "no" in by_name["smartphone"]                   # phones can't do it all
+    assert by_name["cloud computing"] == ["yes"] * 4       # cloud runs everything
+    assert by_name["desktop PC"] == ["yes"] * 4

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Edge-datacenter planning for a metro area (Section VI-F).
+
+Given a city of MAR users with per-application latency budgets and a
+grid of candidate sites, find the minimum set of edge datacenters such
+that every user's offloading deadline holds, then assign users and
+report loading.  Compares the greedy, local-search and LP-rounding
+solvers against the LP lower bound across AR application classes.
+"""
+
+from repro.analysis.report import ascii_table, format_time
+from repro.edge import (
+    CityTopology,
+    PlacementProblem,
+    assign_users,
+    solve_greedy,
+    solve_local_search,
+    solve_lp_rounding,
+)
+
+#: Application classes and the one-way latency budget each leaves the
+#: network after compute and serialization (derived per Section III).
+APP_CLASSES = [
+    ("browser overlays (100 ms budget)", 0.012),
+    ("interactive AR (75 ms budget)", 0.008),
+    ("AR gaming (50 ms budget)", 0.006),
+    ("holy-grail AR (7 ms e2e)", 0.0045),
+]
+
+
+def main() -> None:
+    rows = []
+    for label, budget in APP_CLASSES:
+        city = CityTopology.random_city(
+            n_users=200, n_sites=36, latency_budget=budget,
+            budget_jitter=0.1, seed=17,
+        )
+        if not city.feasible():
+            rows.append([label, format_time(budget), "-", "-", "-", "infeasible"])
+            continue
+        problem = PlacementProblem(city)
+        greedy = solve_greedy(problem)
+        local = solve_local_search(problem)
+        lp = solve_lp_rounding(problem)
+        best = min((greedy, local, lp), key=lambda r: r.n_datacenters)
+        assignment = assign_users(city, best.chosen)
+        rows.append([
+            label,
+            format_time(budget),
+            f"{greedy.n_datacenters} / {local.n_datacenters} / {lp.n_datacenters}",
+            f"{lp.lower_bound:.1f}",
+            f"{assignment.mean_latency() * 1e3:.2f} ms",
+            ", ".join(best.site_names(problem)[:6])
+            + ("..." if best.n_datacenters > 6 else ""),
+        ])
+
+    print(ascii_table(
+        ["application class", "latency budget", "|C| greedy/local/LP",
+         "LP bound", "mean user latency", "sites (best solution)"],
+        rows,
+        title="Edge datacenter placement for a 30x30 km metro (200 users, 36 sites)",
+    ))
+    print("\nReading: tighter AR deadlines multiply the infrastructure bill —")
+    print("the 'holy grail' class needs several times the datacenters of a")
+    print("browser-overlay deployment, which is the economics behind VI-F.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Watch MARTP degrade gracefully while TCP saws its window (Figure 4).
+
+The uplink steps 12 -> 4 -> 1.2 Mb/s.  MARTP sheds interframes first,
+then sensor samples, then reference-frame quality — connection metadata
+is never touched.  A TCP bulk flow on an identical path shows the
+congestion-window sawtooth the paper contrasts this against.
+"""
+
+from repro.analysis.report import Figure, ascii_table, format_rate
+from repro.analysis.stats import timeseries_bins
+from repro.core import OffloadSession, ScenarioBuilder
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.simnet.queues import DropTailQueue
+from repro.transport.tcp import TcpConnection, TcpListener
+
+PHASES = [(0.0, 12e6), (15.0, 4e6), (30.0, 1.2e6)]
+DURATION = 45.0
+
+
+def run_martp():
+    scenario = ScenarioBuilder(seed=41).single_path(rtt=0.020, up_bps=PHASES[0][1])
+    uplink = scenario.net.path_links("client", "server")[0]
+    for start, rate in PHASES[1:]:
+        scenario.sim.schedule(start, lambda r=rate: setattr(uplink, "rate_bps", r))
+    session = OffloadSession(scenario)
+    report = session.run(DURATION)
+    return session, report
+
+
+def run_tcp():
+    sim = Simulator(seed=41)
+    net = Network(sim)
+    net.add_host("client")
+    net.add_host("server")
+    net.add_duplex("server", "client", 50e6, PHASES[0][1], delay=0.010,
+                   queue_up=DropTailQueue(300))
+    net.build_routes()
+    uplink = net.path_links("client", "server")[0]
+    for start, rate in PHASES[1:]:
+        sim.schedule(start, lambda r=rate: setattr(uplink, "rate_bps", r))
+    TcpListener(net["server"], 81)
+    conn = TcpConnection(net["client"], 6000, "server", 81)
+    conn.on_established = conn.send_forever
+    conn.connect()
+    sim.run(until=DURATION)
+    return conn
+
+
+def main() -> None:
+    session, report = run_martp()
+    tcp = run_tcp()
+
+    fig = Figure(
+        "TCP cwnd vs MARTP per-class allocations (uplink steps at 15 s and 30 s)",
+        x_label="time (s)", y_label="fraction of nominal",
+    )
+    cwnd_max = max(c for _, c in tcp.cwnd_trace)
+    fig.add_series("tcp cwnd", timeseries_bins(
+        [(t, c / cwnd_max) for t, c in tcp.cwnd_trace], 0.5))
+    for sid, label in ((3, "interframes"), (2, "ref frames"), (1, "sensors")):
+        nominal = session.sender.degradation.spec(sid).nominal_rate_bps
+        points = [(t, rates[sid] / nominal)
+                  for t, rates in session.sender.offered_rate_trace()]
+        fig.add_series(label, timeseries_bins(points, 0.5))
+    print(fig.render())
+    print()
+
+    rows = [
+        [r.name, f"{r.delivery_ratio:.1%}", f"{r.in_time_ratio:.1%}",
+         format_rate(r.achieved_rate_bps)]
+        for r in report.per_class.values()
+    ]
+    print(ascii_table(
+        ["stream", "delivered", "in time", "achieved rate"],
+        rows,
+        title="Outcome after two congestion episodes",
+    ))
+    print(f"\nmetadata intact through both episodes: {report.critical_intact}")
+    print(f"video degraded to {report.mean_video_quality:.0%} of nominal — "
+          "degraded but never interrupted.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Multipath MAR across a city walk: WiFi availability comes from a
+coverage/handover model, LTE fills the gaps per the Section VI-D
+policies.
+
+A random-waypoint pedestrian crosses an urban AP deployment; the
+resulting WiFi usability trace (closed APs, association delays,
+handover gaps) drives the MARTP scheduler's view of the WiFi path.
+Each policy runs over the same 3-minute excerpt of the walk.
+"""
+
+from repro.analysis.report import ascii_table
+from repro.core import MultipathPolicy, OffloadSession, ScenarioBuilder, mos_score
+from repro.wireless.handover import CoverageMap
+from repro.wireless.mobility import RandomWaypoint
+
+EXCERPT = 180  # seconds of the walk to replay
+
+
+def wifi_usability_trace(seed: int = 15):
+    """Per-second WiFi usability along a city walk."""
+    coverage = CoverageMap.urban(seed=seed)
+    walk = RandomWaypoint(seed=seed).trajectory(EXCERPT, tick=1.0)
+    trace = coverage.connectivity(walk)
+    return [tick.usable for tick in trace.ticks]
+
+
+HANDOVER_BRIDGE = 3  # seconds of LTE bridging policy 1 tolerates
+
+
+def run_policy(policy: MultipathPolicy, usable_per_second):
+    scenario = ScenarioBuilder(seed=13).multipath()
+    session = OffloadSession(scenario, policy=policy)
+    scheduler = session.sender.scheduler
+    previous = True
+    outage_started = None
+    for second, usable in enumerate(usable_per_second):
+        if usable != previous:
+            scenario.sim.schedule(float(second), scheduler.set_usable,
+                                  "wifi", usable)
+            if not usable:
+                outage_started = second
+            elif (policy is MultipathPolicy.WIFI_ONLY_HANDOVER
+                  and outage_started is not None):
+                scenario.sim.schedule(float(second), scheduler.set_usable,
+                                      "lte", True)
+            previous = usable
+        # Policy 1: LTE only bridges the first seconds of an outage.
+        if (policy is MultipathPolicy.WIFI_ONLY_HANDOVER
+                and outage_started is not None and not usable
+                and second - outage_started == HANDOVER_BRIDGE):
+            scenario.sim.schedule(float(second), scheduler.set_usable,
+                                  "lte", False)
+    report = session.run(float(len(usable_per_second)))
+    return session, report
+
+
+def main() -> None:
+    usable = wifi_usability_trace()
+    coverage_fraction = sum(usable) / len(usable)
+    print(f"Walk excerpt: {len(usable)} s, WiFi usable {coverage_fraction:.0%} "
+          f"of the time ({sum(1 for a, b in zip(usable, usable[1:]) if a != b)} "
+          "transitions)\n")
+
+    rows = []
+    for policy in MultipathPolicy:
+        session, report = run_policy(policy, usable)
+        ref = report.per_class[2]
+        rows.append([
+            policy.value,
+            f"{session.sender.scheduler.metered_fraction():.1%}",
+            f"{ref.delivery_ratio:.1%}",
+            f"{report.mean_video_quality:.0%}",
+            f"{mos_score(report):.2f}",
+        ])
+    print(ascii_table(
+        ["policy", "LTE (metered) bytes", "ref-frame delivery",
+         "video quality", "MOS"],
+        rows,
+        title="Section VI-D multipath policies over a real coverage trace",
+    ))
+    print("\nReading: policy 1 minimizes mobile-data cost, policy 3 maximizes "
+          "quality;\npolicy 2 is the compromise the paper expects most users "
+          "to pick.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment has no network access and no ``wheel``
+package, so PEP 660 editable installs (which build an editable wheel)
+fail.  This shim lets ``pip install -e . --no-use-pep517`` (and plain
+``pip install -e .`` with pip configured for legacy installs) fall back
+to ``setup.py develop``.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""Statistics and reporting helpers used by benchmarks and examples."""
+
+from repro.analysis.stats import (
+    jain_index,
+    mean,
+    percentile,
+    stddev,
+    summarize,
+    Summary,
+    timeseries_bins,
+)
+from repro.analysis.report import ascii_table, format_rate, format_time, Figure
+
+__all__ = [
+    "jain_index",
+    "mean",
+    "percentile",
+    "stddev",
+    "summarize",
+    "Summary",
+    "timeseries_bins",
+    "ascii_table",
+    "format_rate",
+    "format_time",
+    "Figure",
+]

@@ -1,0 +1,94 @@
+"""Text rendering for benchmark output: tables and ASCII 'figures'.
+
+The benchmark harness regenerates the paper's tables and figures as
+text; these helpers keep the formatting consistent across benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+def format_rate(bps: float) -> str:
+    """Human bit rate: 1.5 Kb/s, 12.3 Mb/s, 1.2 Gb/s."""
+    for unit, scale in (("Gb/s", 1e9), ("Mb/s", 1e6), ("Kb/s", 1e3)):
+        if abs(bps) >= scale:
+            return f"{bps / scale:.2f} {unit}"
+    return f"{bps:.0f} b/s"
+
+
+def format_time(seconds: float) -> str:
+    """Human time: 12.3 ms, 1.20 s."""
+    if abs(seconds) >= 1.0:
+        return f"{seconds:.2f} s"
+    if abs(seconds) >= 1e-3:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds * 1e6:.0f} µs"
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                title: Optional[str] = None) -> str:
+    """Render a padded ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+class Figure:
+    """An ASCII line 'figure': named series over a shared x axis."""
+
+    def __init__(self, title: str, x_label: str = "t", y_label: str = "y",
+                 width: int = 72, height: int = 16) -> None:
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self.width = width
+        self.height = height
+        self.series: List[Tuple[str, List[Tuple[float, float]]]] = []
+
+    def add_series(self, name: str, points: List[Tuple[float, float]]) -> None:
+        self.series.append((name, points))
+
+    def render(self) -> str:
+        """Plot every series with a distinct glyph on one char canvas."""
+        glyphs = "*o+x#@%&"
+        all_pts = [p for _, pts in self.series for p in pts]
+        if not all_pts:
+            return f"{self.title}\n(no data)"
+        xs = [p[0] for p in all_pts]
+        ys = [p[1] for p in all_pts]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+        canvas = [[" "] * self.width for _ in range(self.height)]
+        for si, (_, pts) in enumerate(self.series):
+            glyph = glyphs[si % len(glyphs)]
+            for x, y in pts:
+                col = int((x - x_lo) / (x_hi - x_lo) * (self.width - 1))
+                row = int((y - y_lo) / (y_hi - y_lo) * (self.height - 1))
+                canvas[self.height - 1 - row][col] = glyph
+        lines = [self.title]
+        legend = "  ".join(
+            f"{glyphs[i % len(glyphs)]}={name}" for i, (name, _) in enumerate(self.series)
+        )
+        lines.append(legend)
+        lines.append(f"y: {self.y_label}  [{y_lo:.3g} .. {y_hi:.3g}]")
+        for row in canvas:
+            lines.append("|" + "".join(row))
+        lines.append("+" + "-" * self.width)
+        lines.append(f"x: {self.x_label}  [{x_lo:.3g} .. {x_hi:.3g}]")
+        return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Small statistics helpers (no numpy dependency on hot paths)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+def mean(data: Sequence[float]) -> float:
+    """Arithmetic mean; NaN for empty input."""
+    return sum(data) / len(data) if data else float("nan")
+
+
+def stddev(data: Sequence[float]) -> float:
+    """Sample standard deviation; 0.0 for fewer than two points."""
+    n = len(data)
+    if n < 2:
+        return 0.0
+    mu = mean(data)
+    return math.sqrt(sum((x - mu) ** 2 for x in data) / (n - 1))
+
+
+def percentile(data: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]; NaN when empty."""
+    if not data:
+        return float("nan")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(data)
+    pos = (q / 100.0) * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    # a + frac*(b-a) is exact when a == b, unlike the convex-combination
+    # form, so percentiles of constant data stay bit-identical.
+    return ordered[lo] + frac * (ordered[hi] - ordered[lo])
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    p5: float
+    p50: float
+    p95: float
+    minimum: float
+    maximum: float
+
+
+def summarize(data: Sequence[float]) -> Summary:
+    """Summary statistics of a sample (NaN-filled when empty)."""
+    if not data:
+        nan = float("nan")
+        return Summary(0, nan, nan, nan, nan, nan, nan, nan)
+    return Summary(
+        n=len(data),
+        mean=mean(data),
+        std=stddev(data),
+        p5=percentile(data, 5),
+        p50=percentile(data, 50),
+        p95=percentile(data, 95),
+        minimum=min(data),
+        maximum=max(data),
+    )
+
+
+def timeseries_bins(
+    samples: Iterable[Tuple[float, float]], bin_size: float, reducer=mean
+) -> List[Tuple[float, float]]:
+    """Bin (time, value) samples; returns (bin_start, reduced_value)."""
+    if bin_size <= 0:
+        raise ValueError("bin_size must be positive")
+    buckets: dict = {}
+    for t, v in samples:
+        buckets.setdefault(int(t // bin_size), []).append(v)
+    return [(k * bin_size, reducer(vals)) for k, vals in sorted(buckets.items())]
+
+
+def jain_index(allocations: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly fair, 1/n = one hog.
+
+    The paper's property (2) — "fair to other connections while
+    exploiting the maximum available bandwidth" — is scored with this
+    classic measure over per-flow throughputs.
+    """
+    if not allocations:
+        return float("nan")
+    total = sum(allocations)
+    squares = sum(x * x for x in allocations)
+    if squares == 0:
+        return 1.0
+    return total * total / (len(allocations) * squares)

@@ -1,0 +1,175 @@
+"""Command-line interface: quick demos and experiment-report browsing.
+
+Usage (also via ``python -m repro``):
+
+    python -m repro list                 # available demos + saved reports
+    python -m repro demo quickstart      # run a built-in demo
+    python -m repro demo anomaly
+    python -m repro demo table2
+    python -m repro show T2              # print a saved benchmark report
+
+The demos are self-contained, seconds-long simulations over the public
+API; the full experiment suite lives in ``benchmarks/`` (run with
+``pytest benchmarks/ --benchmark-only``) and saves its rendered reports
+under ``benchmarks/results/`` where ``show`` finds them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Callable, Dict
+
+from repro.analysis.report import ascii_table, format_rate, format_time
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+
+
+# ----------------------------------------------------------------------
+# Demos
+# ----------------------------------------------------------------------
+def demo_quickstart() -> str:
+    """A 10 s MARTP session over cloud WiFi."""
+    from repro.core import OffloadSession, ScenarioBuilder, mos_score
+
+    scenario = ScenarioBuilder(seed=7).single_path(rtt=0.036, up_bps=12e6)
+    session = OffloadSession(scenario)
+    report = session.run(10.0)
+    rows = [
+        [r.name, f"{r.delivery_ratio:.1%}", f"{r.in_time_ratio:.1%}",
+         format_time(r.mean_latency)]
+        for r in report.per_class.values()
+    ]
+    table = ascii_table(["stream", "delivered", "in time", "mean latency"], rows,
+                        title="MARTP over cloud-WiFi (36 ms RTT, 12 Mb/s up)")
+    return (f"{table}\n\nvideo quality {report.mean_video_quality:.0%}, "
+            f"MOS {mos_score(report):.2f}/5")
+
+
+def demo_anomaly() -> str:
+    """The 802.11 performance anomaly in five simulated seconds."""
+    from repro.simnet.engine import Simulator
+    from repro.wireless.wifi import WifiCell, WifiStation, anomaly_throughput
+
+    sim = Simulator(seed=1)
+    cell = WifiCell(sim)
+    a = cell.add_station(WifiStation("A", 54e6))
+    b = cell.add_station(WifiStation("B", 54e6))
+    sim.run(until=5.0)
+    cell.set_rate("B", 18e6)
+    sim.run(until=10.0)
+    rows = [
+        ["both at 54 Mb/s", format_rate(a.throughput_bps(0, 5)),
+         format_rate(b.throughput_bps(0, 5)),
+         format_rate(anomaly_throughput([54e6, 54e6])[0])],
+        ["B at 18 Mb/s", format_rate(a.throughput_bps(5, 10)),
+         format_rate(b.throughput_bps(5, 10)),
+         format_rate(anomaly_throughput([54e6, 18e6])[0])],
+    ]
+    return ascii_table(["phase", "station A", "station B", "analytic"], rows,
+                       title="802.11 performance anomaly (Figure 2)")
+
+
+def demo_table2() -> str:
+    """The four CloudRidAR offloading scenarios of Table II."""
+    from repro.mar.application import APP_ARCHETYPES
+    from repro.mar.devices import CLOUD, SMARTPHONE
+    from repro.mar.offload import FeatureOffload, OffloadExecutor
+    from repro.simnet.engine import Simulator
+    from repro.simnet.network import Network
+
+    rows = []
+    for name, rtt in (("local server / WiFi", 0.008),
+                      ("cloud server / WiFi", 0.036),
+                      ("university / WiFi", 0.072),
+                      ("cloud server / LTE", 0.120)):
+        sim = Simulator(seed=11)
+        net = Network(sim)
+        net.add_host("client")
+        net.add_host("server")
+        net.add_duplex("server", "client", 80e6, 40e6, delay=rtt / 2)
+        net.build_routes()
+        executor = OffloadExecutor(net, "client", "server",
+                                   APP_ARCHETYPES["orientation"],
+                                   FeatureOffload(), SMARTPHONE,
+                                   server_device=CLOUD)
+        result = executor.run(n_frames=100)
+        rows.append([name, format_time(rtt), format_time(result.mean_link_rtt),
+                     format_time(result.mean_offloaded_latency)])
+    return ascii_table(
+        ["scenario", "paper RTT", "measured RTT", "frame latency"], rows,
+        title="Table II — CloudRidAR offloading scenarios")
+
+
+DEMOS: Dict[str, Callable[[], str]] = {
+    "quickstart": demo_quickstart,
+    "anomaly": demo_anomaly,
+    "table2": demo_table2,
+}
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("demos (python -m repro demo <name>):")
+    for name, fn in DEMOS.items():
+        print(f"  {name:<12} {fn.__doc__.strip().splitlines()[0]}")
+    print("\nsaved experiment reports (python -m repro show <id>):")
+    if RESULTS_DIR.is_dir():
+        for path in sorted(RESULTS_DIR.glob("*.txt")):
+            print(f"  {path.stem}")
+    else:
+        print("  (none — run `pytest benchmarks/ --benchmark-only` first)")
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    fn = DEMOS.get(args.name)
+    if fn is None:
+        print(f"unknown demo {args.name!r}; try: {', '.join(DEMOS)}",
+              file=sys.stderr)
+        return 2
+    print(fn())
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    matches = sorted(RESULTS_DIR.glob(f"{args.experiment}*.txt")) \
+        if RESULTS_DIR.is_dir() else []
+    if not matches:
+        print(f"no saved report matching {args.experiment!r} under "
+              f"{RESULTS_DIR}", file=sys.stderr)
+        return 2
+    for path in matches:
+        print(f"== {path.stem} ==")
+        print(path.read_text().rstrip())
+        print()
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MAR networking reproduction: demos and reports",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list demos and saved reports").set_defaults(
+        func=cmd_list)
+    demo = sub.add_parser("demo", help="run a built-in demo")
+    demo.add_argument("name")
+    demo.set_defaults(func=cmd_demo)
+    show = sub.add_parser("show", help="print a saved benchmark report")
+    show.add_argument("experiment", help="experiment id prefix, e.g. T2 or F4")
+    show.set_defaults(func=cmd_show)
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

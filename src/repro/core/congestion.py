@@ -1,0 +1,144 @@
+"""Graceful-degradation congestion control (Section VI-B).
+
+Instead of a congestion *window*, MARTP maintains a sending-rate
+*budget*.  The controller reacts to two signals, per the paper's
+design notes:
+
+- "a sudden rise of delay or jitter should be treated as a congestion
+  indication, with immediate reaction" → a delay-gradient test against
+  the observed base RTT;
+- packet loss → multiplicative decrease, like TCP, for fairness.
+
+Between congestion events the budget grows additively (one
+``increase_quantum`` per RTT), which combined with the multiplicative
+decrease gives AIMD fairness against TCP flows sharing the bottleneck —
+property (2) of Section VI: "fair to other connections while exploiting
+the maximum available bandwidth".
+
+The budget is *advice to the degradation controller*, not a queue of
+bytes: when the budget shrinks, the application sheds classes
+(Figure 4) rather than pausing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class RateController:
+    """AIMD-on-rate with delay-gradient early congestion detection.
+
+    Parameters
+    ----------
+    initial_bps:
+        Starting budget.
+    min_bps:
+        Floor: the budget never drops below this (the critical class
+        must always fit — highest-priority data "should neither be
+        discarded nor delayed").
+    beta:
+        Multiplicative decrease factor on congestion.
+    increase_quantum_bps:
+        Additive increase per RTT without congestion.
+    delay_threshold:
+        Queuing-delay rise (seconds above base RTT) treated as
+        congestion even without loss.
+    reaction_interval:
+        Refractory period after a decrease — at most one multiplicative
+        decrease per RTT-ish interval, mirroring TCP's once-per-window
+        halving.
+    """
+
+    initial_bps: float = 2e6
+    min_bps: float = 64_000.0
+    max_bps: float = 1e9
+    beta: float = 0.7
+    increase_quantum_bps: float = 150_000.0
+    delay_threshold: float = 0.015
+    reaction_interval: float = 0.1
+
+    budget_bps: float = field(init=False)
+    base_rtt: Optional[float] = field(init=False, default=None)
+    srtt: Optional[float] = field(init=False, default=None)
+    last_decrease: float = field(init=False, default=-1e9)
+    congestion_events: int = field(init=False, default=0)
+    trace: List[Tuple[float, float]] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.budget_bps = self.initial_bps
+
+    # ------------------------------------------------------------------
+    def on_rtt_sample(self, rtt: float, now: float) -> None:
+        """Feed one RTT measurement from receiver feedback."""
+        if rtt <= 0:
+            return
+        if self.base_rtt is None or rtt < self.base_rtt:
+            self.base_rtt = rtt
+        self.srtt = rtt if self.srtt is None else 0.875 * self.srtt + 0.125 * rtt
+        queuing = self.srtt - self.base_rtt
+        if queuing > self.delay_threshold:
+            self._decrease(now, reason="delay")
+        else:
+            self._increase(now)
+
+    def on_loss(self, loss_fraction: float, now: float) -> None:
+        """Feed the loss fraction reported in the last feedback window.
+
+        Random wireless loss is not congestion: a moderate loss rate
+        only triggers a decrease when queuing delay corroborates it
+        (the paper's controller is delay-centric).  Heavy loss is
+        treated as congestion unconditionally.
+        """
+        if loss_fraction > 0.15:
+            self._decrease(now, reason="loss")
+        elif loss_fraction > 0.01 and self.queuing_delay > self.delay_threshold * 0.5:
+            self._decrease(now, reason="loss")
+
+    # ------------------------------------------------------------------
+    def _increase(self, now: float) -> None:
+        interval = self.srtt if self.srtt else self.reaction_interval
+        # Scale the quantum so the growth is ~quantum per RTT regardless
+        # of how often feedback arrives.
+        self.budget_bps = min(self.max_bps, self.budget_bps + self.increase_quantum_bps)
+        self._record(now)
+
+    def _decrease(self, now: float, reason: str) -> None:
+        if now - self.last_decrease < self.reaction_interval:
+            return
+        self.last_decrease = now
+        self.congestion_events += 1
+        self.budget_bps = max(self.min_bps, self.budget_bps * self.beta)
+        self._record(now)
+
+    def _record(self, now: float) -> None:
+        self.trace.append((now, self.budget_bps))
+
+    def on_feedback_timeout(self, now: float) -> None:
+        """No feedback while data is flowing: the path is likely dead
+        or fully congested — collapse multiplicatively toward the floor
+        (one decrease per refractory interval, like any other
+        congestion signal)."""
+        self._decrease(now, reason="feedback-timeout")
+
+    def cap_to_utilization(self, used_bps: float) -> None:
+        """Bound the budget near what the sender actually uses.
+
+        Like TCP's congestion-window validation (RFC 7661): an
+        application-limited sender must not grow an arbitrarily large
+        budget it has never validated, or the first real congestion
+        episode takes many multiplicative decreases to drain.
+        """
+        if used_bps <= 0:
+            return
+        ceiling = max(used_bps * 3.0, self.min_bps)
+        if self.budget_bps > ceiling:
+            self.budget_bps = ceiling
+
+    # ------------------------------------------------------------------
+    @property
+    def queuing_delay(self) -> float:
+        if self.srtt is None or self.base_rtt is None:
+            return 0.0
+        return max(0.0, self.srtt - self.base_rtt)

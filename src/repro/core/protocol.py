@@ -1,0 +1,596 @@
+"""The MARTP wire protocol: sender and receiver over UDP.
+
+This module assembles the Section VI properties into a working
+protocol:
+
+- the application declares :class:`~repro.core.traffic.StreamSpec`
+  streams and submits messages (or lets rate-driven stream drivers
+  generate them);
+- a pacing loop enforces per-stream token buckets whose rates come
+  from :class:`~repro.core.degradation.DegradationController`, itself
+  fed by :class:`~repro.core.congestion.RateController`;
+- priority semantics are enforced at submission time: no-delay streams
+  drop instead of queueing, no-discard streams queue instead of
+  dropping, highest priority bypasses the bucket entirely;
+- loss recovery per class via :class:`~repro.core.reliability.
+  ArqBuffer` (NACK-driven, deadline-aware) and XOR FEC;
+- multipath via :class:`~repro.core.scheduler.MultipathScheduler`,
+  where each path is a separate (host, socket) pair so the simnet
+  routes diverge;
+- the receiver returns compact feedback every ``feedback_interval``:
+  per-stream cumulative ACK + NACK list + counters, plus a timestamp
+  echo per path for RTT estimation (the RTCP-inspired QoS channel).
+
+Packets carry ~32 bytes of MARTP header (accounted in ``size``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.core.congestion import RateController
+from repro.core.degradation import Allocation, DegradationController
+from repro.core.reliability import ArqBuffer, FecDecoder, FecEncoder
+from repro.core.scheduler import MultipathPolicy, MultipathScheduler, PathState
+from repro.core.traffic import Message, Priority, StreamSpec, TrafficClass  # noqa: F401
+from repro.simnet.node import Host
+from repro.simnet.packet import Packet
+from repro.transport.udp import UdpSocket
+
+MARTP_HEADER = 32
+FEEDBACK_SIZE = 160
+DEFAULT_TICK = 0.01
+DEFAULT_FEEDBACK_INTERVAL = 0.05
+NACK_WINDOW = 128
+
+#: Sentinel for messages that have not yet been assigned a wire
+#: sequence number (they get one at dispatch; FEC parity messages use
+#: the small-negative space, so the sentinel sits far below it).
+UNSEQUENCED = -(1 << 60)
+
+
+def _clone_controller(prototype: RateController) -> RateController:
+    """A fresh controller with the prototype's tuning parameters."""
+    init_fields = {
+        f.name: getattr(prototype, f.name)
+        for f in dataclasses.fields(RateController)
+        if f.init
+    }
+    return RateController(**init_fields)
+
+
+@dataclass
+class PathEndpoint:
+    """One sending path: a socket on (usually) a per-path host."""
+
+    state: PathState
+    socket: UdpSocket
+    dst: str
+    dst_port: int
+
+
+@dataclass
+class _StreamTx:
+    """Sender-side per-stream state."""
+
+    spec: StreamSpec
+    next_seq: int = 0
+    tokens: float = 0.0
+    backlog: Deque[Message] = field(default_factory=deque)
+    arq: Optional[ArqBuffer] = None
+    fec: Optional[FecEncoder] = None
+    sent: int = 0
+    dropped: int = 0
+    bytes_sent: int = 0
+    gen_credit_bits: float = 0.0
+
+
+class MartpSender:
+    """The sending half of a MARTP connection."""
+
+    def __init__(
+        self,
+        paths: List[PathEndpoint],
+        streams: List[StreamSpec],
+        policy: MultipathPolicy = MultipathPolicy.WIFI_PREFERRED,
+        controller: Optional[RateController] = None,
+        tick: float = DEFAULT_TICK,
+    ) -> None:
+        if not paths:
+            raise ValueError("need at least one path")
+        self.paths = paths
+        self.sim = paths[0].socket.sim
+        self.scheduler = MultipathScheduler([p.state for p in paths], policy)
+        self.degradation = DegradationController(streams)
+        # One rate controller per path: delay-gradient congestion
+        # detection needs a per-path RTT baseline — a 70 ms LTE path is
+        # not "congestion" relative to a 30 ms WiFi path.  The prototype
+        # ``controller`` supplies the tuning; each path gets a clone.
+        prototype = controller if controller is not None else RateController()
+        self.controllers: Dict[str, RateController] = {
+            p.state.name: _clone_controller(prototype) for p in paths
+        }
+        # The combined budget must always cover guaranteed floors.
+        floor = self.degradation.guaranteed_floor_bps() * 1.2
+        for ctl in self.controllers.values():
+            ctl.min_bps = max(ctl.min_bps, floor / len(paths))
+        self.tick = tick
+        self._tx: Dict[int, _StreamTx] = {}
+        for spec in streams:
+            tx = _StreamTx(spec=spec)
+            if spec.traffic_class.retransmits:
+                tx.arq = ArqBuffer(spec)
+            if spec.fec:
+                tx.fec = FecEncoder(spec.fec_group)
+            self._tx[spec.stream_id] = tx
+        self.allocation: Allocation = self.degradation.allocate(self.budget_bps)
+        self.allocation_trace: List[Tuple[float, Allocation]] = []
+        self.rate_generators: Dict[int, bool] = {}
+        self._util_bytes: Dict[str, int] = {p.state.name: 0 for p in paths}
+        self._util_since: Dict[str, float] = {p.state.name: 0.0 for p in paths}
+        self._last_feedback: Dict[str, float] = {p.state.name: 0.0 for p in paths}
+        self.feedback_timeout = 0.5
+        self._global_tokens: float = 24_000.0
+        self._running = False
+        for path in self.paths:
+            path.socket.on_receive = self._on_packet
+
+    # ------------------------------------------------------------------
+    # Application interface
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.sim.schedule(0.0, self._tick_loop)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def attach_rate_driver(self, stream_id: int) -> None:
+        """Generate this stream's data at its *allocated* rate each tick.
+
+        Models an adaptive application source (camera encoder, sensor
+        sampler) that follows the QoS feedback — the "QoS informations
+        are reported to the application, which can thus adapt" loop.
+        """
+        if stream_id not in self._tx:
+            raise KeyError(stream_id)
+        self.rate_generators[stream_id] = True
+
+    def submit(self, stream_id: int, size: int) -> Optional[Message]:
+        """Submit one application message; returns it (or None if shed).
+
+        The wire sequence number is assigned at *dispatch* time (inside
+        :meth:`_dispatch`), not here — a message shed before reaching
+        the wire must not leave a hole the receiver would report as
+        network loss.
+        """
+        tx = self._tx.get(stream_id)
+        if tx is None:
+            raise KeyError(f"unknown stream {stream_id}")
+        message = Message(
+            stream_id=stream_id,
+            seq=UNSEQUENCED,
+            size=size,
+            created_at=self.sim.now,
+            deadline=tx.spec.deadline,
+        )
+        return self._offer(tx, message)
+
+    # ------------------------------------------------------------------
+    # Pacing and shedding
+    # ------------------------------------------------------------------
+    def _offer(self, tx: _StreamTx, message: Message) -> Optional[Message]:
+        spec = tx.spec
+        if self.allocation.rate(spec.stream_id) <= 0 and spec.priority.may_discard:
+            tx.dropped += 1
+            return None
+        cost = message.size * 8
+        if spec.priority is Priority.HIGHEST:
+            # Never discarded; "never delayed" means never shed behind
+            # other traffic — but bursts are still paced against the
+            # whole connection budget so a large reference frame cannot
+            # spike the bottleneck queue and masquerade as congestion.
+            if not tx.backlog and self._global_tokens >= cost:
+                self._global_tokens -= cost
+                self._dispatch(tx, message)
+            else:
+                # Queue behind earlier messages to preserve ordering.
+                tx.backlog.append(message)
+            return message
+        if not tx.backlog and tx.tokens >= cost and self._global_tokens >= cost:
+            tx.tokens -= cost
+            self._global_tokens -= cost
+            self._dispatch(tx, message)
+            return message
+        if spec.priority.may_delay:
+            tx.backlog.append(message)
+            return message
+        # May not be delayed; may it be discarded?
+        tx.dropped += 1
+        return None
+
+    def _tick_loop(self) -> None:
+        if not self._running:
+            return
+        # Refill buckets from the current allocation.  The global
+        # bucket's burst cap keeps any instantaneous burst below the
+        # congestion controller's delay threshold worth of queue.
+        now = self.sim.now
+        # Dead-path detection: data flowing, no feedback for too long.
+        for path in self.paths:
+            name = path.state.name
+            silent_for = now - max(self._last_feedback[name], self._util_since[name])
+            if self._util_bytes[name] > 0 and silent_for > self.feedback_timeout:
+                self.controllers[name].on_feedback_timeout(now)
+                self.allocation = self.degradation.allocate(self.budget_bps, now)
+        budget = self.budget_bps
+        self._global_tokens = min(
+            self._global_tokens + budget * self.tick,
+            max(0.015 * budget, 24_000.0),
+        )
+        for tx in self._tx.values():
+            rate = self.allocation.rate(tx.spec.stream_id)
+            tx.tokens = min(tx.tokens + rate * self.tick, rate * 0.25 + 1500 * 8)
+        # Rate-driven sources generate data at the allocated rate.
+        for stream_id, active in self.rate_generators.items():
+            if not active:
+                continue
+            tx = self._tx[stream_id]
+            rate = self.allocation.rate(stream_id)
+            tx.gen_credit_bits += rate * self.tick
+            msg_bits = tx.spec.message_bytes * 8
+            while tx.gen_credit_bits >= msg_bits:
+                tx.gen_credit_bits -= msg_bits
+                self.submit(stream_id, tx.spec.message_bytes)
+        # Drain backlogs in priority order; HIGHEST streams draw on the
+        # global bucket only, others need both buckets.
+        for tx in sorted(self._tx.values(), key=lambda t: t.spec.priority):
+            highest = tx.spec.priority is Priority.HIGHEST
+            while tx.backlog:
+                cost = tx.backlog[0].size * 8
+                if self._global_tokens < cost:
+                    break
+                if not highest and tx.tokens < cost:
+                    break
+                message = tx.backlog.popleft()
+                if (message.expired(self.sim.now)
+                        and tx.spec.traffic_class is not TrafficClass.CRITICAL):
+                    tx.dropped += 1
+                    continue
+                self._global_tokens -= cost
+                if not highest:
+                    tx.tokens -= cost
+                self._dispatch(tx, message)
+            # Expire stale backlog heads even without tokens — except
+            # for critical data, which is never discarded.
+            if tx.spec.traffic_class is not TrafficClass.CRITICAL:
+                while tx.backlog and tx.backlog[0].expired(self.sim.now):
+                    tx.backlog.popleft()
+                    tx.dropped += 1
+        self.sim.schedule(self.tick, self._tick_loop)
+
+    # ------------------------------------------------------------------
+    # Wire
+    # ------------------------------------------------------------------
+    def _dispatch(self, tx: _StreamTx, message: Message) -> None:
+        chosen = self.scheduler.select(tx.spec, message)
+        if not chosen:
+            if tx.spec.priority.may_delay:
+                tx.backlog.append(message)
+            else:
+                tx.dropped += 1
+            return
+        if message.seq == UNSEQUENCED:
+            message.seq = tx.next_seq
+            tx.next_seq += 1
+        if tx.arq is not None and not message.is_retransmit and not message.fec_parity:
+            tx.arq.store(message)
+        for state in chosen:
+            self._util_bytes[state.name] += message.size
+            endpoint = self._endpoint_for(state.name)
+            endpoint.socket.sendto(
+                endpoint.dst,
+                endpoint.dst_port,
+                message.size + MARTP_HEADER,
+                kind="martp-data",
+                flow=f"martp:{tx.spec.name}",
+                stream=message.stream_id,
+                seq=message.seq,
+                created=message.created_at,
+                msg_deadline=message.deadline,
+                parity=message.fec_parity,
+                retransmit=message.is_retransmit,
+                ts=self.sim.now,
+                path=state.name,
+            )
+        tx.sent += 1
+        tx.bytes_sent += message.size
+        if tx.fec is not None and not message.is_retransmit and not message.fec_parity:
+            parity = tx.fec.push(message)
+            if parity is not None:
+                self._dispatch(tx, parity)
+
+    def _endpoint_for(self, name: str) -> PathEndpoint:
+        for p in self.paths:
+            if p.state.name == name:
+                return p
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------
+    # Feedback handling
+    # ------------------------------------------------------------------
+    def _on_packet(self, packet: Packet) -> None:
+        if packet.kind != "martp-feedback":
+            return
+        now = self.sim.now
+        path_name = packet.payload.get("path")
+        if path_name in self._last_feedback:
+            self._last_feedback[path_name] = now
+        controller = self.controllers.get(path_name)
+        if controller is None:
+            controller = next(iter(self.controllers.values()))
+        echo_ts = packet.payload.get("echo_ts")
+        hold = packet.payload.get("hold", 0.0)
+        rtt_estimate = controller.srtt or 0.05
+        if echo_ts is not None:
+            rtt = max(1e-6, now - echo_ts - hold)
+            controller.on_rtt_sample(rtt, now)
+            rtt_estimate = rtt
+            if path_name in self.scheduler.paths:
+                self.scheduler.observe_rtt(path_name, rtt)
+        loss = packet.payload.get("loss_fraction", 0.0)
+        controller.on_loss(loss, now)
+        # Budget validation: while application-limited, do not let the
+        # unused budget balloon (it would take seconds of decreases to
+        # drain when real congestion arrives).
+        # The window must exceed the burst period of the slowest periodic
+        # stream (reference frames every 0.5 s) or utilization is
+        # systematically underestimated between bursts.
+        if path_name in self._util_bytes:
+            elapsed = now - self._util_since[path_name]
+            if elapsed > 1.0:
+                used_bps = self._util_bytes[path_name] * 8 / elapsed
+                controller.cap_to_utilization(used_bps)
+                self._util_bytes[path_name] = 0
+                self._util_since[path_name] = now
+
+        for stream_id, info in packet.payload.get("streams", {}).items():
+            tx = self._tx.get(stream_id)
+            if tx is None or tx.arq is None:
+                continue
+            tx.arq.ack_through(info["cum_ack"])
+            nacks = info.get("nacks", [])
+            if "highest" in info:
+                tx.arq.ack_window(info["highest"], nacks)
+            retransmit = tx.arq.nack(nacks, now, rtt_estimate)
+            for message in retransmit:
+                self._dispatch(tx, message)
+            tx.arq.expire(now)
+
+        self.allocation = self.degradation.allocate(self.budget_bps, now)
+        self.allocation_trace.append((now, self.allocation))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stream_stats(self, stream_id: int) -> _StreamTx:
+        return self._tx[stream_id]
+
+    @property
+    def budget_bps(self) -> float:
+        """Combined budget over all currently usable paths."""
+        usable = [
+            self.controllers[p.state.name].budget_bps
+            for p in self.paths
+            if p.state.usable
+        ]
+        if not usable:
+            return min(c.min_bps for c in self.controllers.values())
+        return sum(usable)
+
+    @property
+    def congestion_events(self) -> int:
+        return sum(c.congestion_events for c in self.controllers.values())
+
+    @property
+    def controller(self) -> RateController:
+        """The single rate controller (single-path connections only)."""
+        if len(self.controllers) != 1:
+            raise AttributeError("multiple controllers; use .controllers")
+        return next(iter(self.controllers.values()))
+
+    def offered_rate_trace(self) -> List[Tuple[float, Dict[int, float]]]:
+        """(time, per-stream allocated bps) — the Figure 4 series."""
+        return [(t, dict(a.rates_bps)) for t, a in self.allocation_trace]
+
+
+@dataclass
+class _StreamRx:
+    """Receiver-side per-stream state."""
+
+    spec: StreamSpec
+    highest: int = -1
+    cum_ack: int = -1
+    received_seqs: set = field(default_factory=set)
+    received: int = 0
+    in_time: int = 0
+    bytes: int = 0
+    recovered: int = 0
+    duplicates: int = 0
+    latencies: List[float] = field(default_factory=list)
+    fec: Optional[FecDecoder] = None
+    reorder: Dict[int, dict] = field(default_factory=dict)
+    next_deliver: int = 0
+    fb_highest: int = -1
+    fb_received: int = 0
+    prev_missing: set = field(default_factory=set)
+    counted_lost: set = field(default_factory=set)
+
+
+class MartpReceiver:
+    """The receiving half: delivery accounting, FEC recovery, feedback."""
+
+    def __init__(
+        self,
+        host: Host,
+        port: int,
+        streams: List[StreamSpec],
+        feedback_interval: float = DEFAULT_FEEDBACK_INTERVAL,
+        on_message: Optional[Callable[[int, int, float], None]] = None,
+    ) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.socket = UdpSocket(host, port, on_receive=self._on_packet)
+        self.feedback_interval = feedback_interval
+        self.on_message = on_message
+        self._rx: Dict[int, _StreamRx] = {}
+        for spec in streams:
+            rx = _StreamRx(spec=spec)
+            if spec.fec:
+                rx.fec = FecDecoder(spec.fec_group)
+            self._rx[spec.stream_id] = rx
+        self._last_packet_by_path: Dict[str, Tuple[float, float, str, int]] = {}
+        self._window_expected = 0
+        self._window_received = 0
+        self._feedback_event = None
+
+    # ------------------------------------------------------------------
+    def _on_packet(self, packet: Packet) -> None:
+        if packet.kind != "martp-data":
+            return
+        now = self.sim.now
+        stream_id = packet.payload["stream"]
+        rx = self._rx.get(stream_id)
+        if rx is None:
+            return
+        path = packet.payload.get("path", "default")
+        self._last_packet_by_path[path] = (
+            packet.payload["ts"],
+            now,
+            packet.src,
+            packet.src_port,
+        )
+        if packet.payload.get("parity"):
+            if rx.fec is not None:
+                recovered = rx.fec.on_parity(-packet.payload["seq"] - 1)
+                rx.recovered += len(recovered)
+            self._bump_window(packet)
+            return
+
+        seq = packet.payload["seq"]
+        if seq in rx.received_seqs:
+            rx.duplicates += 1
+            return
+        rx.received_seqs.add(seq)
+        if seq > rx.highest + 1 and rx.spec.traffic_class.retransmits:
+            # A fresh gap on a retransmitting stream: send feedback
+            # almost immediately (the NACK equivalent of a dupack) so
+            # recovery fits inside tight deadlines instead of waiting a
+            # full feedback interval.
+            self._arm_feedback(0.002)
+        rx.highest = max(rx.highest, seq)
+        rx.received += 1
+        rx.bytes += packet.size
+        latency = now - packet.payload["created"]
+        rx.latencies.append(latency)
+        if latency <= packet.payload["msg_deadline"]:
+            rx.in_time += 1
+        if rx.fec is not None:
+            rx.fec.on_data(seq)
+        # Advance the cumulative ack over contiguous receipt.
+        while rx.cum_ack + 1 in rx.received_seqs:
+            rx.cum_ack += 1
+        self._deliver(rx, seq, latency)
+        self._bump_window(packet)
+
+    def _deliver(self, rx: _StreamRx, seq: int, latency: float) -> None:
+        if self.on_message is None:
+            return
+        if rx.spec.traffic_class.ordered:
+            rx.reorder[seq] = {"latency": latency}
+            while rx.next_deliver in rx.reorder:
+                info = rx.reorder.pop(rx.next_deliver)
+                self.on_message(rx.spec.stream_id, rx.next_deliver, info["latency"])
+                rx.next_deliver += 1
+        else:
+            self.on_message(rx.spec.stream_id, seq, latency)
+
+    def _bump_window(self, packet: Packet) -> None:
+        self._window_received += 1
+        self._arm_feedback(self.feedback_interval)
+
+    def _arm_feedback(self, delay: float) -> None:
+        """Schedule feedback after ``delay``, keeping the earliest."""
+        due = self.sim.now + delay
+        if self._feedback_event is not None:
+            if self._feedback_event.time <= due:
+                return
+            self._feedback_event.cancel()
+        self._feedback_event = self.sim.schedule(delay, self._send_feedback)
+
+    # ------------------------------------------------------------------
+    def _send_feedback(self) -> None:
+        self._feedback_event = None
+        streams_info = {}
+        expected = 0
+        confirmed_lost = 0
+        for stream_id, rx in self._rx.items():
+            missing = {
+                s
+                for s in range(max(0, rx.highest - NACK_WINDOW), rx.highest + 1)
+                if s not in rx.received_seqs
+            }
+            streams_info[stream_id] = {
+                "cum_ack": rx.cum_ack,
+                "nacks": sorted(missing)[:32],
+                "received": rx.received,
+                "highest": rx.highest,
+            }
+            # Loss signal: a sequence only counts as lost once it has
+            # stayed missing across two consecutive feedback rounds —
+            # multipath reordering (a fast path racing ahead of a slow
+            # one) would otherwise masquerade as heavy loss.
+            confirmed = (rx.prev_missing & missing) - rx.counted_lost
+            confirmed_lost += len(confirmed)
+            rx.counted_lost |= confirmed
+            rx.prev_missing = missing
+            # Keep the counted set bounded to the NACK window.
+            floor = rx.highest - 2 * NACK_WINDOW
+            if floor > 0 and len(rx.counted_lost) > 4 * NACK_WINDOW:
+                rx.counted_lost = {s for s in rx.counted_lost if s >= floor}
+            expected += max(0, rx.highest - rx.fb_highest)
+            rx.fb_highest = rx.highest
+            rx.fb_received = rx.received
+            # Prune the receive set below the NACK window to bound memory.
+            floor = rx.highest - 2 * NACK_WINDOW
+            if floor > 0 and len(rx.received_seqs) > 4 * NACK_WINDOW:
+                rx.received_seqs = {s for s in rx.received_seqs if s >= floor}
+        loss_fraction = min(1.0, confirmed_lost / expected) if expected > 0 else 0.0
+        # Send feedback back along every path that recently delivered,
+        # so per-path RTTs stay fresh.
+        for path, (ts, arrived, src, src_port) in list(self._last_packet_by_path.items()):
+            hold = self.sim.now - arrived
+            self.socket.sendto(
+                src,
+                src_port,
+                FEEDBACK_SIZE,
+                kind="martp-feedback",
+                streams=streams_info,
+                loss_fraction=loss_fraction,
+                echo_ts=ts,
+                hold=hold,
+                path=path,
+            )
+        self._last_packet_by_path.clear()
+
+    # ------------------------------------------------------------------
+    def stream_stats(self, stream_id: int) -> _StreamRx:
+        return self._rx[stream_id]
+
+    def stats(self) -> Dict[int, _StreamRx]:
+        return dict(self._rx)

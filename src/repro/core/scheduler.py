@@ -1,0 +1,140 @@
+"""Multipath scheduling (Section VI-D).
+
+A MARTP connection may run over several access paths (typically WiFi
+and LTE).  The paper proposes three user-facing policies, motivated by
+LTE data pricing:
+
+1. ``WIFI_ONLY_HANDOVER`` — WiFi all the time, LTE only to bridge WiFi
+   handover gaps;
+2. ``WIFI_PREFERRED`` — WiFi when available, LTE whenever it is not;
+3. ``AGGREGATE`` — both simultaneously: latency-critical data on the
+   lowest-RTT path, bulk data load-balanced, loss-recovery-class data
+   optionally *duplicated* on both paths.
+
+:class:`MultipathScheduler` implements path selection per message;
+path quality (RTT, usability) is fed by the protocol's feedback loop.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.traffic import Message, Priority, StreamSpec, TrafficClass
+
+
+class MultipathPolicy(enum.Enum):
+    WIFI_ONLY_HANDOVER = "wifi-only-4g-handover"
+    WIFI_PREFERRED = "wifi-preferred"
+    AGGREGATE = "wifi-and-4g"
+
+
+@dataclass
+class PathState:
+    """Sender-side view of one path."""
+
+    name: str                      # e.g. "wifi", "lte"
+    srtt: float = 0.1
+    usable: bool = True
+    is_metered: bool = False       # LTE-like: costs user money
+    bytes_sent: int = 0
+    weight: float = 1.0            # share for load balancing
+
+    def observe_rtt(self, rtt: float) -> None:
+        self.srtt = 0.875 * self.srtt + 0.125 * rtt
+
+
+class MultipathScheduler:
+    """Chooses the path (or paths) each message travels."""
+
+    def __init__(self, paths: List[PathState], policy: MultipathPolicy) -> None:
+        if not paths:
+            raise ValueError("need at least one path")
+        self.paths = {p.name: p for p in paths}
+        self.policy = policy
+        self.duplicate_loss_recovery = policy is MultipathPolicy.AGGREGATE
+        self._rr_credit: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def _unmetered(self) -> List[PathState]:
+        return [p for p in self.paths.values() if p.usable and not p.is_metered]
+
+    def _metered(self) -> List[PathState]:
+        return [p for p in self.paths.values() if p.usable and p.is_metered]
+
+    def _usable(self) -> List[PathState]:
+        return [p for p in self.paths.values() if p.usable]
+
+    def set_usable(self, name: str, usable: bool) -> None:
+        self.paths[name].usable = usable
+
+    def observe_rtt(self, name: str, rtt: float) -> None:
+        self.paths[name].observe_rtt(rtt)
+
+    # ------------------------------------------------------------------
+    def select(self, spec: StreamSpec, message: Message) -> List[PathState]:
+        """Paths this message should be sent on (possibly several).
+
+        An empty list means the message cannot currently be sent (no
+        usable path under the active policy).
+        """
+        candidates = self._candidates()
+        if not candidates:
+            return []
+
+        latency_critical = spec.deadline <= 0.1 and spec.priority <= Priority.MEDIUM_NO_DISCARD
+        if (
+            self.duplicate_loss_recovery
+            and spec.traffic_class is TrafficClass.LOSS_RECOVERY
+            and len(candidates) > 1
+        ):
+            # Duplicate on the two best paths to avoid recovery RTTs.
+            ranked = sorted(candidates, key=lambda p: p.srtt)
+            chosen = ranked[:2]
+        elif latency_critical:
+            chosen = [min(candidates, key=lambda p: p.srtt)]
+        else:
+            chosen = [self._round_robin(candidates)]
+        for path in chosen:
+            path.bytes_sent += message.size
+        return chosen
+
+    def _candidates(self) -> List[PathState]:
+        if self.policy is MultipathPolicy.AGGREGATE:
+            return self._usable()
+        unmetered = self._unmetered()
+        if unmetered:
+            return unmetered
+        if self.policy in (MultipathPolicy.WIFI_PREFERRED, MultipathPolicy.WIFI_ONLY_HANDOVER):
+            # Fall back to metered paths.  Under WIFI_ONLY_HANDOVER this
+            # fallback exists only to bridge handover gaps; the caller
+            # flips the WiFi path unusable during a gap and back after.
+            return self._metered()
+        return []
+
+    def _round_robin(self, candidates: List[PathState]) -> PathState:
+        # Smooth weighted round-robin (the nginx algorithm): every call
+        # credits each candidate its weight, picks the highest credit,
+        # then debits the picked path by the total weight.
+        total = 0.0
+        best: Optional[PathState] = None
+        for path in sorted(candidates, key=lambda p: p.name):
+            weight = max(path.weight, 1e-9)
+            total += weight
+            credit = self._rr_credit.get(path.name, 0.0) + weight
+            self._rr_credit[path.name] = credit
+            if best is None or credit > self._rr_credit[best.name]:
+                best = path
+        self._rr_credit[best.name] -= total
+        return best
+
+    # ------------------------------------------------------------------
+    def metered_fraction(self) -> float:
+        """Fraction of bytes that travelled metered (LTE) paths —
+        the user-cost metric of the Section VI-D policy comparison."""
+        total = sum(p.bytes_sent for p in self.paths.values())
+        if total == 0:
+            return 0.0
+        metered = sum(p.bytes_sent for p in self.paths.values() if p.is_metered)
+        return metered / total

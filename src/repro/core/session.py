@@ -1,0 +1,310 @@
+"""Offloading sessions: MAR applications running over MARTP on
+simulated networks, plus builders for the paper's scenario topologies.
+
+:class:`ScenarioBuilder` constructs the networks behind Table II and
+Figure 5:
+
+- ``single_path`` — one access link client↔server with a configurable
+  RTT (the four Table II rows);
+- ``multipath`` — a client with WiFi *and* LTE attachment, optionally
+  to two different servers (Figure 5a);
+- ``d2d_assist`` — a wearable offloading latency-critical work to a
+  nearby companion device over WiFi-Direct/LTE-Direct while bulk work
+  goes to a cloud server (Figures 5b–d).
+
+:class:`OffloadSession` runs an MAR application's stream set (video
+reference/inter frames, sensors, metadata) through a
+:class:`~repro.core.protocol.MartpSender`/`Receiver` pair on one of
+those topologies and produces a :class:`~repro.core.metrics.QoeReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.congestion import RateController
+from repro.core.metrics import ClassReport, QoeReport, class_report
+from repro.core.protocol import MartpReceiver, MartpSender, PathEndpoint
+from repro.core.scheduler import MultipathPolicy, PathState
+from repro.core.traffic import StreamSpec, mar_baseline_streams
+from repro.mar.video import VideoSource
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.simnet.queues import DropTailQueue
+from repro.transport.udp import UdpSocket
+
+MARTP_PORT = 7000
+
+
+@dataclass
+class Scenario:
+    """A built topology ready to host a session."""
+
+    sim: Simulator
+    net: Network
+    client_hosts: List[str]          # one per path, in path order
+    path_names: List[str]
+    server: str
+    metered: Dict[str, bool] = field(default_factory=dict)
+
+    def path_endpoints(self, streams_port: int = MARTP_PORT,
+                       base_port: int = 6000) -> List[PathEndpoint]:
+        endpoints = []
+        for i, (host, name) in enumerate(zip(self.client_hosts, self.path_names)):
+            socket = UdpSocket(self.net[host], base_port + i)
+            state = PathState(name=name, is_metered=self.metered.get(name, False))
+            endpoints.append(
+                PathEndpoint(state=state, socket=socket, dst=self.server,
+                             dst_port=streams_port)
+            )
+        return endpoints
+
+
+class ScenarioBuilder:
+    """Factory for the paper's evaluation topologies."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def single_path(
+        self,
+        rtt: float,
+        down_bps: float = 100e6,
+        up_bps: float = 50e6,
+        loss: float = 0.0,
+        jitter: float = 0.0,
+        uplink_buffer: int = 1000,
+        path_name: str = "wifi",
+        metered: bool = False,
+    ) -> Scenario:
+        """One access link; ``rtt`` is the unloaded round trip."""
+        sim = Simulator(seed=self.seed)
+        net = Network(sim)
+        net.add_host("client")
+        net.add_host("server")
+        net.add_duplex(
+            "server",
+            "client",
+            rate_down_bps=down_bps,
+            rate_up_bps=up_bps,
+            delay=rtt / 2,
+            jitter=jitter / 2,
+            loss=loss,
+            queue_up=DropTailQueue(uplink_buffer),
+        )
+        net.build_routes()
+        return Scenario(
+            sim=sim,
+            net=net,
+            client_hosts=["client"],
+            path_names=[path_name],
+            server="server",
+            metered={path_name: metered},
+        )
+
+    # ------------------------------------------------------------------
+    def multipath(
+        self,
+        wifi_rtt: float = 0.030,
+        lte_rtt: float = 0.070,
+        wifi_down_bps: float = 40e6,
+        wifi_up_bps: float = 15e6,
+        lte_down_bps: float = 20e6,
+        lte_up_bps: float = 8e6,
+        wifi_loss: float = 0.0,
+        lte_loss: float = 0.0,
+        two_servers: bool = False,
+        interlink_rtt: float = 0.020,
+    ) -> Scenario:
+        """WiFi + LTE attachment (Figure 5a).
+
+        The client has one virtual interface host per path so simnet
+        routes diverge.  With ``two_servers`` the WiFi path terminates
+        at an edge server and the LTE path at a cloud server that are
+        interconnected (n-way synchronization link).
+        """
+        sim = Simulator(seed=self.seed)
+        net = Network(sim)
+        net.add_host("client-wifi")
+        net.add_host("client-lte")
+        net.add_router("ap")
+        net.add_router("enb")
+        server = "server"
+        net.add_host(server)
+        # Access legs.
+        net.add_duplex("ap", "client-wifi", wifi_down_bps, wifi_up_bps,
+                       delay=wifi_rtt / 4, loss=wifi_loss,
+                       queue_up=DropTailQueue(1000))
+        net.add_duplex("enb", "client-lte", lte_down_bps, lte_up_bps,
+                       delay=lte_rtt / 4, loss=lte_loss,
+                       queue_up=DropTailQueue(1000))
+        if two_servers:
+            net.add_host("edge-server")
+            net.add_duplex("server", "enb", 1e9, 1e9, delay=lte_rtt / 4)
+            net.add_duplex("edge-server", "ap", 1e9, 1e9, delay=wifi_rtt / 4)
+            net.add_duplex("server", "edge-server", 1e9, 1e9, delay=interlink_rtt / 2)
+        else:
+            net.add_duplex("server", "ap", 1e9, 1e9, delay=wifi_rtt / 4)
+            net.add_duplex("server", "enb", 1e9, 1e9, delay=lte_rtt / 4)
+        net.build_routes()
+        return Scenario(
+            sim=sim,
+            net=net,
+            client_hosts=["client-wifi", "client-lte"],
+            path_names=["wifi", "lte"],
+            server=server,
+            metered={"wifi": False, "lte": True},
+        )
+
+    # ------------------------------------------------------------------
+    def d2d_assist(
+        self,
+        d2d_rtt: float = 0.006,
+        d2d_rate_bps: float = 300e6,
+        cloud_rtt: float = 0.060,
+        cloud_down_bps: float = 50e6,
+        cloud_up_bps: float = 10e6,
+        d2d_loss: float = 0.005,
+    ) -> Scenario:
+        """A wearable with a nearby companion plus a cloud path (Fig 5b–d).
+
+        Path "d2d" reaches the companion device; path "cloud" reaches
+        the remote server through an access network.  The companion is
+        modelled as the *server* of the latency-critical path; callers
+        wanting both targets run two sessions.
+        """
+        sim = Simulator(seed=self.seed)
+        net = Network(sim)
+        net.add_host("wearable")
+        net.add_host("companion")
+        net.add_host("server")
+        net.add_router("ap")
+        net.add_duplex("companion", "wearable", d2d_rate_bps, d2d_rate_bps,
+                       delay=d2d_rtt / 2, loss=d2d_loss)
+        net.add_duplex("ap", "wearable", cloud_down_bps, cloud_up_bps,
+                       delay=cloud_rtt / 4, queue_up=DropTailQueue(1000))
+        net.add_duplex("server", "ap", 1e9, 1e9, delay=cloud_rtt / 4)
+        net.build_routes()
+        return Scenario(
+            sim=sim,
+            net=net,
+            client_hosts=["wearable"],
+            path_names=["d2d"],
+            server="companion",
+            metered={"d2d": False},
+        )
+
+
+class OffloadSession:
+    """An MAR stream set running over MARTP on a scenario.
+
+    The four baseline streams (metadata, sensors, reference frames,
+    interframes) are wired as follows: metadata and sensors are
+    rate-driven at their (allocated) rates; video frames follow a
+    :class:`~repro.mar.video.VideoSource` GOP pattern, reference frames
+    to the loss-recovery stream and interframes to the droppable
+    stream, sized by the current allocation's quality factor (the
+    application adapting its encoder).
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        streams: Optional[List[StreamSpec]] = None,
+        policy: MultipathPolicy = MultipathPolicy.WIFI_PREFERRED,
+        video: Optional[VideoSource] = None,
+        controller: Optional[RateController] = None,
+    ) -> None:
+        self.scenario = scenario
+        self.sim = scenario.sim
+        self.streams = streams if streams is not None else mar_baseline_streams()
+        self.video = video if video is not None else self._video_for_streams()
+        self.receiver = MartpReceiver(
+            scenario.net[scenario.server], MARTP_PORT, self.streams
+        )
+        self.sender = MartpSender(
+            scenario.path_endpoints(), self.streams, policy=policy, controller=controller
+        )
+        self._video_frame_index = 0
+        self._stopped = False
+        self.quality_timeline: List[Tuple[float, float]] = []
+
+    def _video_for_streams(self, fps: float = 30.0, gop: int = 15) -> VideoSource:
+        """A video source whose offered rates match the declared streams.
+
+        The reference stream (id 2) carries ``fps/gop`` I-frames per
+        second; the interframe stream (id 3) carries the rest.  Frame
+        sizes are derived so full-quality output equals each stream's
+        nominal rate — the source actually *offers* what the streams
+        declare, so congestion experiments exercise real contention.
+        """
+        ref_rate = next(s.nominal_rate_bps for s in self.streams if s.stream_id == 2)
+        inter_rate = next(s.nominal_rate_bps for s in self.streams if s.stream_id == 3)
+        refs_per_s = fps / gop
+        inters_per_s = fps * (gop - 1) / gop
+        return VideoSource(
+            fps=fps,
+            gop=gop,
+            ref_bytes=max(1, int(ref_rate / 8 / refs_per_s)),
+            inter_bytes=max(1, int(inter_rate / 8 / inters_per_s)),
+        )
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.sender.start()
+        # Metadata and sensor streams follow their allocations.
+        self.sender.attach_rate_driver(0)
+        self.sender.attach_rate_driver(1)
+        self.sim.schedule(0.0, self._next_video_frame)
+
+    def _next_video_frame(self) -> None:
+        if self._stopped:
+            return
+        frame = self.video.frame(self._video_frame_index)
+        self._video_frame_index += 1
+        quality = self.sender.allocation.quality.get(3, 1.0)
+        self.quality_timeline.append((self.sim.now, quality))
+        if frame.is_reference:
+            ref_quality = max(self.sender.allocation.quality.get(2, 1.0), 0.05)
+            spec = next(s for s in self.streams if s.stream_id == 2)
+            # An adaptive encoder also bounds the frame's *burst* size:
+            # a frame whose transit time at the current budget exceeds
+            # a third of its deadline can never arrive in time, so the
+            # encoder shrinks it (quality for timeliness).
+            burst_cap = int(self.sender.budget_bps * spec.deadline / 8 / 3)
+            size = min(int(frame.size_bytes * ref_quality), max(burst_cap, 1200))
+            self._submit_sized(2, size)
+        elif quality > 0:
+            self._submit_sized(3, max(1, int(frame.size_bytes * quality)))
+        self.sim.schedule(1.0 / self.video.fps, self._next_video_frame)
+
+    def _submit_sized(self, stream_id: int, total_bytes: int) -> None:
+        """Submit a frame as MTU-sized messages."""
+        spec = next(s for s in self.streams if s.stream_id == stream_id)
+        remaining = max(1, total_bytes)
+        while remaining > 0:
+            chunk = min(spec.message_bytes, remaining)
+            self.sender.submit(stream_id, chunk)
+            remaining -= chunk
+
+    # ------------------------------------------------------------------
+    def run(self, duration: float, settle: float = 1.0) -> QoeReport:
+        """Run ``duration`` seconds of traffic plus a drain period so
+        in-flight data at the cutoff still counts as delivered."""
+        self.start()
+        self.sim.run(until=self.sim.now + duration)
+        self._stopped = True
+        self.sender.stop()
+        self.sim.run(until=self.sim.now + settle)
+        per_class = {
+            s.stream_id: class_report(self.sender, self.receiver, s.stream_id,
+                                      duration=duration)
+            for s in self.streams
+        }
+        return QoeReport(
+            per_class=per_class,
+            video_quality_timeline=[q for _, q in self.quality_timeline],
+            duration=duration,
+        )

@@ -1,0 +1,74 @@
+"""User → datacenter assignment under capacity limits.
+
+Once sites are opened, each user attaches to the lowest-latency opened
+site that (a) meets the user's latency budget and (b) still has
+capacity — the "nearest server for a given path" rule of Section VI-E.
+Users are processed tightest-budget-first so capacity contention never
+starves the most constrained users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.edge.topology import CityTopology
+
+
+@dataclass
+class AssignmentResult:
+    """user index → site index (or None when unassignable)."""
+
+    mapping: Dict[int, Optional[int]]
+    latencies: Dict[int, float]
+    load: Dict[int, float]
+
+    @property
+    def unassigned(self) -> List[int]:
+        return [u for u, s in self.mapping.items() if s is None]
+
+    @property
+    def all_assigned(self) -> bool:
+        return not self.unassigned
+
+    def mean_latency(self) -> float:
+        vals = [l for u, l in self.latencies.items() if self.mapping[u] is not None]
+        return sum(vals) / len(vals) if vals else float("inf")
+
+    def max_load_fraction(self, topology: CityTopology) -> float:
+        fractions = []
+        for si, load in self.load.items():
+            cap = topology.sites[si].capacity
+            if cap not in (0, float("inf")):
+                fractions.append(load / cap)
+        return max(fractions) if fractions else 0.0
+
+
+def assign_users(topology: CityTopology, opened: Set[int]) -> AssignmentResult:
+    """Assign every user to an opened site within budget and capacity."""
+    matrix = topology.latency_matrix()
+    remaining = {si: topology.sites[si].capacity for si in opened}
+    mapping: Dict[int, Optional[int]] = {}
+    latencies: Dict[int, float] = {}
+    load: Dict[int, float] = {si: 0.0 for si in opened}
+
+    order = sorted(
+        range(len(topology.users)), key=lambda ui: topology.users[ui].latency_budget
+    )
+    for ui in order:
+        user = topology.users[ui]
+        candidates = [
+            si
+            for si in opened
+            if matrix[ui, si] <= user.latency_budget and remaining[si] >= user.demand
+        ]
+        if not candidates:
+            mapping[ui] = None
+            latencies[ui] = float("inf")
+            continue
+        best = min(candidates, key=lambda si: matrix[ui, si])
+        mapping[ui] = best
+        latencies[ui] = float(matrix[ui, best])
+        remaining[best] -= user.demand
+        load[best] += user.demand
+    return AssignmentResult(mapping=mapping, latencies=latencies, load=load)

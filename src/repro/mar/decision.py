@@ -1,0 +1,202 @@
+"""Runtime offloading decisions: pick a strategy from live conditions.
+
+The paper's Section III equations tell you, for *known* network
+conditions, whether offloading beats local execution.  A deployed MAR
+application doesn't know those conditions — it estimates them from
+probes and must also weigh battery.  :class:`DecisionEngine` closes
+that loop:
+
+- it keeps EWMA estimates of RTT and uplink bandwidth from probe
+  samples the application feeds it;
+- every re-evaluation, it predicts each candidate strategy's per-frame
+  latency with :func:`repro.mar.compute.offloading_delay` (and
+  P_local for the local strategy) and its energy draw from the energy
+  model;
+- it scores candidates lexicographically: deadline feasibility first,
+  then energy when the battery is low, then latency;
+- hysteresis: a challenger must beat the incumbent's score by
+  ``switch_margin`` to cause a switch, so estimate noise does not flap
+  strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.mar.application import MarApplication
+from repro.mar.compute import ExecutionBudget, local_delay, offloading_delay
+from repro.mar.devices import CLOUD, Device
+from repro.mar.energy import JOULES_PER_MEGACYCLE, RADIO_JOULES_PER_BYTE
+from repro.mar.offload import (
+    FeatureOffload,
+    FullOffload,
+    LocalOnly,
+    OffloadStrategy,
+    TrackingOffload,
+)
+
+
+@dataclass
+class StrategyForecast:
+    """Predicted per-frame behaviour of one strategy under current
+    estimates."""
+
+    strategy: OffloadStrategy
+    latency: float
+    energy_joules: float
+    meets_deadline: bool
+
+    def score(self, battery_low: bool) -> Tuple[int, float]:
+        """Lower is better: (deadline missed?, energy-or-latency)."""
+        primary = 0 if self.meets_deadline else 1
+        secondary = self.energy_joules if battery_low else self.latency
+        return (primary, secondary)
+
+
+class DecisionEngine:
+    """Adaptive strategy selection with hysteresis."""
+
+    def __init__(
+        self,
+        device: Device,
+        app: MarApplication,
+        cloud: Device = CLOUD,
+        radio: str = "wifi",
+        battery_low_threshold: float = 0.2,
+        switch_margin: float = 0.15,
+        ewma_alpha: float = 0.2,
+    ) -> None:
+        self.device = device
+        self.app = app
+        self.cloud = cloud
+        self.radio = radio
+        self.battery_low_threshold = battery_low_threshold
+        self.switch_margin = switch_margin
+        self.ewma_alpha = ewma_alpha
+        self.rtt_estimate: Optional[float] = None
+        self.uplink_estimate_bps: Optional[float] = None
+        self.battery_fraction = 1.0
+        self.current: OffloadStrategy = LocalOnly()
+        self.switches = 0
+        self.history: List[Tuple[float, str]] = []
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+    def observe_rtt(self, rtt: float) -> None:
+        if rtt <= 0:
+            return
+        if self.rtt_estimate is None:
+            self.rtt_estimate = rtt
+        else:
+            self.rtt_estimate += self.ewma_alpha * (rtt - self.rtt_estimate)
+
+    def observe_uplink(self, bps: float) -> None:
+        if bps <= 0:
+            return
+        if self.uplink_estimate_bps is None:
+            self.uplink_estimate_bps = bps
+        else:
+            self.uplink_estimate_bps += self.ewma_alpha * (bps - self.uplink_estimate_bps)
+
+    def observe_battery(self, fraction: float) -> None:
+        self.battery_fraction = max(0.0, min(1.0, fraction))
+
+    @property
+    def network_known(self) -> bool:
+        return self.rtt_estimate is not None and self.uplink_estimate_bps is not None
+
+    # ------------------------------------------------------------------
+    # Forecasting
+    # ------------------------------------------------------------------
+    def _candidates(self) -> List[OffloadStrategy]:
+        return [LocalOnly(), FullOffload(), FeatureOffload(), TrackingOffload()]
+
+    def forecast(self, strategy: OffloadStrategy) -> StrategyForecast:
+        """Predict latency and energy for one strategy right now."""
+        app = self.app
+        plan = strategy.plan_frame(app, 1)          # a steady-state frame
+        trigger = strategy.plan_frame(app, 0)       # a trigger/first frame
+        if self.network_known:
+            budget = ExecutionBudget(
+                bandwidth_up_bps=self.uplink_estimate_bps,
+                bandwidth_down_bps=self.uplink_estimate_bps * 3,
+                latency=self.rtt_estimate / 2,
+            )
+        else:
+            budget = None
+
+        if isinstance(strategy, LocalOnly) or budget is None:
+            latency = local_delay(self.device, app)
+            if budget is None and not isinstance(strategy, LocalOnly):
+                latency = float("inf")   # can't offload blind
+        elif isinstance(strategy, TrackingOffload):
+            # Mixed: mostly cheap tracked frames, periodic full frames.
+            # The *mean* is the latency figure, but feasibility must use
+            # the worst frame — a trigger frame that blows δa still
+            # freezes the overlay, however rare.
+            tracked = self.device.execution_time(plan.local_megacycles)
+            offloaded = offloading_delay(
+                self.device, self.cloud, app, budget,
+                upload_bytes=trigger.upload_bytes,
+                local_fraction=trigger.local_megacycles / app.megacycles_per_frame,
+            )
+            interval = strategy.trigger_interval
+            latency = (offloaded + (interval - 1) * tracked) / interval
+            worst = max(offloaded, tracked)
+            energy = (
+                plan.local_megacycles * JOULES_PER_MEGACYCLE
+                + (plan.upload_bytes + plan.download_bytes)
+                * RADIO_JOULES_PER_BYTE[self.radio]
+            )
+            return StrategyForecast(
+                strategy=strategy,
+                latency=latency,
+                energy_joules=energy,
+                meets_deadline=worst < app.deadline,
+            )
+        else:
+            latency = offloading_delay(
+                self.device, self.cloud, app, budget,
+                upload_bytes=plan.upload_bytes,
+                local_fraction=plan.local_megacycles / app.megacycles_per_frame,
+            )
+
+        per_byte = RADIO_JOULES_PER_BYTE[self.radio]
+        energy = (
+            plan.local_megacycles * JOULES_PER_MEGACYCLE
+            + (plan.upload_bytes + plan.download_bytes) * per_byte
+        )
+        return StrategyForecast(
+            strategy=strategy,
+            latency=latency,
+            energy_joules=energy,
+            meets_deadline=latency < app.deadline,
+        )
+
+    # ------------------------------------------------------------------
+    # Decision
+    # ------------------------------------------------------------------
+    def decide(self, now: float = 0.0) -> OffloadStrategy:
+        """Re-evaluate; returns the (possibly unchanged) strategy."""
+        battery_low = self.battery_fraction < self.battery_low_threshold
+        forecasts = {type(s).__name__: self.forecast(s) for s in self._candidates()}
+        best_name = min(forecasts, key=lambda n: forecasts[n].score(battery_low))
+        best = forecasts[best_name]
+        incumbent = forecasts.get(type(self.current).__name__)
+
+        should_switch = incumbent is None
+        if not should_switch:
+            b_score = best.score(battery_low)
+            i_score = incumbent.score(battery_low)
+            if b_score[0] < i_score[0]:
+                should_switch = True        # feasibility always wins
+            elif b_score[0] == i_score[0] and i_score[1] > 0:
+                improvement = (i_score[1] - b_score[1]) / i_score[1]
+                should_switch = improvement > self.switch_margin
+        if should_switch and type(best.strategy) is not type(self.current):
+            self.current = best.strategy
+            self.switches += 1
+            self.history.append((now, best.strategy.name))
+        return self.current

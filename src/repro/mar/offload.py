@@ -1,0 +1,369 @@
+"""Offloading strategies and the simnet-driven session executor.
+
+Strategies decide, frame by frame, how work splits between device and
+surrogate (the x parameter made concrete):
+
+- :class:`LocalOnly` — everything on-device (the Eq. 1 baseline);
+- :class:`FullOffload` — encode + ship the whole frame, server runs the
+  vision pipeline;
+- :class:`FeatureOffload` — CloudRidAR's split [13]: feature extraction
+  on-device, only features cross the network;
+- :class:`TrackingOffload` — Glimpse's split [25]: cheap local tracking
+  every frame, full offload only for trigger frames.
+
+:class:`OffloadExecutor` runs a strategy over a real simulated network
+path (UDP fragments, reassembly, server-side compute delay) and
+produces the per-frame latency distribution — the measurement behind
+Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.mar.application import MarApplication
+from repro.mar.devices import CLOUD, Device
+from repro.mar.energy import EnergyModel
+from repro.simnet.network import Network
+from repro.simnet.packet import Packet
+from repro.transport.udp import UdpSocket
+
+#: Fragment payload size for frame/feature uploads.
+FRAGMENT_BYTES = 1200
+
+#: Fraction of p(a) that is feature extraction (detect + describe) —
+#: calibrated from the ArPipeline stage breakdown.
+EXTRACTION_FRACTION = 0.45
+
+#: Fraction of p(a) a tracking-only frame costs (Glimpse's cheap path).
+TRACKING_FRACTION = 0.10
+
+#: Fixed cost of encoding one frame for upload, as a fraction of p(a).
+ENCODE_FRACTION = 0.08
+
+
+@dataclass(frozen=True)
+class FramePlan:
+    """How one frame executes: compute split and network payloads."""
+
+    local_megacycles: float
+    upload_bytes: int
+    remote_megacycles: float
+    download_bytes: int
+
+    @property
+    def needs_network(self) -> bool:
+        return self.upload_bytes > 0
+
+
+class OffloadStrategy:
+    """Base class: produce a :class:`FramePlan` per frame index."""
+
+    name = "base"
+
+    def plan_frame(self, app: MarApplication, index: int) -> FramePlan:
+        raise NotImplementedError
+
+    def mean_uplink_bps(self, app: MarApplication, horizon: int = 300) -> float:
+        """Average offered uplink rate over a frame horizon."""
+        total = sum(self.plan_frame(app, i).upload_bytes for i in range(horizon))
+        return total * 8 * app.fps / horizon
+
+
+class LocalOnly(OffloadStrategy):
+    """Everything on the device; the network is never touched."""
+
+    name = "local"
+
+    def plan_frame(self, app: MarApplication, index: int) -> FramePlan:
+        return FramePlan(
+            local_megacycles=app.megacycles_per_frame,
+            upload_bytes=0,
+            remote_megacycles=0.0,
+            download_bytes=0,
+        )
+
+
+class FullOffload(OffloadStrategy):
+    """Ship every frame; the server does all vision work."""
+
+    name = "full-offload"
+
+    def plan_frame(self, app: MarApplication, index: int) -> FramePlan:
+        return FramePlan(
+            local_megacycles=app.megacycles_per_frame * ENCODE_FRACTION,
+            upload_bytes=app.frame_upload_bytes,
+            remote_megacycles=app.megacycles_per_frame,
+            download_bytes=app.result_bytes,
+        )
+
+
+class FeatureOffload(OffloadStrategy):
+    """CloudRidAR: extract features locally, offload matching/alignment."""
+
+    name = "feature-offload"
+
+    def __init__(self, extraction_fraction: float = EXTRACTION_FRACTION) -> None:
+        self.extraction_fraction = extraction_fraction
+
+    def plan_frame(self, app: MarApplication, index: int) -> FramePlan:
+        return FramePlan(
+            local_megacycles=app.megacycles_per_frame * self.extraction_fraction,
+            upload_bytes=app.feature_upload_bytes,
+            remote_megacycles=app.megacycles_per_frame * (1 - self.extraction_fraction),
+            download_bytes=app.result_bytes,
+        )
+
+
+class TrackingOffload(OffloadStrategy):
+    """Glimpse: local tracking, full offload on trigger frames only."""
+
+    name = "tracking-offload"
+
+    def __init__(self, trigger_interval: int = 10) -> None:
+        if trigger_interval < 1:
+            raise ValueError("trigger_interval must be >= 1")
+        self.trigger_interval = trigger_interval
+
+    def plan_frame(self, app: MarApplication, index: int) -> FramePlan:
+        if index % self.trigger_interval == 0:
+            return FramePlan(
+                local_megacycles=app.megacycles_per_frame * ENCODE_FRACTION,
+                upload_bytes=app.frame_upload_bytes,
+                remote_megacycles=app.megacycles_per_frame,
+                download_bytes=app.result_bytes,
+            )
+        return FramePlan(
+            local_megacycles=app.megacycles_per_frame * TRACKING_FRACTION,
+            upload_bytes=0,
+            remote_megacycles=0.0,
+            download_bytes=0,
+        )
+
+
+# ----------------------------------------------------------------------
+# Session execution over simnet
+# ----------------------------------------------------------------------
+@dataclass
+class SessionResult:
+    """Per-frame measurements of one offloading session."""
+
+    frame_latencies: List[float] = field(default_factory=list)
+    offloaded_latencies: List[float] = field(default_factory=list)
+    link_rtts: List[float] = field(default_factory=list)
+    deadline: float = 0.0
+    frames_sent: int = 0
+    frames_completed: int = 0
+    energy: Optional[EnergyModel] = None
+
+    @property
+    def mean_latency(self) -> float:
+        lat = self.frame_latencies
+        return sum(lat) / len(lat) if lat else float("inf")
+
+    @property
+    def mean_offloaded_latency(self) -> float:
+        lat = self.offloaded_latencies
+        return sum(lat) / len(lat) if lat else float("inf")
+
+    @property
+    def mean_link_rtt(self) -> float:
+        return sum(self.link_rtts) / len(self.link_rtts) if self.link_rtts else float("inf")
+
+    def percentile(self, q: float) -> float:
+        data = sorted(self.frame_latencies)
+        if not data:
+            return float("inf")
+        pos = (q / 100.0) * (len(data) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(data) - 1)
+        frac = pos - lo
+        return data[lo] * (1 - frac) + data[hi] * frac
+
+    @property
+    def deadline_hit_rate(self) -> float:
+        if not self.frame_latencies:
+            return 0.0
+        return sum(1 for l in self.frame_latencies if l <= self.deadline) / len(
+            self.frame_latencies
+        )
+
+    @property
+    def loss_rate(self) -> float:
+        if self.frames_sent == 0:
+            return 0.0
+        return 1.0 - self.frames_completed / self.frames_sent
+
+
+class _ServerSide:
+    """Reassembles uploads, applies compute delay, returns results."""
+
+    def __init__(self, net: Network, host: str, port: int, server_device: Device) -> None:
+        self.net = net
+        self.sim = net.sim
+        self.device = server_device
+        self.socket = UdpSocket(net[host], port, on_receive=self._on_packet)
+        self._partial: Dict[int, Dict[str, int]] = {}
+
+    def _on_packet(self, packet: Packet) -> None:
+        if packet.kind == "ping":
+            self.socket.sendto(packet.src, packet.src_port, 64, kind="pong",
+                               echo=packet.payload["t"])
+            return
+        if packet.kind != "frame-fragment":
+            return
+        frame_id = packet.payload["frame"]
+        state = self._partial.setdefault(
+            frame_id,
+            {"got": 0, "need": packet.payload["n_fragments"]},
+        )
+        state["got"] += 1
+        if state["got"] < state["need"]:
+            return
+        del self._partial[frame_id]
+        compute = self.device.execution_time(packet.payload["remote_megacycles"])
+        self.sim.schedule(
+            compute,
+            self._respond,
+            packet.src,
+            packet.src_port,
+            frame_id,
+            packet.payload["download_bytes"],
+        )
+
+    def _respond(self, dst: str, dst_port: int, frame_id: int, download_bytes: int) -> None:
+        n_fragments = max(1, -(-download_bytes // FRAGMENT_BYTES))
+        remaining = download_bytes
+        for i in range(n_fragments):
+            size = min(FRAGMENT_BYTES, remaining) if remaining > 0 else 1
+            remaining -= size
+            self.socket.sendto(
+                dst, dst_port, size,
+                kind="result-fragment",
+                frame=frame_id,
+                n_fragments=n_fragments,
+            )
+
+
+class OffloadExecutor:
+    """Runs an offloading session: client on one host, server on another.
+
+    The client generates frames at f(a); each frame runs its local
+    compute, ships its upload as UDP fragments, and the frame completes
+    when all result fragments return (or immediately after local
+    compute for frames that never touch the network).  Ping probes
+    measure the bare link RTT alongside (Table II's "Link RTT" row).
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        client: str,
+        server: str,
+        app: MarApplication,
+        strategy: OffloadStrategy,
+        device: Device,
+        server_device: Device = CLOUD,
+        client_port: int = 9000,
+        server_port: int = 9001,
+        radio: str = "wifi",
+        ping_interval: float = 1.0,
+        frame_timeout: float = 2.0,
+    ) -> None:
+        self.net = net
+        self.sim = net.sim
+        self.app = app
+        self.strategy = strategy
+        self.device = device
+        self.server_name = server
+        self.server_port = server_port
+        self.ping_interval = ping_interval
+        self.frame_timeout = frame_timeout
+        self.result = SessionResult(deadline=app.deadline, energy=EnergyModel(radio=radio))
+        self.socket = UdpSocket(net[client], client_port, on_receive=self._on_packet)
+        self.server = _ServerSide(net, server, server_port, server_device)
+        self._pending: Dict[int, Dict[str, float]] = {}
+        self._frame_index = 0
+
+    # ------------------------------------------------------------------
+    def start(self, n_frames: int) -> None:
+        """Schedule the whole session (run the simulator afterwards)."""
+        self.n_frames = n_frames
+        for i in range(n_frames):
+            self.sim.schedule(i * self.app.frame_budget, self._generate_frame, i)
+        self.sim.schedule(0.0, self._ping)
+
+    def _ping(self) -> None:
+        self.socket.sendto(self.server_name, self.server_port, 64, kind="ping", t=self.sim.now)
+        if self._frame_index < self.n_frames:
+            self.sim.schedule(self.ping_interval, self._ping)
+
+    def _generate_frame(self, index: int) -> None:
+        self._frame_index = index
+        plan = self.strategy.plan_frame(self.app, index)
+        self.result.frames_sent += 1
+        self.result.energy.on_compute(plan.local_megacycles)
+        local_time = self.device.execution_time(plan.local_megacycles)
+        if plan.needs_network:
+            self.sim.schedule(local_time, self._send_upload, index, plan)
+        else:
+            self.sim.schedule(local_time, self._complete_frame, index, self.sim.now)
+
+    def _send_upload(self, index: int, plan: FramePlan) -> None:
+        generated_at = self.sim.now - self.device.execution_time(plan.local_megacycles)
+        self._pending[index] = {"generated": generated_at, "got": 0, "need": 0}
+        n_fragments = max(1, -(-plan.upload_bytes // FRAGMENT_BYTES))
+        remaining = plan.upload_bytes
+        for i in range(n_fragments):
+            size = min(FRAGMENT_BYTES, remaining) if remaining > 0 else 1
+            remaining -= size
+            self.socket.sendto(
+                self.server_name,
+                self.server_port,
+                size,
+                kind="frame-fragment",
+                flow=f"offload:{self.socket.host.name}",
+                frame=index,
+                n_fragments=n_fragments,
+                remote_megacycles=plan.remote_megacycles,
+                download_bytes=plan.download_bytes,
+            )
+        self.result.energy.on_transfer(plan.upload_bytes, new_burst=True)
+        self.sim.schedule(self.frame_timeout, self._expire_frame, index)
+
+    def _expire_frame(self, index: int) -> None:
+        self._pending.pop(index, None)
+
+    def _on_packet(self, packet: Packet) -> None:
+        if packet.kind == "pong":
+            self.result.link_rtts.append(self.sim.now - packet.payload["echo"])
+            return
+        if packet.kind != "result-fragment":
+            return
+        index = packet.payload["frame"]
+        state = self._pending.get(index)
+        if state is None:
+            return
+        state["got"] += 1
+        state["need"] = packet.payload["n_fragments"]
+        if state["got"] >= state["need"]:
+            generated = state.pop("generated")
+            del self._pending[index]
+            self.result.energy.on_transfer(0, rx_bytes=packet.size * state["need"])
+            self._complete_frame(index, generated, offloaded=True)
+
+    def _complete_frame(self, index: int, generated_at: float, offloaded: bool = False) -> None:
+        latency = self.sim.now - generated_at
+        self.result.frame_latencies.append(latency)
+        if offloaded:
+            self.result.offloaded_latencies.append(latency)
+        self.result.frames_completed += 1
+
+    # ------------------------------------------------------------------
+    def run(self, n_frames: int = 300, settle: float = 2.0) -> SessionResult:
+        """Convenience: start, run to completion, return results."""
+        self.start(n_frames)
+        duration = n_frames * self.app.frame_budget + settle
+        self.sim.run(until=self.sim.now + duration)
+        return self.result

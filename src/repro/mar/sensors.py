@@ -1,0 +1,47 @@
+"""Companion sensor streams (Section III-A "Input").
+
+MAR applications fuse camera video with IMU, GPS, magnetometer and
+audio data — individually tiny but latency-sensitive flows that MARTP
+classifies "full best effort / medium priority 1" (delayable, never
+discarded... until degradation demands it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class SensorStream:
+    """One periodic sensor flow."""
+
+    name: str
+    rate_hz: float
+    sample_bytes: int
+
+    @property
+    def bitrate_bps(self) -> float:
+        return self.rate_hz * self.sample_bytes * 8
+
+    def samples(self, duration: float) -> Iterator[Tuple[float, int]]:
+        """(timestamp, size) pairs for ``duration`` seconds."""
+        n = int(duration * self.rate_hz)
+        period = 1.0 / self.rate_hz
+        for i in range(n):
+            yield i * period, self.sample_bytes
+
+
+#: A typical smartphone/wearable sensor suite.
+STANDARD_SENSOR_SUITE: Dict[str, SensorStream] = {
+    "imu": SensorStream("imu", rate_hz=100.0, sample_bytes=36),        # acc+gyro+mag
+    "gps": SensorStream("gps", rate_hz=1.0, sample_bytes=64),
+    "orientation": SensorStream("orientation", rate_hz=60.0, sample_bytes=16),
+    "ambient": SensorStream("ambient", rate_hz=0.5, sample_bytes=12),  # light/temp
+    "audio_meta": SensorStream("audio_meta", rate_hz=10.0, sample_bytes=48),
+}
+
+
+def suite_bitrate_bps(suite: Dict[str, SensorStream] = STANDARD_SENSOR_SUITE) -> float:
+    """Aggregate sensor bitrate — the 'adjustable variable' of Fig. 4."""
+    return sum(s.bitrate_bps for s in suite.values())

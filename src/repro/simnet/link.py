@@ -1,0 +1,215 @@
+"""Links: unidirectional transmission pipes with a queue, a rate, a
+propagation delay, optional jitter and random loss.
+
+A :class:`Link` models the classic store-and-forward pipeline: packets
+wait in a queue discipline, serialize at ``rate_bps``, then propagate
+for ``delay + jitter`` seconds.  :class:`DuplexLink` bundles two
+opposite links (possibly asymmetric — the situation of Section IV-D).
+:class:`VariableRateLink` adds the abrupt throughput changes observed on
+real wireless access networks (Section IV-A) via an AR(1) rate process.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.simnet.engine import Simulator
+from repro.simnet.packet import Packet
+from repro.simnet.queues import DropTailQueue, QueueDiscipline
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simnet.node import Node
+
+
+class Link:
+    """A unidirectional link from ``src`` to ``dst``.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    src, dst:
+        Endpoint nodes.  The link registers itself as an egress
+        interface on ``src``.
+    rate_bps:
+        Serialization rate in bits per second.
+    delay:
+        One-way propagation delay in seconds.
+    jitter:
+        If non-zero, a uniform random extra delay in ``[0, jitter]`` is
+        added per packet.  Reordering is prevented by clamping delivery
+        to be no earlier than the previous delivery.
+    loss:
+        Independent per-packet drop probability applied on the wire
+        (after serialization).
+    queue:
+        Queue discipline instance; defaults to a 100-packet DropTail.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: "Node",
+        dst: "Node",
+        rate_bps: float,
+        delay: float = 0.0,
+        jitter: float = 0.0,
+        loss: float = 0.0,
+        queue: Optional[QueueDiscipline] = None,
+        name: str = "",
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        if not 0.0 <= loss < 1.0:
+            raise ValueError("loss must be in [0, 1)")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.rate_bps = float(rate_bps)
+        self.delay = delay
+        self.jitter = jitter
+        self.loss = loss
+        self.queue = queue if queue is not None else DropTailQueue()
+        self.name = name or f"{src.name}->{dst.name}"
+        self._rng = sim.child_rng(f"link:{self.name}")
+        self._busy = False
+        self._last_delivery = 0.0
+        # Statistics
+        self.bytes_sent = 0
+        self.bytes_delivered = 0
+        self.packets_delivered = 0
+        self.packets_lost = 0
+        src.add_interface(self)
+
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        """Offer a packet to the link; returns False if the queue dropped it."""
+        accepted = self.queue.enqueue(packet, self.sim.now)
+        if accepted and not self._busy:
+            self._start_transmission()
+        return accepted
+
+    def _start_transmission(self) -> None:
+        packet = self.queue.dequeue(self.sim.now)
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx_time = packet.bits / self.rate_bps
+        self.bytes_sent += packet.size
+        self.sim.schedule(tx_time, self._finish_transmission, packet)
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        if self._rng.random() < self.loss:
+            self.packets_lost += 1
+        else:
+            extra = self._rng.uniform(0.0, self.jitter) if self.jitter > 0 else 0.0
+            arrival = self.sim.now + self.delay + extra
+            # Never reorder: delivery is monotone along one link.
+            arrival = max(arrival, self._last_delivery)
+            self._last_delivery = arrival
+            self.sim.schedule_at(arrival, self._deliver, packet)
+        self._start_transmission()
+
+    def _deliver(self, packet: Packet) -> None:
+        packet.hops += 1
+        self.bytes_delivered += packet.size
+        self.packets_delivered += 1
+        self.dst.receive(packet, via=self)
+
+    # ------------------------------------------------------------------
+    @property
+    def backlog(self) -> int:
+        """Packets currently queued (not counting the one in flight)."""
+        return len(self.queue)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds spent transmitting."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, (self.bytes_sent * 8) / (self.rate_bps * elapsed))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Link {self.name} {self.rate_bps / 1e6:.1f}Mb/s {self.delay * 1e3:.1f}ms>"
+
+
+class VariableRateLink(Link):
+    """A link whose rate follows a clamped AR(1) process.
+
+    Every ``update_interval`` seconds the rate moves toward
+    ``mean_rate_bps`` with relaxation ``alpha`` plus lognormal noise of
+    scale ``sigma``, clamped to ``[min_rate_bps, max_rate_bps]``.  This
+    captures the "abrupt changes of several orders of magnitude"
+    reported for HSPA+/LTE in Section IV-A without modeling PHY detail.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: "Node",
+        dst: "Node",
+        mean_rate_bps: float,
+        min_rate_bps: float,
+        max_rate_bps: float,
+        sigma: float = 0.3,
+        alpha: float = 0.5,
+        update_interval: float = 0.5,
+        **kwargs,
+    ) -> None:
+        super().__init__(sim, src, dst, rate_bps=mean_rate_bps, **kwargs)
+        if not min_rate_bps <= mean_rate_bps <= max_rate_bps:
+            raise ValueError("need min <= mean <= max rate")
+        self.mean_rate_bps = mean_rate_bps
+        self.min_rate_bps = min_rate_bps
+        self.max_rate_bps = max_rate_bps
+        self.sigma = sigma
+        self.alpha = alpha
+        self.update_interval = update_interval
+        self.rate_history: list = [(0.0, mean_rate_bps)]
+        sim.schedule(update_interval, self._update_rate)
+
+    def _update_rate(self) -> None:
+        noise = self._rng.lognormvariate(0.0, self.sigma)
+        proposal = self.rate_bps * (1 - self.alpha) + self.mean_rate_bps * self.alpha
+        proposal *= noise
+        self.rate_bps = min(self.max_rate_bps, max(self.min_rate_bps, proposal))
+        self.rate_history.append((self.sim.now, self.rate_bps))
+        self.sim.schedule(self.update_interval, self._update_rate)
+
+
+class DuplexLink:
+    """Two opposite unidirectional links, possibly asymmetric.
+
+    ``DuplexLink`` is the natural model for access links: Section IV-D
+    stresses that most access links are asymmetric (down:up ratios of
+    2.5–8) while MAR traffic is upload-heavy.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: "Node",
+        b: "Node",
+        rate_down_bps: float,
+        rate_up_bps: Optional[float] = None,
+        delay: float = 0.0,
+        jitter: float = 0.0,
+        loss: float = 0.0,
+        queue_down: Optional[QueueDiscipline] = None,
+        queue_up: Optional[QueueDiscipline] = None,
+        name: str = "",
+    ) -> None:
+        rate_up_bps = rate_up_bps if rate_up_bps is not None else rate_down_bps
+        base = name or f"{a.name}<->{b.name}"
+        # "down" carries traffic toward ``b`` (the client side by
+        # convention), "up" carries traffic from ``b`` toward ``a``.
+        self.down = Link(
+            sim, a, b, rate_down_bps, delay, jitter, loss, queue_down, name=f"{base}:down"
+        )
+        self.up = Link(sim, b, a, rate_up_bps, delay, jitter, loss, queue_up, name=f"{base}:up")
+
+    @property
+    def asymmetry_ratio(self) -> float:
+        """Down:up rate ratio (>1 means download-favoured)."""
+        return self.down.rate_bps / self.up.rate_bps

@@ -1,0 +1,92 @@
+"""Periodic instrumentation: queue occupancy and link utilization.
+
+Benchmarks mostly measure end-to-end observables; when a result needs
+explaining ("where did the latency come from?"), these monitors sample
+the inside of the network on a fixed tick:
+
+- :class:`QueueMonitor` — samples a queue's depth (packets and bytes),
+  yielding occupancy time series and peak/mean statistics — the direct
+  view of bufferbloat.
+- :class:`LinkMonitor` — samples a link's cumulative counters into
+  per-interval throughput and utilization series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Link
+from repro.simnet.queues import QueueDiscipline
+
+
+class QueueMonitor:
+    """Samples a queue's occupancy every ``interval`` seconds."""
+
+    def __init__(self, sim: Simulator, queue: QueueDiscipline,
+                 interval: float = 0.05) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.queue = queue
+        self.interval = interval
+        self.samples: List[Tuple[float, int, int]] = []   # (t, pkts, bytes)
+        sim.schedule(0.0, self._tick)
+
+    def _tick(self) -> None:
+        self.samples.append((self.sim.now, len(self.queue), self.queue.backlog_bytes))
+        self.sim.schedule(self.interval, self._tick)
+
+    # ------------------------------------------------------------------
+    def peak_packets(self) -> int:
+        return max((p for _, p, _ in self.samples), default=0)
+
+    def mean_packets(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(p for _, p, _ in self.samples) / len(self.samples)
+
+    def mean_queuing_delay(self, drain_rate_bps: float) -> float:
+        """Average queueing delay implied by occupancy at a drain rate."""
+        if not self.samples or drain_rate_bps <= 0:
+            return 0.0
+        mean_bytes = sum(b for _, _, b in self.samples) / len(self.samples)
+        return mean_bytes * 8 / drain_rate_bps
+
+    def occupancy_series(self) -> List[Tuple[float, int]]:
+        return [(t, p) for t, p, _ in self.samples]
+
+
+class LinkMonitor:
+    """Derives per-interval throughput/utilization from a link's counters."""
+
+    def __init__(self, sim: Simulator, link: Link, interval: float = 0.5) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.link = link
+        self.interval = interval
+        self.samples: List[Tuple[float, float, float]] = []  # (t, bps, util)
+        self._last_bytes = link.bytes_sent
+        sim.schedule(interval, self._tick)
+
+    def _tick(self) -> None:
+        delta = self.link.bytes_sent - self._last_bytes
+        self._last_bytes = self.link.bytes_sent
+        bps = delta * 8 / self.interval
+        utilization = min(1.0, bps / self.link.rate_bps) if self.link.rate_bps else 0.0
+        self.samples.append((self.sim.now, bps, utilization))
+        self.sim.schedule(self.interval, self._tick)
+
+    # ------------------------------------------------------------------
+    def mean_utilization(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(u for _, _, u in self.samples) / len(self.samples)
+
+    def peak_throughput_bps(self) -> float:
+        return max((bps for _, bps, _ in self.samples), default=0.0)
+
+    def throughput_series(self) -> List[Tuple[float, float]]:
+        return [(t, bps) for t, bps, _ in self.samples]

@@ -1,0 +1,140 @@
+"""Topology container: builds nodes, links and routing tables.
+
+:class:`Network` is a convenience layer over the raw node/link objects:
+it tracks every node and link, computes static shortest-path routes
+(delay-weighted, via networkx), and offers path inspection helpers used
+by benchmarks (minimum RTT, bottleneck rate).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.simnet.engine import Simulator
+from repro.simnet.link import DuplexLink, Link
+from repro.simnet.node import Host, Node, Router
+from repro.simnet.queues import QueueDiscipline
+
+
+class Network:
+    """A collection of nodes and links over one simulator."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.nodes: Dict[str, Node] = {}
+        self.links: List[Link] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_host(self, name: str) -> Host:
+        return self._register(Host(self.sim, name))
+
+    def add_router(self, name: str) -> Router:
+        return self._register(Router(self.sim, name))
+
+    def _register(self, node: Node) -> Node:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        return node
+
+    def __getitem__(self, name: str) -> Node:
+        return self.nodes[name]
+
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        rate_bps: float,
+        delay: float = 0.0,
+        jitter: float = 0.0,
+        loss: float = 0.0,
+        queue: Optional[QueueDiscipline] = None,
+    ) -> Link:
+        """Add one unidirectional link from ``a`` to ``b``."""
+        link = Link(self.sim, self.nodes[a], self.nodes[b], rate_bps, delay, jitter, loss, queue)
+        self.links.append(link)
+        return link
+
+    def add_duplex(
+        self,
+        a: str,
+        b: str,
+        rate_down_bps: float,
+        rate_up_bps: Optional[float] = None,
+        delay: float = 0.0,
+        jitter: float = 0.0,
+        loss: float = 0.0,
+        queue_down: Optional[QueueDiscipline] = None,
+        queue_up: Optional[QueueDiscipline] = None,
+    ) -> DuplexLink:
+        """Add a duplex (possibly asymmetric) link between ``a`` and ``b``.
+
+        "Down" carries ``a``→``b`` traffic, "up" carries ``b``→``a``.
+        """
+        duplex = DuplexLink(
+            self.sim,
+            self.nodes[a],
+            self.nodes[b],
+            rate_down_bps,
+            rate_up_bps,
+            delay,
+            jitter,
+            loss,
+            queue_down,
+            queue_up,
+        )
+        self.links.extend([duplex.down, duplex.up])
+        return duplex
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def graph(self) -> nx.DiGraph:
+        """Directed graph of the topology, edges weighted by delay."""
+        g = nx.DiGraph()
+        g.add_nodes_from(self.nodes)
+        for link in self.links:
+            # Serialization of one MTU gives a tiny rate-aware tiebreak.
+            weight = link.delay + (1514 * 8) / link.rate_bps
+            g.add_edge(link.src.name, link.dst.name, weight=weight, link=link)
+        return g
+
+    def build_routes(self) -> None:
+        """Fill every node's routing table with delay-weighted shortest paths."""
+        g = self.graph()
+        paths = dict(nx.all_pairs_dijkstra_path(g, weight="weight"))
+        for src_name, by_dst in paths.items():
+            node = self.nodes[src_name]
+            for dst_name, path in by_dst.items():
+                if dst_name == src_name or len(path) < 2:
+                    continue
+                first_hop = g.edges[path[0], path[1]]["link"]
+                node.add_route(dst_name, first_hop)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def path_links(self, a: str, b: str) -> List[Link]:
+        """The links on the current route from ``a`` to ``b``."""
+        g = self.graph()
+        path = nx.dijkstra_path(g, a, b, weight="weight")
+        return [g.edges[u, v]["link"] for u, v in zip(path, path[1:])]
+
+    def base_rtt(self, a: str, b: str, packet_size: int = 1514) -> float:
+        """Unloaded round-trip time between two nodes.
+
+        Sums propagation plus one serialization of ``packet_size`` per
+        hop in both directions — the floor any transport can observe.
+        """
+        total = 0.0
+        for link in self.path_links(a, b) + self.path_links(b, a):
+            total += link.delay + (packet_size * 8) / link.rate_bps
+        return total
+
+    def bottleneck_rate(self, a: str, b: str) -> float:
+        """Minimum link rate along the ``a``→``b`` path, in bits/s."""
+        return min(link.rate_bps for link in self.path_links(a, b))

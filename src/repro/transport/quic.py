@@ -1,0 +1,280 @@
+"""QUIC-like transport (Section V-B2), simplified.
+
+The paper lists QUIC as combining "functionalities from TCP, Multipath
+TCP, TLS, and HTTP".  The properties relevant to MAR — and implemented
+here — are:
+
+- **stream multiplexing without head-of-line blocking**: independent
+  streams over one connection; a loss on stream A never stalls stream
+  B's delivery (the TCP baseline stalls everything behind the hole);
+- **0/1-RTT setup**: a resumed connection sends data immediately;
+- connection-level NewReno-style congestion control over UDP;
+- per-packet (not per-byte) loss detection with fast retransmit on
+  packet-number gaps and a probe timeout.
+
+Packets carry (packet_number, stream_id, stream_offset, length); ACK
+frames carry the largest received number plus a compact gap list, close
+to the real wire image but unserialized.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.simnet.node import Host
+from repro.simnet.packet import IP_UDP_HEADER, Packet
+from repro.transport.base import SocketBase
+
+QUIC_HEADER = 20
+MAX_DATAGRAM = 1200
+ACK_SIZE = 64
+PTO_MIN = 0.05
+
+
+class QuicStream:
+    """Receive-side state of one stream: in-order delivery per stream."""
+
+    def __init__(self, stream_id: int) -> None:
+        self.stream_id = stream_id
+        self.next_offset = 0
+        self.segments: Dict[int, int] = {}   # offset -> length
+        self.delivered = 0
+
+    def on_segment(self, offset: int, length: int) -> int:
+        """Buffer a segment; returns bytes newly delivered in order."""
+        if offset + length <= self.next_offset:
+            return 0
+        self.segments[offset] = max(self.segments.get(offset, 0), length)
+        newly = 0
+        progressed = True
+        while progressed:
+            progressed = False
+            for off in sorted(self.segments):
+                seg_len = self.segments[off]
+                if off <= self.next_offset < off + seg_len or off == self.next_offset:
+                    advance = off + seg_len - self.next_offset
+                    if advance > 0:
+                        self.next_offset += advance
+                        newly += advance
+                    del self.segments[off]
+                    progressed = True
+                    break
+                if off + seg_len <= self.next_offset:
+                    del self.segments[off]
+                    progressed = True
+                    break
+        self.delivered += newly
+        return newly
+
+
+class QuicConnection(SocketBase):
+    """One endpoint of a QUIC-like connection.
+
+    Create both endpoints, point them at each other, then call
+    :meth:`connect` on the client (pass ``resumed=True`` for 0-RTT).
+    ``on_stream_data(stream_id, nbytes)`` fires as stream bytes are
+    delivered in per-stream order.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        port: int,
+        dst: str,
+        dst_port: int,
+        on_stream_data: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        super().__init__(host, port)
+        self.dst = dst
+        self.dst_port = dst_port
+        self.on_stream_data = on_stream_data
+        self.established = False
+        self.handshake_rtts = 0
+
+        # --- sender state ---
+        self._next_pn = 0
+        self._stream_offsets: Dict[int, int] = {}
+        self._pending: List[Tuple[int, int, int]] = []  # (stream, offset, len)
+        self._inflight: Dict[int, Tuple[int, int, int, float, bool]] = {}
+        self.cwnd = 10 * MAX_DATAGRAM
+        self.ssthresh = 1 << 30
+        self.srtt: Optional[float] = None
+        self.rttvar = 0.0
+        self._largest_acked = -1
+        self._pto_event = None
+        self.retransmits = 0
+        self.packets_sent = 0
+
+        # --- receiver state ---
+        self.streams: Dict[int, QuicStream] = {}
+        self._received_pns: Set[int] = set()
+        self._largest_rx = -1
+        self._ack_pending = False
+
+    # ------------------------------------------------------------------
+    # Handshake
+    # ------------------------------------------------------------------
+    def connect(self, resumed: bool = False) -> None:
+        """1-RTT handshake, or 0-RTT when resuming a known server."""
+        if resumed:
+            self.established = True
+            self.handshake_rtts = 0
+            self._flush()
+        else:
+            packet = self._packet(self.dst, self.dst_port, QUIC_HEADER + 48,
+                                  kind="quic-initial")
+            self._transmit(packet)
+
+    # ------------------------------------------------------------------
+    # Application interface
+    # ------------------------------------------------------------------
+    def send_stream(self, stream_id: int, nbytes: int) -> None:
+        """Queue bytes on a stream."""
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        offset = self._stream_offsets.get(stream_id, 0)
+        self._stream_offsets[stream_id] = offset + nbytes
+        while nbytes > 0:
+            chunk = min(nbytes, MAX_DATAGRAM)
+            self._pending.append((stream_id, offset, chunk))
+            offset += chunk
+            nbytes -= chunk
+        self._flush()
+
+    @property
+    def bytes_in_flight(self) -> int:
+        return sum(length for _, _, length, _, _ in self._inflight.values())
+
+    # ------------------------------------------------------------------
+    # Sending machinery
+    # ------------------------------------------------------------------
+    def _flush(self) -> None:
+        if not self.established:
+            return
+        while self._pending and self.bytes_in_flight < self.cwnd:
+            stream_id, offset, length = self._pending.pop(0)
+            self._send_segment(stream_id, offset, length, retransmit=False)
+        self._arm_pto()
+
+    def _send_segment(self, stream_id: int, offset: int, length: int,
+                      retransmit: bool) -> None:
+        pn = self._next_pn
+        self._next_pn += 1
+        self._inflight[pn] = (stream_id, offset, length, self.sim.now, retransmit)
+        if retransmit:
+            self.retransmits += 1
+        self.packets_sent += 1
+        packet = self._packet(
+            self.dst, self.dst_port, length + QUIC_HEADER + IP_UDP_HEADER,
+            kind="quic-data",
+            flow=f"quic:{self.host.name}:{self.port}",
+            pn=pn, stream=stream_id, offset=offset, len=length,
+        )
+        self._transmit(packet)
+
+    def _arm_pto(self) -> None:
+        if self._pto_event is not None:
+            self._pto_event.cancel()
+            self._pto_event = None
+        if self._inflight:
+            pto = max(PTO_MIN, (self.srtt or 0.1) * 2 + 4 * self.rttvar)
+            self._pto_event = self.sim.schedule(pto, self._on_pto)
+
+    def _on_pto(self) -> None:
+        """Probe timeout: retransmit the oldest packet, collapse cwnd."""
+        self._pto_event = None
+        if not self._inflight:
+            return
+        oldest = min(self._inflight)
+        stream_id, offset, length, _, _ = self._inflight.pop(oldest)
+        self.ssthresh = max(self.cwnd // 2, 2 * MAX_DATAGRAM)
+        self.cwnd = 2 * MAX_DATAGRAM
+        self._send_segment(stream_id, offset, length, retransmit=True)
+        self._arm_pto()
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def on_packet(self, packet: Packet) -> None:
+        kind = packet.kind
+        if kind == "quic-initial":
+            self.established = True
+            reply = self._packet(packet.src, packet.src_port,
+                                 QUIC_HEADER + 48, kind="quic-accept")
+            self._transmit(reply)
+        elif kind == "quic-accept":
+            if not self.established:
+                self.established = True
+                self.handshake_rtts = 1
+                self._flush()
+        elif kind == "quic-data":
+            self._on_data(packet)
+        elif kind == "quic-ack":
+            self._on_ack(packet)
+
+    def _on_data(self, packet: Packet) -> None:
+        self.established = True
+        pn = packet.payload["pn"]
+        if pn in self._received_pns:
+            return
+        self._received_pns.add(pn)
+        self._largest_rx = max(self._largest_rx, pn)
+        stream_id = packet.payload["stream"]
+        stream = self.streams.setdefault(stream_id, QuicStream(stream_id))
+        newly = stream.on_segment(packet.payload["offset"], packet.payload["len"])
+        if newly and self.on_stream_data is not None:
+            self.on_stream_data(stream_id, newly)
+        if not self._ack_pending:
+            self._ack_pending = True
+            self.sim.schedule(0.005, self._send_ack, packet.src, packet.src_port)
+
+    def _send_ack(self, peer: str, peer_port: int) -> None:
+        self._ack_pending = False
+        floor = max(0, self._largest_rx - 256)
+        missing = [
+            pn for pn in range(floor, self._largest_rx + 1)
+            if pn not in self._received_pns
+        ]
+        packet = self._packet(peer, peer_port, ACK_SIZE, kind="quic-ack",
+                              largest=self._largest_rx, missing=missing[:64])
+        self._transmit(packet)
+
+    # ------------------------------------------------------------------
+    def _on_ack(self, packet: Packet) -> None:
+        largest = packet.payload["largest"]
+        missing = set(packet.payload["missing"])
+        acked_bytes = 0
+        for pn in [p for p in self._inflight if p <= largest and p not in missing]:
+            stream_id, offset, length, sent_at, retransmitted = self._inflight.pop(pn)
+            acked_bytes += length
+            if not retransmitted:
+                self._sample_rtt(self.sim.now - sent_at)
+        if acked_bytes:
+            if self.cwnd < self.ssthresh:
+                self.cwnd += acked_bytes                      # slow start
+            else:
+                self.cwnd += MAX_DATAGRAM * acked_bytes // self.cwnd
+        # Fast retransmit: packets 3+ below the largest ack still missing.
+        for pn in sorted(self._inflight):
+            if pn <= largest - 3 and pn in missing | set(self._inflight):
+                if pn in missing or pn < largest - 3:
+                    stream_id, offset, length, _, _ = self._inflight.pop(pn)
+                    self.ssthresh = max(self.cwnd // 2, 2 * MAX_DATAGRAM)
+                    self.cwnd = self.ssthresh
+                    self._send_segment(stream_id, offset, length, retransmit=True)
+                    break
+        self._largest_acked = max(self._largest_acked, largest)
+        self._flush()
+
+    def _sample_rtt(self, sample: float) -> None:
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - sample)
+            self.srtt = 0.875 * self.srtt + 0.125 * sample
+
+    # ------------------------------------------------------------------
+    def stream_delivered(self, stream_id: int) -> int:
+        stream = self.streams.get(stream_id)
+        return stream.delivered if stream else 0

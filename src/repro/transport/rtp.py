@@ -1,0 +1,106 @@
+"""RTP-like media framing with a playout jitter buffer.
+
+Section V-A2 surveys RTP/RTCP as inspiration for an AR transport: media
+timestamps, jitter compensation, and QoS feedback.  This module
+provides the receive-side playout model used to evaluate how much
+buffering a given network path forces on an interactive stream —
+directly trading latency (buffer depth) for frame-loss (late frames).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.simnet.node import Host
+from repro.simnet.packet import Packet
+from repro.transport.udp import UdpSocket
+
+
+class RtpStream:
+    """Sender side: stamps outgoing media units with sequence + timestamp."""
+
+    def __init__(self, socket: UdpSocket, dst: str, dst_port: int, ssrc: int = 1) -> None:
+        self.socket = socket
+        self.dst = dst
+        self.dst_port = dst_port
+        self.ssrc = ssrc
+        self.seq = 0
+        self.frames_sent = 0
+
+    def send_frame(self, size: int, media_ts: Optional[float] = None, **extra) -> None:
+        """Send one media unit of ``size`` bytes."""
+        ts = media_ts if media_ts is not None else self.socket.sim.now
+        self.socket.sendto(
+            self.dst,
+            self.dst_port,
+            size,
+            kind="rtp",
+            flow=f"rtp:{self.ssrc}",
+            rtp_seq=self.seq,
+            rtp_ts=ts,
+            ssrc=self.ssrc,
+            **extra,
+        )
+        self.seq += 1
+        self.frames_sent += 1
+
+
+class RtpReceiver:
+    """Receive side: playout buffer with fixed delay.
+
+    Frames are released to ``on_play(seq, payload)`` exactly
+    ``playout_delay`` seconds after their media timestamp; frames
+    arriving after their deadline are counted late and dropped.  The
+    interarrival jitter estimator follows RFC 3550 §6.4.1.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        port: int,
+        playout_delay: float = 0.05,
+        on_play: Optional[Callable[[int, dict], None]] = None,
+    ) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.playout_delay = playout_delay
+        self.on_play = on_play
+        self.socket = UdpSocket(host, port, on_receive=self._on_packet)
+        self.jitter = 0.0
+        self._last_transit: Optional[float] = None
+        self.received = 0
+        self.played = 0
+        self.late = 0
+        self.max_seq = -1
+        self.playout_log: List[Tuple[float, int]] = []
+
+    def _on_packet(self, packet: Packet) -> None:
+        if packet.kind != "rtp":
+            return
+        self.received += 1
+        seq = packet.payload["rtp_seq"]
+        self.max_seq = max(self.max_seq, seq)
+        transit = self.sim.now - packet.payload["rtp_ts"]
+        if self._last_transit is not None:
+            d = abs(transit - self._last_transit)
+            self.jitter += (d - self.jitter) / 16.0
+        self._last_transit = transit
+        deadline = packet.payload["rtp_ts"] + self.playout_delay
+        if self.sim.now > deadline:
+            self.late += 1
+            return
+        self.sim.schedule_at(deadline, self._play, seq, dict(packet.payload))
+
+    def _play(self, seq: int, payload: dict) -> None:
+        self.played += 1
+        self.playout_log.append((self.sim.now, seq))
+        if self.on_play is not None:
+            self.on_play(seq, payload)
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of the sequence space never played (lost or late)."""
+        expected = self.max_seq + 1
+        if expected <= 0:
+            return 0.0
+        return 1.0 - self.played / expected

@@ -1,0 +1,56 @@
+"""Pure-numpy computer-vision substrate for the MAR workload.
+
+Vision-based MAR applications (Section III-B) match feature points of
+the camera view against a database of reference images and compute a
+homography to align virtual objects with the physical world.  This
+package implements that pipeline from scratch:
+
+- :mod:`~repro.vision.synthetic` — textured synthetic scenes and
+  ground-truth homography warps (stand-in for camera frames);
+- :mod:`~repro.vision.features` — Harris corner detection and binary
+  (BRIEF-like) patch descriptors;
+- :mod:`~repro.vision.matching` — Hamming-distance descriptor matching
+  with ratio and mutual-consistency tests;
+- :mod:`~repro.vision.homography` — normalized DLT inside RANSAC;
+- :mod:`~repro.vision.tracking` — Glimpse-style lightweight inter-frame
+  tracking that decides when a keyframe must be (re-)processed;
+- :mod:`~repro.vision.pipeline` — the assembled AR pipeline with
+  per-stage compute-cost accounting (megacycles) consumed by the
+  offloading models of :mod:`repro.mar`.
+"""
+
+from repro.vision.synthetic import make_scene, random_homography, warp_image
+from repro.vision.features import detect_corners, describe, Keypoint
+from repro.vision.matching import match_descriptors, Match
+from repro.vision.homography import estimate_homography, ransac_homography, reprojection_error
+from repro.vision.tracking import Tracker, TrackResult
+from repro.vision.pipeline import ArPipeline, FrameResult, StageCosts
+from repro.vision.pose import Pose, decompose_homography, default_intrinsics, homography_from_pose
+from repro.vision.overlay import PanningCamera, acceptable_latency, misalignment_profile, misalignment_px
+
+__all__ = [
+    "make_scene",
+    "random_homography",
+    "warp_image",
+    "detect_corners",
+    "describe",
+    "Keypoint",
+    "match_descriptors",
+    "Match",
+    "estimate_homography",
+    "ransac_homography",
+    "reprojection_error",
+    "Tracker",
+    "TrackResult",
+    "ArPipeline",
+    "FrameResult",
+    "StageCosts",
+    "Pose",
+    "decompose_homography",
+    "default_intrinsics",
+    "homography_from_pose",
+    "PanningCamera",
+    "acceptable_latency",
+    "misalignment_profile",
+    "misalignment_px",
+]

@@ -1,0 +1,115 @@
+"""Harris corner detection and binary patch descriptors.
+
+These are the "feature extraction" stage CloudRidAR runs locally on the
+device (Section III-B): corners via the Harris structure-tensor
+response with non-maximum suppression, and 256-bit BRIEF-like binary
+descriptors sampled from a smoothed patch so matching is a cheap
+Hamming distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+#: Descriptor length in bits.
+DESCRIPTOR_BITS = 256
+
+#: Half-width of the descriptor sampling patch.
+PATCH_RADIUS = 15
+
+
+@dataclass(frozen=True)
+class Keypoint:
+    """A detected corner: position (x, y) and Harris response."""
+
+    x: float
+    y: float
+    response: float
+
+    def as_array(self) -> np.ndarray:
+        return np.array([self.x, self.y], dtype=np.float64)
+
+
+def harris_response(img: np.ndarray, sigma: float = 1.5, k: float = 0.05) -> np.ndarray:
+    """Harris corner response map ``det(M) - k * trace(M)^2``."""
+    img = np.asarray(img, dtype=np.float64)
+    gy, gx = np.gradient(img)
+    ixx = ndimage.gaussian_filter(gx * gx, sigma)
+    iyy = ndimage.gaussian_filter(gy * gy, sigma)
+    ixy = ndimage.gaussian_filter(gx * gy, sigma)
+    det = ixx * iyy - ixy * ixy
+    trace = ixx + iyy
+    return det - k * trace * trace
+
+
+def detect_corners(
+    img: np.ndarray,
+    max_corners: int = 300,
+    quality: float = 0.01,
+    min_distance: int = 7,
+    border: int = PATCH_RADIUS + 1,
+) -> List[Keypoint]:
+    """Top Harris corners with non-maximum suppression.
+
+    ``quality`` is the response threshold relative to the global
+    maximum; ``min_distance`` enforces spatial spread via a maximum
+    filter; corners within ``border`` pixels of the edge are discarded
+    so descriptors always have a full patch.
+    """
+    response = harris_response(img)
+    threshold = quality * response.max() if response.max() > 0 else np.inf
+    local_max = ndimage.maximum_filter(response, size=2 * min_distance + 1)
+    mask = (response == local_max) & (response > threshold)
+    mask[:border, :] = False
+    mask[-border:, :] = False
+    mask[:, :border] = False
+    mask[:, -border:] = False
+    ys, xs = np.nonzero(mask)
+    if len(xs) == 0:
+        return []
+    responses = response[ys, xs]
+    order = np.argsort(-responses)[:max_corners]
+    return [Keypoint(float(xs[i]), float(ys[i]), float(responses[i])) for i in order]
+
+
+def _sampling_pattern(seed: int = 42) -> Tuple[np.ndarray, np.ndarray]:
+    """The fixed BRIEF point-pair pattern (shared by all descriptors)."""
+    rng = np.random.default_rng(seed)
+    pts_a = rng.integers(-PATCH_RADIUS, PATCH_RADIUS + 1, size=(DESCRIPTOR_BITS, 2))
+    pts_b = rng.integers(-PATCH_RADIUS, PATCH_RADIUS + 1, size=(DESCRIPTOR_BITS, 2))
+    return pts_a, pts_b
+
+
+_PATTERN = _sampling_pattern()
+
+
+def describe(img: np.ndarray, keypoints: List[Keypoint], smooth_sigma: float = 2.0) -> np.ndarray:
+    """256-bit binary descriptors for each keypoint.
+
+    Returns a ``(len(keypoints), 32)`` uint8 array (bits packed).  The
+    image is pre-smoothed so individual pixel comparisons are stable
+    under noise, as in BRIEF.
+    """
+    if not keypoints:
+        return np.zeros((0, DESCRIPTOR_BITS // 8), dtype=np.uint8)
+    smooth = ndimage.gaussian_filter(np.asarray(img, dtype=np.float64), smooth_sigma)
+    height, width = smooth.shape
+    pts_a, pts_b = _PATTERN
+    descriptors = np.zeros((len(keypoints), DESCRIPTOR_BITS), dtype=bool)
+    for i, kp in enumerate(keypoints):
+        x, y = int(round(kp.x)), int(round(kp.y))
+        ax = np.clip(x + pts_a[:, 0], 0, width - 1)
+        ay = np.clip(y + pts_a[:, 1], 0, height - 1)
+        bx = np.clip(x + pts_b[:, 0], 0, width - 1)
+        by = np.clip(y + pts_b[:, 1], 0, height - 1)
+        descriptors[i] = smooth[ay, ax] < smooth[by, bx]
+    return np.packbits(descriptors, axis=1)
+
+
+def descriptor_size_bytes(n_keypoints: int) -> int:
+    """Wire size of a feature payload: packed bits + 2 float32 coords."""
+    return n_keypoints * (DESCRIPTOR_BITS // 8 + 8)

@@ -1,0 +1,139 @@
+"""Homography estimation: normalized DLT inside RANSAC.
+
+This is the alignment step of Section III-B ("matching the feature
+points of the environment against the ones with a perfectly aligned
+image of the objects ... namely homography").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def _normalize(points: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Hartley normalization: zero centroid, mean distance sqrt(2)."""
+    centroid = points.mean(axis=0)
+    shifted = points - centroid
+    mean_dist = np.sqrt((shifted**2).sum(axis=1)).mean()
+    scale = np.sqrt(2.0) / max(mean_dist, 1e-12)
+    transform = np.array(
+        [
+            [scale, 0.0, -scale * centroid[0]],
+            [0.0, scale, -scale * centroid[1]],
+            [0.0, 0.0, 1.0],
+        ]
+    )
+    normalized = shifted * scale
+    return normalized, transform
+
+
+def estimate_homography(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Direct linear transform from ≥4 correspondences.
+
+    ``src`` and ``dst`` are ``(N, 2)`` arrays; returns the 3x3 H with
+    ``H[2, 2] == 1`` mapping src → dst (least squares for N > 4).
+    """
+    src = np.asarray(src, dtype=np.float64)
+    dst = np.asarray(dst, dtype=np.float64)
+    if src.shape[0] < 4 or src.shape != dst.shape:
+        raise ValueError("need at least 4 matched point pairs")
+    src_n, t_src = _normalize(src)
+    dst_n, t_dst = _normalize(dst)
+
+    n = src_n.shape[0]
+    a = np.zeros((2 * n, 9))
+    for i in range(n):
+        x, y = src_n[i]
+        u, v = dst_n[i]
+        a[2 * i] = [-x, -y, -1, 0, 0, 0, u * x, u * y, u]
+        a[2 * i + 1] = [0, 0, 0, -x, -y, -1, v * x, v * y, v]
+    _, _, vt = np.linalg.svd(a)
+    h_n = vt[-1].reshape(3, 3)
+    h = np.linalg.inv(t_dst) @ h_n @ t_src
+    if abs(h[2, 2]) < 1e-12:
+        raise np.linalg.LinAlgError("degenerate homography")
+    return h / h[2, 2]
+
+
+def reprojection_error(h: np.ndarray, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Per-point Euclidean error of mapping src through H versus dst."""
+    src = np.asarray(src, dtype=np.float64)
+    ones = np.ones((src.shape[0], 1))
+    mapped = np.hstack([src, ones]) @ h.T
+    w = mapped[:, 2:3]
+    w = np.where(np.abs(w) < 1e-12, 1e-12, w)
+    mapped = mapped[:, :2] / w
+    return np.sqrt(((mapped - dst) ** 2).sum(axis=1))
+
+
+@dataclass
+class RansacResult:
+    """Output of robust estimation."""
+
+    homography: Optional[np.ndarray]
+    inliers: np.ndarray  # boolean mask over the input correspondences
+    iterations: int
+
+    @property
+    def n_inliers(self) -> int:
+        return int(self.inliers.sum())
+
+    @property
+    def success(self) -> bool:
+        return self.homography is not None
+
+
+def ransac_homography(
+    src: np.ndarray,
+    dst: np.ndarray,
+    threshold: float = 3.0,
+    max_iterations: int = 500,
+    confidence: float = 0.995,
+    min_inliers: int = 8,
+    seed: int = 0,
+) -> RansacResult:
+    """RANSAC around :func:`estimate_homography`.
+
+    Early-terminates when the adaptive iteration bound (from the
+    current inlier ratio at the requested ``confidence``) is reached.
+    The final model is re-fit on all inliers.
+    """
+    src = np.asarray(src, dtype=np.float64)
+    dst = np.asarray(dst, dtype=np.float64)
+    n = src.shape[0]
+    if n < 4:
+        return RansacResult(None, np.zeros(n, dtype=bool), 0)
+    rng = np.random.default_rng(seed)
+    best_mask = np.zeros(n, dtype=bool)
+    best_count = 0
+    needed = max_iterations
+    iteration = 0
+    while iteration < min(needed, max_iterations):
+        iteration += 1
+        sample = rng.choice(n, size=4, replace=False)
+        try:
+            h = estimate_homography(src[sample], dst[sample])
+        except np.linalg.LinAlgError:
+            continue
+        errors = reprojection_error(h, src, dst)
+        mask = errors < threshold
+        count = int(mask.sum())
+        if count > best_count:
+            best_count = count
+            best_mask = mask
+            ratio = count / n
+            if 0 < ratio < 1:
+                denom = np.log(max(1e-12, 1 - ratio**4))
+                needed = int(np.ceil(np.log(1 - confidence) / denom)) if denom < 0 else 1
+            else:
+                needed = iteration  # all inliers — stop
+    if best_count < max(min_inliers, 4):
+        return RansacResult(None, np.zeros(n, dtype=bool), iteration)
+    try:
+        refined = estimate_homography(src[best_mask], dst[best_mask])
+    except np.linalg.LinAlgError:
+        return RansacResult(None, best_mask, iteration)
+    return RansacResult(refined, best_mask, iteration)

@@ -1,0 +1,83 @@
+"""Descriptor matching: Hamming distance with ratio and mutual tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+_POPCOUNT = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint16)
+
+
+@dataclass(frozen=True)
+class Match:
+    """A putative correspondence: query index, train index, distance (bits)."""
+
+    query: int
+    train: int
+    distance: int
+
+
+def hamming_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise Hamming distances between packed-bit descriptor arrays.
+
+    ``a`` is ``(Na, B)`` uint8, ``b`` is ``(Nb, B)`` uint8; the result is
+    ``(Na, Nb)`` uint16.
+    """
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise ValueError("descriptor arrays must be 2-D with equal byte width")
+    xor = np.bitwise_xor(a[:, None, :], b[None, :, :])
+    return _POPCOUNT[xor].sum(axis=2)
+
+
+def match_descriptors(
+    query: np.ndarray,
+    train: np.ndarray,
+    max_distance: int = 64,
+    ratio: float = 0.8,
+    mutual: bool = True,
+) -> List[Match]:
+    """Lowe-style matching.
+
+    A query descriptor matches its nearest train descriptor when the
+    distance is below ``max_distance``, beats the second-nearest by the
+    ``ratio`` test, and (if ``mutual``) the train descriptor's nearest
+    query is the same pair.
+    """
+    if len(query) == 0 or len(train) == 0:
+        return []
+    dist = hamming_matrix(query, train)
+    nearest = np.argmin(dist, axis=1)
+    best = dist[np.arange(len(query)), nearest]
+
+    matches: List[Match] = []
+    reverse_nearest = np.argmin(dist, axis=0) if mutual else None
+    for qi in range(len(query)):
+        ti = int(nearest[qi])
+        d = int(best[qi])
+        if d > max_distance:
+            continue
+        if len(train) > 1:
+            row = dist[qi].copy()
+            row[ti] = np.iinfo(row.dtype).max
+            second = int(row.min())
+            if second > 0 and d > ratio * second:
+                continue
+        if mutual and int(reverse_nearest[ti]) != qi:
+            continue
+        matches.append(Match(qi, ti, d))
+    return matches
+
+
+def match_points(
+    matches: List[Match],
+    query_xy: np.ndarray,
+    train_xy: np.ndarray,
+) -> np.ndarray:
+    """Stack matched coordinates into an ``(N, 4)`` array [qx qy tx ty]."""
+    if not matches:
+        return np.zeros((0, 4))
+    q = query_xy[[m.query for m in matches]]
+    t = train_xy[[m.train for m in matches]]
+    return np.hstack([q, t])

@@ -1,0 +1,115 @@
+"""Synthetic scenes and ground-truth homographies.
+
+The reproduction has no camera, so frames are synthesized: a textured
+background (smoothed noise) with high-contrast rectangles and discs
+provides corner-rich content, and successive "camera" frames are
+produced by warping the scene with small random homographies whose
+ground truth is known — letting tests assert estimator accuracy
+exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+
+def make_scene(
+    height: int = 240,
+    width: int = 320,
+    n_shapes: int = 24,
+    seed: int = 0,
+    texture_sigma: float = 3.0,
+) -> np.ndarray:
+    """A corner-rich grayscale scene in [0, 1], shape ``(height, width)``."""
+    rng = np.random.default_rng(seed)
+    img = ndimage.gaussian_filter(rng.random((height, width)), texture_sigma)
+    # Stretch the smoothed noise back to a decent contrast range.
+    img = (img - img.min()) / max(float(img.max() - img.min()), 1e-9)
+    for _ in range(n_shapes):
+        shade = rng.uniform(0.0, 1.0)
+        if rng.random() < 0.5:
+            h = int(rng.integers(8, height // 4))
+            w = int(rng.integers(8, width // 4))
+            y = int(rng.integers(0, height - h))
+            x = int(rng.integers(0, width - w))
+            img[y : y + h, x : x + w] = shade
+        else:
+            r = int(rng.integers(5, min(height, width) // 8))
+            cy = int(rng.integers(r, height - r))
+            cx = int(rng.integers(r, width - r))
+            yy, xx = np.ogrid[:height, :width]
+            mask = (yy - cy) ** 2 + (xx - cx) ** 2 <= r * r
+            img[mask] = shade
+    return img.astype(np.float64)
+
+
+def random_homography(
+    seed: int = 0,
+    max_rotation: float = 0.08,
+    max_translation: float = 12.0,
+    max_scale: float = 0.06,
+    max_perspective: float = 1.5e-4,
+    center: Tuple[float, float] = (160.0, 120.0),
+) -> np.ndarray:
+    """A small random homography (3x3, normalized ``H[2,2] == 1``).
+
+    Composed as translation ∘ rotation ∘ scale ∘ perspective about
+    ``center`` so warps look like modest camera motion between frames.
+    """
+    rng = np.random.default_rng(seed)
+    angle = rng.uniform(-max_rotation, max_rotation)
+    scale = 1.0 + rng.uniform(-max_scale, max_scale)
+    tx, ty = rng.uniform(-max_translation, max_translation, size=2)
+    px, py = rng.uniform(-max_perspective, max_perspective, size=2)
+    cx, cy = center
+
+    cos_a, sin_a = math.cos(angle), math.sin(angle)
+    similarity = np.array(
+        [
+            [scale * cos_a, -scale * sin_a, tx],
+            [scale * sin_a, scale * cos_a, ty],
+            [0.0, 0.0, 1.0],
+        ]
+    )
+    perspective = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [px, py, 1.0]])
+    to_center = np.array([[1.0, 0.0, -cx], [0.0, 1.0, -cy], [0.0, 0.0, 1.0]])
+    from_center = np.array([[1.0, 0.0, cx], [0.0, 1.0, cy], [0.0, 0.0, 1.0]])
+    h = from_center @ similarity @ perspective @ to_center
+    return h / h[2, 2]
+
+
+def apply_homography(h: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Map ``(N, 2)`` xy points through a 3x3 homography."""
+    points = np.asarray(points, dtype=np.float64)
+    ones = np.ones((points.shape[0], 1))
+    homo = np.hstack([points, ones]) @ h.T
+    return homo[:, :2] / homo[:, 2:3]
+
+
+def warp_image(img: np.ndarray, h: np.ndarray, fill: float = 0.0) -> np.ndarray:
+    """Warp ``img`` so output(x') = img(H^-1 x') with bilinear sampling."""
+    height, width = img.shape
+    h_inv = np.linalg.inv(h)
+    ys, xs = np.mgrid[0:height, 0:width]
+    coords = np.stack([xs.ravel(), ys.ravel()], axis=1).astype(np.float64)
+    src = apply_homography(h_inv, coords)
+    sx = src[:, 0].reshape(height, width)
+    sy = src[:, 1].reshape(height, width)
+
+    x0 = np.floor(sx).astype(int)
+    y0 = np.floor(sy).astype(int)
+    fx = sx - x0
+    fy = sy - y0
+    valid = (x0 >= 0) & (x0 < width - 1) & (y0 >= 0) & (y0 < height - 1)
+    x0c = np.clip(x0, 0, width - 2)
+    y0c = np.clip(y0, 0, height - 2)
+
+    top = img[y0c, x0c] * (1 - fx) + img[y0c, x0c + 1] * fx
+    bottom = img[y0c + 1, x0c] * (1 - fx) + img[y0c + 1, x0c + 1] * fx
+    out = top * (1 - fy) + bottom * fy
+    out[~valid] = fill
+    return out

@@ -1,0 +1,101 @@
+"""Glimpse-style lightweight inter-frame tracking.
+
+Glimpse (Chen et al., SenSys '15 — cited as [25]) keeps the full
+recognition pipeline on the server but runs cheap *tracking* on the
+device, offloading only "trigger" frames.  :class:`Tracker` follows
+that split: it propagates keypoints from the last processed keyframe by
+local patch search (SSD over a small window) and reports the fraction
+of lost points, which the application uses to decide when a new
+keyframe must be shipped to the server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.vision.features import Keypoint
+
+
+@dataclass
+class TrackResult:
+    """Outcome of tracking one frame against the current keyframe."""
+
+    points: np.ndarray          # (N, 2) tracked positions (NaN when lost)
+    lost_fraction: float
+    mean_residual: float
+
+    @property
+    def ok(self) -> bool:
+        return not np.isnan(self.points).all()
+
+
+class Tracker:
+    """Patch-SSD point tracker.
+
+    Parameters
+    ----------
+    patch_radius:
+        Half-size of the template patch taken around each keypoint.
+    search_radius:
+        Half-size of the search window in the new frame.
+    max_residual:
+        Mean-SSD threshold above which a point is declared lost.
+    """
+
+    def __init__(
+        self,
+        patch_radius: int = 6,
+        search_radius: int = 10,
+        max_residual: float = 0.02,
+    ) -> None:
+        self.patch_radius = patch_radius
+        self.search_radius = search_radius
+        self.max_residual = max_residual
+        self._keyframe: Optional[np.ndarray] = None
+        self._points: Optional[np.ndarray] = None
+
+    def set_keyframe(self, img: np.ndarray, keypoints: List[Keypoint]) -> None:
+        """Install a new keyframe (typically after server recognition)."""
+        self._keyframe = np.asarray(img, dtype=np.float64)
+        self._points = np.array([[kp.x, kp.y] for kp in keypoints], dtype=np.float64)
+
+    @property
+    def has_keyframe(self) -> bool:
+        return self._keyframe is not None and self._points is not None and len(self._points) > 0
+
+    def track(self, frame: np.ndarray) -> TrackResult:
+        """Locate each keyframe point in ``frame`` by local SSD search."""
+        if not self.has_keyframe:
+            raise RuntimeError("no keyframe installed")
+        frame = np.asarray(frame, dtype=np.float64)
+        height, width = frame.shape
+        pr, sr = self.patch_radius, self.search_radius
+        out = np.full_like(self._points, np.nan)
+        residuals: List[float] = []
+        for i, (x0, y0) in enumerate(self._points):
+            xi, yi = int(round(x0)), int(round(y0))
+            if not (pr <= xi < width - pr and pr <= yi < height - pr):
+                continue
+            template = self._keyframe[yi - pr : yi + pr + 1, xi - pr : xi + pr + 1]
+            best = (np.inf, xi, yi)
+            y_lo, y_hi = max(pr, yi - sr), min(height - pr - 1, yi + sr)
+            x_lo, x_hi = max(pr, xi - sr), min(width - pr - 1, xi + sr)
+            for yy in range(y_lo, y_hi + 1, 2):
+                for xx in range(x_lo, x_hi + 1, 2):
+                    patch = frame[yy - pr : yy + pr + 1, xx - pr : xx + pr + 1]
+                    ssd = float(((patch - template) ** 2).mean())
+                    if ssd < best[0]:
+                        best = (ssd, xx, yy)
+            if best[0] <= self.max_residual:
+                out[i] = (best[1], best[2])
+                residuals.append(best[0])
+        lost = float(np.isnan(out[:, 0]).mean()) if len(out) else 1.0
+        mean_res = float(np.mean(residuals)) if residuals else float("inf")
+        return TrackResult(points=out, lost_fraction=lost, mean_residual=mean_res)
+
+    def should_trigger(self, result: TrackResult, max_lost: float = 0.4) -> bool:
+        """Glimpse trigger rule: re-offload when too many points are lost."""
+        return result.lost_fraction > max_lost

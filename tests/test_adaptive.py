@@ -1,0 +1,118 @@
+"""Tests for vision-driven triggers and live strategy switching."""
+
+import numpy as np
+import pytest
+
+from repro.mar.adaptive import AdaptiveExecutor, AdaptiveTrackingOffload
+from repro.mar.application import APP_ARCHETYPES
+from repro.mar.decision import DecisionEngine
+from repro.mar.devices import SMART_GLASSES, SMARTPHONE
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.vision.pipeline import ArPipeline
+from repro.vision.synthetic import make_scene, random_homography, warp_image
+
+GAMING = APP_ARCHETYPES["gaming"]
+ORIENTATION = APP_ARCHETYPES["orientation"]
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return make_scene(240, 320, seed=8)
+
+
+class TestAdaptiveTrigger:
+    def test_first_frame_always_triggers(self, scene):
+        strategy = AdaptiveTrackingOffload(ArPipeline(scene))
+        assert strategy.observe_frame(scene) is True
+        assert strategy.plan_frame(GAMING, 0).needs_network
+
+    def test_static_scene_rarely_triggers(self, scene):
+        strategy = AdaptiveTrackingOffload(ArPipeline(scene))
+        strategy.observe_frame(scene)   # keyframe
+        for i in range(10):
+            # Barely-moving camera.
+            frame = warp_image(scene, random_homography(
+                seed=i, max_translation=1.0, max_rotation=0.005))
+            strategy.observe_frame(frame)
+        assert strategy.trigger_rate < 0.4
+
+    def test_scene_cut_triggers(self, scene):
+        strategy = AdaptiveTrackingOffload(ArPipeline(scene))
+        strategy.observe_frame(scene)
+        other = make_scene(240, 320, seed=77)   # unrelated content
+        assert strategy.observe_frame(other) is True
+
+    def test_fast_motion_triggers_more_than_slow(self, scene):
+        def run(translation):
+            strategy = AdaptiveTrackingOffload(ArPipeline(scene))
+            frame = scene
+            rng = np.random.default_rng(1)
+            for i in range(12):
+                h = random_homography(seed=int(rng.integers(1e6)),
+                                      max_translation=translation,
+                                      max_rotation=0.01)
+                frame = warp_image(frame, h)
+                strategy.observe_frame(frame)
+            return strategy.trigger_rate
+
+        assert run(25.0) > run(0.5)
+
+    def test_plan_follows_observation(self, scene):
+        strategy = AdaptiveTrackingOffload(ArPipeline(scene))
+        strategy.observe_frame(scene)             # trigger
+        assert strategy.plan_frame(GAMING, 0).needs_network
+        strategy.observe_frame(scene)             # perfect track
+        assert not strategy.plan_frame(GAMING, 1).needs_network
+
+    def test_fallback_interval_without_pipeline(self):
+        strategy = AdaptiveTrackingOffload(pipeline=None, fallback_interval=5)
+        flags = [strategy.plan_frame(GAMING, i).needs_network for i in range(10)]
+        assert flags == [True, False, False, False, False] * 2
+
+    def test_observe_requires_pipeline(self, scene):
+        with pytest.raises(RuntimeError):
+            AdaptiveTrackingOffload(pipeline=None).observe_frame(scene)
+
+
+class TestAdaptiveExecutor:
+    def scenario(self, rtt=0.020, seed=5):
+        sim = Simulator(seed=seed)
+        net = Network(sim)
+        net.add_host("client")
+        net.add_host("server")
+        net.add_duplex("server", "client", 80e6, 20e6, delay=rtt / 2)
+        net.build_routes()
+        return sim, net
+
+    def test_runs_a_session_with_engine_strategy(self):
+        sim, net = self.scenario()
+        executor = AdaptiveExecutor(net, "client", "server", GAMING,
+                                    SMART_GLASSES)
+        result = executor.run(n_frames=90)
+        assert result.frames_completed > 80
+        assert executor.strategy_timeline
+
+    def test_network_collapse_switches_strategy(self):
+        sim, net = self.scenario(rtt=0.012)
+        executor = AdaptiveExecutor(net, "client", "server", ORIENTATION,
+                                    SMART_GLASSES, decide_interval=0.5)
+        # Degrade the path sharply mid-session.
+        links = net.path_links("client", "server") + net.path_links("server", "client")
+
+        def collapse():
+            for link in links:
+                link.delay = 0.30
+
+        sim.schedule(4.0, collapse)
+        executor.run(n_frames=300)
+        used = executor.strategies_used()
+        assert len(used) >= 2        # at least one live switch happened
+        # The engine saw the RTT rise.
+        assert executor.engine.rtt_estimate > 0.1
+
+    def test_rtt_estimate_tracks_pings(self):
+        sim, net = self.scenario(rtt=0.050)
+        executor = AdaptiveExecutor(net, "client", "server", GAMING, SMARTPHONE)
+        executor.run(n_frames=60)
+        assert executor.engine.rtt_estimate == pytest.approx(0.05, abs=0.02)

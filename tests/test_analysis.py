@@ -1,0 +1,97 @@
+"""Tests for statistics and report-rendering helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.report import Figure, ascii_table, format_rate, format_time
+from repro.analysis.stats import mean, percentile, stddev, summarize, timeseries_bins
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_nan(self):
+        assert math.isnan(mean([]))
+
+    def test_stddev_constant_zero(self):
+        assert stddev([5.0, 5.0, 5.0]) == 0.0
+
+    def test_stddev_sample(self):
+        assert stddev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(2.138, abs=0.01)
+
+    def test_percentile_interpolates(self):
+        data = [0.0, 10.0]
+        assert percentile(data, 50) == 5.0
+
+    def test_percentile_bounds(self):
+        data = [1.0, 2.0, 3.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 3.0
+        with pytest.raises(ValueError):
+            percentile(data, 101)
+
+    def test_summarize(self):
+        s = summarize(list(range(101)))
+        assert s.n == 101
+        assert s.p50 == 50
+        assert s.minimum == 0 and s.maximum == 100
+
+    def test_summarize_empty(self):
+        s = summarize([])
+        assert s.n == 0
+        assert math.isnan(s.mean)
+
+    def test_timeseries_bins(self):
+        samples = [(0.1, 1.0), (0.2, 3.0), (1.5, 10.0)]
+        bins = timeseries_bins(samples, 1.0)
+        assert bins == [(0.0, 2.0), (1.0, 10.0)]
+
+    def test_timeseries_bins_validation(self):
+        with pytest.raises(ValueError):
+            timeseries_bins([], 0.0)
+
+
+class TestFormatting:
+    def test_format_rate_units(self):
+        assert format_rate(1.5e9) == "1.50 Gb/s"
+        assert format_rate(12e6) == "12.00 Mb/s"
+        assert format_rate(2_000) == "2.00 Kb/s"
+        assert format_rate(500) == "500 b/s"
+
+    def test_format_time_units(self):
+        assert format_time(1.5) == "1.50 s"
+        assert format_time(0.0123) == "12.3 ms"
+        assert format_time(2e-5) == "20 µs"
+
+    def test_ascii_table_alignment(self):
+        out = ascii_table(["name", "v"], [["a", 1], ["longer", 22]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert all(len(l) == len(lines[1]) for l in lines[3:])
+
+    def test_ascii_table_empty_rows(self):
+        out = ascii_table(["x"], [])
+        assert "x" in out
+
+
+class TestFigure:
+    def test_render_contains_series_glyphs(self):
+        fig = Figure("demo", width=40, height=8)
+        fig.add_series("up", [(0, 0), (1, 1), (2, 2)])
+        fig.add_series("down", [(0, 2), (1, 1), (2, 0)])
+        out = fig.render()
+        assert "demo" in out
+        assert "*=up" in out and "o=down" in out
+        assert "*" in out and "o" in out
+
+    def test_render_empty(self):
+        assert "(no data)" in Figure("empty").render()
+
+    def test_render_flat_series(self):
+        fig = Figure("flat", width=20, height=4)
+        fig.add_series("s", [(0, 5.0), (1, 5.0)])
+        out = fig.render()
+        assert "*" in out

@@ -1,0 +1,119 @@
+"""Tests for the object cache and the energy model."""
+
+import pytest
+
+from repro.mar.cache import ObjectCache
+from repro.mar.devices import DESKTOP, SMART_GLASSES, SMARTPHONE
+from repro.mar.energy import (
+    EnergyModel,
+    JOULES_PER_MEGACYCLE,
+    RADIO_JOULES_PER_BYTE,
+    battery_life_hours,
+)
+
+
+class TestObjectCache:
+    def test_miss_then_hit(self):
+        cache = ObjectCache(capacity_bytes=10_000)
+        assert not cache.request("a", 1000)
+        assert cache.request("a", 1000)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = ObjectCache(capacity_bytes=3000)
+        cache.request("a", 1000)
+        cache.request("b", 1000)
+        cache.request("c", 1000)
+        cache.request("a", 1000)  # refresh a
+        cache.request("d", 1000)  # evicts b (least recently used)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache and "d" in cache
+
+    def test_oversized_object_never_cached(self):
+        cache = ObjectCache(capacity_bytes=500)
+        cache.request("huge", 1000)
+        assert "huge" not in cache
+        assert cache.used_bytes == 0
+
+    def test_byte_budget_respected(self):
+        cache = ObjectCache(capacity_bytes=2500)
+        for key in "abcde":
+            cache.request(key, 1000)
+        assert cache.used_bytes <= 2500
+
+    def test_prefetch_warms(self):
+        cache = ObjectCache(capacity_bytes=10_000)
+        admitted = cache.prefetch([("a", 1000), ("b", 1000)])
+        assert admitted == 2
+        assert cache.request("a", 1000)
+        assert cache.hit_ratio == 1.0
+
+    def test_prefetch_skips_existing_and_oversized(self):
+        cache = ObjectCache(capacity_bytes=1500)
+        cache.prefetch([("a", 1000)])
+        admitted = cache.prefetch([("a", 1000), ("big", 5000)])
+        assert admitted == 0
+
+    def test_hit_ratio_empty(self):
+        assert ObjectCache(1000).hit_ratio == 0.0
+
+    def test_reset_stats(self):
+        cache = ObjectCache(1000)
+        cache.request("a", 100)
+        cache.reset_stats()
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ObjectCache(0)
+
+
+class TestEnergyModel:
+    def test_compute_energy(self):
+        e = EnergyModel()
+        e.on_compute(100.0)
+        assert e.compute_joules == pytest.approx(100.0 * JOULES_PER_MEGACYCLE)
+
+    def test_lte_costs_more_than_wifi_per_byte(self):
+        wifi = EnergyModel(radio="wifi")
+        lte = EnergyModel(radio="lte")
+        wifi.on_transfer(1_000_000)
+        lte.on_transfer(1_000_000)
+        assert lte.radio_joules > wifi.radio_joules
+
+    def test_burst_tail_energy(self):
+        e = EnergyModel(radio="lte")
+        e.on_transfer(100, new_burst=True)
+        e.on_transfer(100, new_burst=False)
+        assert e.bursts == 1
+        tail_only = e.radio_joules - 200 * RADIO_JOULES_PER_BYTE["lte"]
+        assert tail_only > 0
+
+    def test_total_includes_baseline(self):
+        e = EnergyModel()
+        assert e.total(10.0) == pytest.approx(9.0)  # 0.9 W baseline
+
+
+class TestBatteryLife:
+    def test_mains_powered_returns_none(self):
+        assert battery_life_hours(DESKTOP, 100, 0, 0) is None
+
+    def test_glasses_die_faster_than_phone(self):
+        glasses = battery_life_hours(SMART_GLASSES, 200, 10_000, 1_000)
+        phone = battery_life_hours(SMARTPHONE, 200, 10_000, 1_000)
+        assert glasses < phone
+
+    def test_lte_offload_shortens_life_vs_wifi(self):
+        wifi = battery_life_hours(SMARTPHONE, 100, 500_000, 10_000, radio="wifi")
+        lte = battery_life_hours(SMARTPHONE, 100, 500_000, 10_000, radio="lte")
+        assert lte < wifi
+
+    def test_offloading_can_extend_life_on_wifi(self):
+        # Local: heavy compute. Offload: light compute + WiFi radio.
+        local = battery_life_hours(SMARTPHONE, 12_000, 0, 0)
+        offload = battery_life_hours(SMARTPHONE, 1_200, 400_000, 20_000, radio="wifi")
+        assert offload > local
+
+    def test_idle_life_in_plausible_range(self):
+        hours = battery_life_hours(SMARTPHONE, 0, 0, 0, bursts_per_s=0)
+        assert 6 <= hours <= 16  # Table I: 6-8 h of active use

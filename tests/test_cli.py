@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import DEMOS, main
+
+
+def test_list_runs(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "quickstart" in out
+    assert "anomaly" in out
+
+
+def test_demo_anomaly(capsys):
+    assert main(["demo", "anomaly"]) == 0
+    out = capsys.readouterr().out
+    assert "performance anomaly" in out
+    assert "Mb/s" in out
+
+
+def test_demo_quickstart(capsys):
+    assert main(["demo", "quickstart"]) == 0
+    out = capsys.readouterr().out
+    assert "MOS" in out
+    assert "connection-metadata" in out
+
+
+def test_demo_table2(capsys):
+    assert main(["demo", "table2"]) == 0
+    out = capsys.readouterr().out
+    assert "cloud server / LTE" in out
+
+
+def test_unknown_demo(capsys):
+    assert main(["demo", "nope"]) == 2
+    assert "unknown demo" in capsys.readouterr().err
+
+
+def test_show_missing_report(capsys):
+    assert main(["show", "ZZZ_does_not_exist"]) == 2
+
+
+def test_every_registered_demo_returns_text():
+    for name, fn in DEMOS.items():
+        text = fn()
+        assert isinstance(text, str) and len(text) > 50, name

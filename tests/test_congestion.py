@@ -1,0 +1,109 @@
+"""Unit tests for the graceful-degradation rate controller."""
+
+import pytest
+
+from repro.core.congestion import RateController
+
+
+def test_budget_starts_at_initial():
+    ctl = RateController(initial_bps=1e6)
+    assert ctl.budget_bps == 1e6
+
+
+def test_additive_increase_without_congestion():
+    ctl = RateController(initial_bps=1e6, increase_quantum_bps=100_000)
+    for i in range(10):
+        ctl.on_rtt_sample(0.02, now=i * 0.05)
+    assert ctl.budget_bps == pytest.approx(2e6)
+
+
+def test_heavy_loss_triggers_multiplicative_decrease():
+    ctl = RateController(initial_bps=1e6, beta=0.5)
+    ctl.on_loss(0.25, now=1.0)
+    assert ctl.budget_bps == pytest.approx(5e5)
+    assert ctl.congestion_events == 1
+
+
+def test_moderate_loss_needs_delay_corroboration():
+    """Random wireless loss alone is not congestion; loss plus elevated
+    queuing delay is."""
+    ctl = RateController(initial_bps=1e6, delay_threshold=0.015)
+    ctl.on_loss(0.05, now=1.0)
+    assert ctl.budget_bps == 1e6          # no delay evidence -> ignored
+    ctl.on_rtt_sample(0.020, now=1.1)     # base
+    for i in range(30):
+        ctl.on_rtt_sample(0.032, now=1.2 + i * 0.01)  # mild queuing
+    before = ctl.budget_bps
+    ctl.on_loss(0.05, now=2.0)
+    assert ctl.budget_bps < before
+
+
+def test_tiny_loss_ignored():
+    ctl = RateController(initial_bps=1e6)
+    ctl.on_loss(0.005, now=1.0)
+    assert ctl.budget_bps == 1e6
+
+
+def test_delay_rise_treated_as_congestion():
+    ctl = RateController(initial_bps=1e6, delay_threshold=0.015)
+    ctl.on_rtt_sample(0.020, now=0.0)   # establishes base
+    # Queueing grows well past base + threshold.
+    for i in range(20):
+        ctl.on_rtt_sample(0.080, now=0.1 + i * 0.05)
+    assert ctl.congestion_events >= 1
+    assert ctl.budget_bps < 1e6
+
+
+def test_refractory_period_limits_decreases():
+    ctl = RateController(initial_bps=1e6, beta=0.5, reaction_interval=1.0)
+    ctl.on_loss(0.3, now=0.0)
+    ctl.on_loss(0.3, now=0.1)  # inside the refractory window
+    assert ctl.budget_bps == pytest.approx(5e5)
+    ctl.on_loss(0.3, now=2.0)
+    assert ctl.budget_bps == pytest.approx(2.5e5)
+
+
+def test_budget_floor_respected():
+    ctl = RateController(initial_bps=1e6, min_bps=4e5, beta=0.1,
+                         reaction_interval=0.0)
+    for i in range(10):
+        ctl.on_loss(0.5, now=float(i))
+    assert ctl.budget_bps == 4e5
+
+
+def test_budget_ceiling_respected():
+    ctl = RateController(initial_bps=1e9, max_bps=1e9, increase_quantum_bps=1e8)
+    ctl.on_rtt_sample(0.01, now=0.0)
+    assert ctl.budget_bps == 1e9
+
+
+def test_base_rtt_tracks_minimum():
+    ctl = RateController()
+    ctl.on_rtt_sample(0.050, 0.0)
+    ctl.on_rtt_sample(0.030, 0.1)
+    ctl.on_rtt_sample(0.060, 0.2)
+    assert ctl.base_rtt == pytest.approx(0.030)
+
+
+def test_queuing_delay_estimate():
+    ctl = RateController(delay_threshold=1.0)  # disable reactions
+    ctl.on_rtt_sample(0.020, 0.0)
+    for i in range(50):
+        ctl.on_rtt_sample(0.060, 0.1 + i * 0.01)
+    assert ctl.queuing_delay == pytest.approx(0.040, abs=0.01)
+
+
+def test_trace_records_changes():
+    ctl = RateController()
+    ctl.on_rtt_sample(0.02, 0.0)
+    ctl.on_loss(0.3, 1.0)
+    assert len(ctl.trace) == 2
+    times = [t for t, _ in ctl.trace]
+    assert times == sorted(times)
+
+
+def test_invalid_rtt_ignored():
+    ctl = RateController(initial_bps=1e6)
+    ctl.on_rtt_sample(-0.01, 0.0)
+    assert ctl.srtt is None
+    assert ctl.budget_bps == 1e6

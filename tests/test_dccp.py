@@ -1,0 +1,82 @@
+"""Unit tests for the DCCP-like TFRC transport."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.simnet.queues import DropTailQueue
+from repro.transport.dccp import DccpSocket, tcp_friendly_rate
+
+
+def make_net(up=5e6, loss=0.0, delay=0.01):
+    sim = Simulator(seed=2)
+    net = Network(sim)
+    net.add_host("a")
+    net.add_host("b")
+    net.add_duplex("b", "a", 50e6, up, delay=delay, loss=loss,
+                   queue_up=DropTailQueue(50))
+    net.build_routes()
+    return sim, net
+
+
+class TestEquation:
+    def test_rate_decreases_with_loss(self):
+        low = tcp_friendly_rate(1200, 0.05, 0.001)
+        high = tcp_friendly_rate(1200, 0.05, 0.05)
+        assert low > high
+
+    def test_rate_decreases_with_rtt(self):
+        fast = tcp_friendly_rate(1200, 0.01, 0.01)
+        slow = tcp_friendly_rate(1200, 0.2, 0.01)
+        assert fast > slow
+
+    def test_zero_rtt_unbounded(self):
+        assert tcp_friendly_rate(1200, 0.0, 0.01) == float("inf")
+
+
+class TestSocket:
+    def test_delivers_datagrams(self):
+        sim, net = make_net()
+        got = []
+        DccpSocket(net["b"], 9, on_receive=got.append)
+        sender = DccpSocket(net["a"], 10, dst="b", dst_port=9)
+        sender.start(lambda: 1200)
+        sim.run(until=5.0)
+        sender.stop()
+        assert len(got) > 50
+
+    def test_sender_requires_destination(self):
+        sim, net = make_net()
+        sock = DccpSocket(net["a"], 10)
+        with pytest.raises(RuntimeError):
+            sock.start(lambda: 100)
+
+    def test_rate_backs_off_under_loss(self):
+        sim, net = make_net(up=2e6, loss=0.05)
+        DccpSocket(net["b"], 9)
+        sender = DccpSocket(net["a"], 10, dst="b", dst_port=9,
+                            initial_rate_bps=10e6)
+        sender.start(lambda: 1200)
+        sim.run(until=30.0)
+        assert sender.allowed_rate_bps < 10e6
+        assert len(sender.rate_trace) > 5
+
+    def test_rate_converges_near_bottleneck_without_wire_loss(self):
+        sim, net = make_net(up=3e6)
+        receiver = DccpSocket(net["b"], 9)
+        sender = DccpSocket(net["a"], 10, dst="b", dst_port=9,
+                            initial_rate_bps=200_000)
+        sender.start(lambda: 1200)
+        sim.run(until=30.0)
+        # Queue drops at the bottleneck bound the rate near 3 Mb/s.
+        assert 1e6 < sender.allowed_rate_bps < 12e6
+
+    def test_skip_slots_send_nothing(self):
+        sim, net = make_net()
+        got = []
+        DccpSocket(net["b"], 9, on_receive=got.append)
+        sender = DccpSocket(net["a"], 10, dst="b", dst_port=9)
+        sender.start(lambda: None)
+        sim.run(until=2.0)
+        assert got == []
+        assert sender.datagrams_sent == 0

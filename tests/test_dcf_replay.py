@@ -1,0 +1,181 @@
+"""Tests for the slot-level DCF MAC and trace-replay links."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.simnet.packet import Packet
+from repro.simnet.replay import TraceReplayLink, commute_trace
+from repro.wireless.dcf import CW_MIN, DcfChannel, DcfStation
+from repro.wireless.wifi import anomaly_throughput
+
+
+class TestDcf:
+    def run_channel(self, rates, until=5.0, seed=1):
+        sim = Simulator(seed=seed)
+        channel = DcfChannel(sim)
+        stations = [
+            channel.add_station(DcfStation(f"s{i}", rate))
+            for i, rate in enumerate(rates)
+        ]
+        sim.run(until=until)
+        return channel, stations
+
+    def test_single_station_never_collides(self):
+        channel, stations = self.run_channel([54e6])
+        assert channel.total_collisions == 0
+        assert stations[0].frames_sent > 100
+
+    def test_collision_probability_grows_with_stations(self):
+        probs = []
+        for n in (2, 5, 15):
+            channel, _ = self.run_channel([54e6] * n)
+            probs.append(channel.collision_probability)
+        assert probs[0] < probs[1] < probs[2]
+        assert probs[0] > 0.0
+
+    def test_aggregate_goodput_decays_under_heavy_contention(self):
+        few = self.run_channel([54e6] * 2)[0]
+        many = self.run_channel([54e6] * 25)[0]
+        assert many.aggregate_throughput_bps(1, 5) < few.aggregate_throughput_bps(1, 5)
+
+    def test_fair_share_between_equal_stations(self):
+        channel, stations = self.run_channel([54e6, 54e6], until=10.0)
+        a = stations[0].throughput_bps(1, 10)
+        b = stations[1].throughput_bps(1, 10)
+        assert a == pytest.approx(b, rel=0.1)
+
+    def test_performance_anomaly_emerges_at_slot_level(self):
+        """The Heusse anomaly is a MAC property — it must appear in the
+        slot-level model too, near the airtime-model prediction."""
+        channel, stations = self.run_channel([54e6, 18e6], until=10.0)
+        fast, slow = stations
+        assert fast.throughput_bps(1, 10) == pytest.approx(
+            slow.throughput_bps(1, 10), rel=0.15)
+        predicted = anomaly_throughput([54e6, 18e6])[0]
+        # Same ballpark as the airtime grant model (the two models use
+        # different per-frame overhead constants, so only the anomaly
+        # equalization — not the absolute rate — is expected to agree).
+        assert fast.throughput_bps(1, 10) == pytest.approx(predicted, rel=0.25)
+
+    def test_binary_exponential_backoff_resets_on_success(self):
+        channel, stations = self.run_channel([54e6] * 3, until=2.0)
+        # After many successes, CWs sit at CW_MIN between collisions.
+        assert any(s.cw == CW_MIN for s in stations)
+        assert all(s.collisions > 0 for s in stations)
+
+    def test_duplicate_station_rejected(self):
+        sim = Simulator()
+        channel = DcfChannel(sim)
+        channel.add_station(DcfStation("x", 54e6))
+        with pytest.raises(ValueError):
+            channel.add_station(DcfStation("x", 54e6))
+
+
+class Collector:
+    def __init__(self, sim, name):
+        self.sim = sim
+        self.name = name
+        self.arrivals = []
+        self.interfaces = []
+
+    def add_interface(self, link):
+        self.interfaces.append(link)
+
+    def receive(self, packet, via=None):
+        self.arrivals.append((self.sim.now, packet))
+
+
+class TestTraceReplay:
+    def make(self, trace, **kw):
+        sim = Simulator(seed=2)
+        src = Collector(sim, "src")
+        dst = Collector(sim, "dst")
+        link = TraceReplayLink(sim, src, dst, trace, **kw)
+        return sim, src, dst, link
+
+    def test_rate_follows_breakpoints(self):
+        trace = [(0.0, 1e6), (1.0, 5e6), (2.0, 2e6)]
+        sim, _, _, link = self.make(trace, loop_at=10.0)
+        sim.run(until=0.5)
+        assert link.rate_bps == 1e6
+        sim.run(until=1.5)
+        assert link.rate_bps == 5e6
+        sim.run(until=2.5)
+        assert link.rate_bps == 2e6
+
+    def test_trace_loops(self):
+        trace = [(0.0, 1e6), (1.0, 5e6)]
+        sim, _, _, link = self.make(trace, loop_at=2.0)
+        sim.run(until=2.5)   # wrapped: back to the first segment
+        assert link.rate_bps == 1e6
+        sim.run(until=3.5)
+        assert link.rate_bps == 5e6
+
+    def test_outage_holds_packets_until_recovery(self):
+        trace = [(0.0, 8e6), (1.0, 0.0), (3.0, 8e6)]
+        sim, _, dst, link = self.make(trace, loop_at=100.0)
+        # One packet queued during the outage window.
+        sim.run(until=1.5)
+        assert link.in_outage
+        link.send(Packet(src="src", dst="dst", size=1000))
+        sim.run(until=2.9)
+        assert dst.arrivals == []          # stuck behind the outage
+        sim.run(until=3.6)
+        assert len(dst.arrivals) == 1      # drained after recovery
+
+    def test_validation(self):
+        sim = Simulator()
+        src, dst = Collector(sim, "a"), Collector(sim, "b")
+        with pytest.raises(ValueError):
+            TraceReplayLink(sim, src, dst, [])
+        with pytest.raises(ValueError):
+            TraceReplayLink(sim, src, dst, [(1.0, 1e6), (0.5, 1e6)])
+        with pytest.raises(ValueError):
+            TraceReplayLink(sim, src, dst, [(0.0, -5.0)])
+
+    def test_commute_trace_shape(self):
+        trace = commute_trace()
+        rates = [r for _, r in trace]
+        assert 0.0 in rates                      # the tunnel
+        assert max(rates) == 15e6                # at the stop
+        times = [t for t, _ in trace]
+        assert times == sorted(times)
+
+    def test_martp_survives_commute(self):
+        """End-to-end: an MARTP session over the commute trace keeps the
+        critical class alive through the tunnel outage."""
+        from repro.core.protocol import MartpReceiver, MartpSender, PathEndpoint
+        from repro.core.scheduler import PathState
+        from repro.core.traffic import mar_baseline_streams
+        from repro.simnet.queues import DropTailQueue
+        from repro.transport.udp import UdpSocket
+
+        sim = Simulator(seed=3)
+        net = Network(sim)
+        net.add_host("client")
+        net.add_host("server")
+        uplink = TraceReplayLink(
+            sim, net["client"], net["server"], commute_trace(),
+            delay=0.020, queue=DropTailQueue(500))
+        net.links.append(uplink)
+        net.add_link("server", "client", 50e6, delay=0.020)
+        net.build_routes()
+
+        streams = mar_baseline_streams()
+        receiver = MartpReceiver(net["server"], 7000, streams)
+        endpoint = PathEndpoint(state=PathState(name="lte"),
+                                socket=UdpSocket(net["client"], 6000),
+                                dst="server", dst_port=7000)
+        sender = MartpSender([endpoint], streams)
+        sender.start()
+        sender.attach_rate_driver(0)
+        sender.attach_rate_driver(1)
+        sender.attach_rate_driver(3)
+        sim.run(until=70.0)   # one full commute loop
+        meta_rx = receiver.stream_stats(0)
+        assert meta_rx.received > 0
+        # Budget collapsed during the tunnel but recovered after.
+        trace = sender.controller.trace
+        post_tunnel = [b for t, b in trace if t > 55.0]
+        assert post_tunnel and max(post_tunnel) > 1e6

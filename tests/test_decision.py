@@ -1,0 +1,162 @@
+"""Tests for the runtime offloading decision engine."""
+
+import pytest
+
+from repro.mar.application import APP_ARCHETYPES
+from repro.mar.decision import DecisionEngine
+from repro.mar.devices import DESKTOP, SMART_GLASSES, SMARTPHONE
+from repro.mar.offload import FeatureOffload, FullOffload, LocalOnly, TrackingOffload
+
+GAMING = APP_ARCHETYPES["gaming"]
+ORIENTATION = APP_ARCHETYPES["orientation"]
+
+
+def engine(device=SMARTPHONE, app=GAMING, **kw):
+    return DecisionEngine(device, app, **kw)
+
+
+class TestEstimates:
+    def test_ewma_converges(self):
+        e = engine()
+        for _ in range(60):
+            e.observe_rtt(0.040)
+        assert e.rtt_estimate == pytest.approx(0.040, abs=1e-4)
+
+    def test_invalid_samples_ignored(self):
+        e = engine()
+        e.observe_rtt(-1.0)
+        e.observe_uplink(0.0)
+        assert not e.network_known
+
+    def test_battery_clamped(self):
+        e = engine()
+        e.observe_battery(1.5)
+        assert e.battery_fraction == 1.0
+        e.observe_battery(-0.1)
+        assert e.battery_fraction == 0.0
+
+
+class TestDecisions:
+    def feed_network(self, e, rtt, up_bps):
+        for _ in range(30):
+            e.observe_rtt(rtt)
+            e.observe_uplink(up_bps)
+
+    def test_without_network_stays_local(self):
+        e = engine()
+        assert isinstance(e.decide(), LocalOnly)
+
+    def test_weak_device_good_network_offloads(self):
+        e = engine(device=SMART_GLASSES)
+        self.feed_network(e, rtt=0.012, up_bps=25e6)
+        decision = e.decide()
+        assert not isinstance(decision, LocalOnly)
+
+    def test_strong_device_prefers_local(self):
+        e = engine(device=DESKTOP, app=GAMING)
+        self.feed_network(e, rtt=0.040, up_bps=10e6)
+        assert isinstance(e.decide(), LocalOnly)
+
+    def test_bad_network_falls_back_to_local_even_if_slow(self):
+        e = engine(device=SMART_GLASSES, app=ORIENTATION)
+        self.feed_network(e, rtt=0.020, up_bps=20e6)
+        first = e.decide()
+        assert not isinstance(first, LocalOnly)
+        # Network collapses: 600 ms RTT, dial-up uplink.
+        self.feed_network(e, rtt=0.600, up_bps=100e3)
+        second = e.decide()
+        # Nothing meets the deadline now; the engine picks the least bad
+        # — which must not be a full-frame upload over 100 Kb/s.
+        assert not isinstance(second, FullOffload)
+
+    def test_low_battery_prefers_energy(self):
+        e = engine(device=SMARTPHONE, app=ORIENTATION)
+        self.feed_network(e, rtt=0.010, up_bps=30e6)
+        e.observe_battery(1.0)
+        normal = e.decide()
+        e2 = engine(device=SMARTPHONE, app=ORIENTATION)
+        self.feed_network(e2, rtt=0.010, up_bps=30e6)
+        e2.observe_battery(0.05)
+        frugal = e2.decide()
+        f_normal = e.forecast(normal)
+        f_frugal = e2.forecast(frugal)
+        assert f_frugal.energy_joules <= f_normal.energy_joules + 1e-9
+
+    def test_hysteresis_prevents_flapping(self):
+        e = engine(device=SMART_GLASSES, switch_margin=0.3)
+        self.feed_network(e, rtt=0.015, up_bps=20e6)
+        e.decide()
+        switches_before = e.switches
+        # Tiny oscillation in RTT must not flip the strategy.
+        for rtt in (0.016, 0.014, 0.0155, 0.0145) * 5:
+            e.observe_rtt(rtt)
+            e.decide()
+        assert e.switches == switches_before
+
+    def test_feasibility_always_overrides_hysteresis(self):
+        """When the incumbent breaks its deadline and a challenger still
+        meets it, the switch happens regardless of the margin."""
+        from repro.mar.application import MarApplication
+        from repro.mar.devices import TABLET
+
+        app = MarApplication(
+            name="custom", description="override scenario", fps=20,
+            megacycles_per_frame=360.0, db_requests_per_s=0, object_bytes=0,
+            deadline=0.150, frame_upload_bytes=18_000,
+            feature_upload_bytes=1_200, result_bytes=1_000,
+        )
+        e = DecisionEngine(TABLET, app, switch_margin=10.0)
+        self.feed_network(e, rtt=0.010, up_bps=30e6)
+        first = e.decide()
+        assert e.forecast(first).meets_deadline
+        assert not isinstance(first, FeatureOffload)  # cheaper options exist
+        # Uplink collapses: the frame-shipping strategies break their
+        # deadline; only the thin feature upload still fits.
+        self.feed_network(e, rtt=0.010, up_bps=400e3)
+        second = e.decide()
+        assert isinstance(second, FeatureOffload)
+        assert e.forecast(second).meets_deadline
+        assert not e.forecast(first).meets_deadline
+
+    def test_history_records_switches(self):
+        e = engine(device=SMART_GLASSES)
+        self.feed_network(e, rtt=0.010, up_bps=30e6)
+        e.decide(now=1.0)
+        assert e.history and e.history[0][0] == 1.0
+
+
+class TestForecasts:
+    def test_tracking_latency_between_local_and_full(self):
+        e = engine(device=SMARTPHONE, app=GAMING)
+        for _ in range(30):
+            e.observe_rtt(0.040)
+            e.observe_uplink(15e6)
+        tracked = e.forecast(TrackingOffload()).latency
+        full = e.forecast(FullOffload()).latency
+        local = e.forecast(LocalOnly()).latency
+        assert tracked < full
+        assert tracked < local
+
+    def test_feature_offload_wins_on_starved_uplink(self):
+        """Features ship 4x fewer bytes, so on a thin uplink the feature
+        split's latency beats the full-frame upload despite its larger
+        on-device compute share."""
+        e = engine(device=SMARTPHONE, app=GAMING, radio="lte")
+        for _ in range(30):
+            e.observe_rtt(0.030)
+            e.observe_uplink(600e3)   # starved uplink
+        features = e.forecast(FeatureOffload())
+        full = e.forecast(FullOffload())
+        assert features.latency < full.latency
+
+    def test_full_offload_more_energy_frugal_than_feature_split(self):
+        """With WiFi-class radio energy, shipping the frame costs less
+        energy than computing the extraction locally — one reason full
+        offload exists at all."""
+        e = engine(device=SMARTPHONE, app=GAMING, radio="wifi")
+        for _ in range(30):
+            e.observe_rtt(0.030)
+            e.observe_uplink(15e6)
+        features = e.forecast(FeatureOffload())
+        full = e.forecast(FullOffload())
+        assert full.energy_joules < features.energy_joules

@@ -1,0 +1,131 @@
+"""Unit tests for the degradation (allocation) controller."""
+
+import pytest
+
+from repro.core.degradation import DegradationController
+from repro.core.traffic import Priority, StreamSpec, TrafficClass, mar_baseline_streams
+
+
+def spec(sid, priority, nominal, floor=0.0, name=None):
+    return StreamSpec(
+        stream_id=sid,
+        name=name or f"s{sid}",
+        traffic_class=TrafficClass.FULL_BEST_EFFORT,
+        priority=priority,
+        nominal_rate_bps=nominal,
+        min_rate_bps=floor,
+    )
+
+
+def test_abundant_budget_gives_everyone_nominal():
+    ctl = DegradationController(mar_baseline_streams())
+    total_nominal = sum(s.nominal_rate_bps for s in ctl.streams)
+    alloc = ctl.allocate(total_nominal * 2)
+    for s in ctl.streams:
+        assert alloc.rate(s.stream_id) == pytest.approx(s.nominal_rate_bps)
+        assert alloc.quality[s.stream_id] == pytest.approx(1.0)
+    assert alloc.dropped == []
+
+
+def test_moderate_congestion_sheds_lowest_priority_first():
+    streams = mar_baseline_streams(video_nominal_bps=8e6)
+    ctl = DegradationController(streams)
+    # Enough for everything except full interframe quality.
+    alloc = ctl.allocate(4e6)
+    assert alloc.quality[0] == pytest.approx(1.0)      # metadata intact
+    assert alloc.quality[2] == pytest.approx(1.0)      # ref frames intact
+    assert alloc.quality[3] < 0.5                      # interframes degraded
+
+
+def test_severe_congestion_drops_droppables_keeps_guarantees():
+    streams = mar_baseline_streams(video_nominal_bps=8e6, ref_frame_bps=1.2e6)
+    ctl = DegradationController(streams)
+    meta = streams[0]
+    # Budget below even metadata+sensors floors.
+    alloc = ctl.allocate(meta.min_rate_bps * 1.5)
+    assert alloc.rate(0) == pytest.approx(meta.min_rate_bps)  # metadata kept
+    assert 3 in alloc.dropped                                  # interframes gone
+
+
+def test_guaranteed_floor_never_dropped_even_overcommitted():
+    streams = [
+        spec(0, Priority.HIGHEST, 1e6, floor=1e6),
+        spec(1, Priority.MEDIUM_NO_DISCARD, 1e6, floor=5e5),
+    ]
+    ctl = DegradationController(streams)
+    alloc = ctl.allocate(1e5)  # far below both floors
+    assert alloc.rate(0) == 1e6
+    assert alloc.rate(1) == 5e5
+    assert alloc.overcommitted
+
+
+def test_priority_order_of_topup():
+    streams = [
+        spec(0, Priority.HIGHEST, 2e6),
+        spec(1, Priority.LOWEST, 2e6),
+    ]
+    ctl = DegradationController(streams)
+    alloc = ctl.allocate(3e6)
+    assert alloc.rate(0) == pytest.approx(2e6)
+    assert alloc.rate(1) == pytest.approx(1e6)
+
+
+def test_droppable_floor_unfundable_is_dropped():
+    streams = [
+        spec(0, Priority.HIGHEST, 1e6, floor=1e6),
+        spec(1, Priority.LOWEST, 1e6, floor=5e5),
+    ]
+    ctl = DegradationController(streams)
+    alloc = ctl.allocate(1.2e6)
+    assert alloc.rate(0) == 1e6
+    # Floor of 5e5 cannot be funded with 2e5 left -> dropped entirely...
+    # remaining 2e5 then tops up nothing else.
+    assert 1 in alloc.dropped
+    assert alloc.rate(1) == 0.0
+
+
+def test_quality_fraction():
+    streams = [spec(0, Priority.HIGHEST, 4e6)]
+    ctl = DegradationController(streams)
+    alloc = ctl.allocate(1e6)
+    assert alloc.quality[0] == pytest.approx(0.25)
+
+
+def test_total_never_exceeds_budget_without_guarantees():
+    streams = [
+        spec(0, Priority.HIGHEST, 3e6),
+        spec(1, Priority.MEDIUM_NO_DELAY, 3e6),
+        spec(2, Priority.LOWEST, 3e6),
+    ]
+    ctl = DegradationController(streams)
+    for budget in (1e5, 1e6, 5e6, 2e7):
+        alloc = ctl.allocate(budget)
+        assert alloc.total_bps <= budget + 1e-6
+
+
+def test_duplicate_ids_rejected():
+    streams = [spec(0, Priority.HIGHEST, 1.0), spec(0, Priority.LOWEST, 1.0)]
+    with pytest.raises(ValueError):
+        DegradationController(streams)
+
+
+def test_guaranteed_floor_helper():
+    streams = mar_baseline_streams()
+    ctl = DegradationController(streams)
+    expected = streams[0].min_rate_bps + streams[1].min_rate_bps + streams[2].min_rate_bps
+    assert ctl.guaranteed_floor_bps() == pytest.approx(expected)
+
+
+def test_history_recorded():
+    ctl = DegradationController(mar_baseline_streams())
+    ctl.allocate(1e6, now=1.0)
+    ctl.allocate(2e6, now=2.0)
+    assert len(ctl.history) == 2
+    assert ctl.history[0][0] == 1.0
+
+
+def test_spec_lookup():
+    ctl = DegradationController(mar_baseline_streams())
+    assert ctl.spec(2).name == "video-reference-frames"
+    with pytest.raises(KeyError):
+        ctl.spec(99)

@@ -1,0 +1,154 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.3, fired.append, "c")
+    sim.schedule(0.1, fired.append, "a")
+    sim.schedule(0.2, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_break_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for tag in "abc":
+        sim.schedule(1.0, fired.append, tag)
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [2.5]
+    assert sim.now == 2.5
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(5.0, fired.append, "late")
+    sim.run(until=2.0)
+    assert fired == ["early"]
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_advances_clock_even_with_no_events():
+    sim = Simulator()
+    sim.run(until=7.0)
+    assert sim.now == 7.0
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_via_simulator():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    sim.cancel(event)
+    sim.run()
+    assert fired == []
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(i * 0.1, fired.append, i)
+    count = sim.run(max_events=4)
+    assert count == 4
+    assert fired == [0, 1, 2, 3]
+
+
+def test_pending_count_excludes_cancelled():
+    sim = Simulator()
+    e1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    e1.cancel()
+    assert sim.pending == 1
+
+
+def test_kwargs_passed_to_callback():
+    sim = Simulator()
+    seen = {}
+    sim.schedule(0.1, lambda **kw: seen.update(kw), a=1, b=2)
+    sim.run()
+    assert seen == {"a": 1, "b": 2}
+
+
+def test_determinism_same_seed():
+    def run(seed):
+        sim = Simulator(seed=seed)
+        vals = []
+        def draw():
+            vals.append(sim.rng.random())
+            if len(vals) < 5:
+                sim.schedule(0.1, draw)
+        sim.schedule(0.0, draw)
+        sim.run()
+        return vals
+
+    assert run(42) == run(42)
+    assert run(42) != run(43)
+
+
+def test_child_rng_independent_of_draw_order():
+    sim1 = Simulator(seed=9)
+    a1 = sim1.child_rng("a").random()
+    sim2 = Simulator(seed=9)
+    _ = sim2.child_rng("b").random()  # draw from another child first
+    a2 = sim2.child_rng("a").random()
+    assert a1 == a2
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False

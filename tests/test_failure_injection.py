@@ -1,0 +1,118 @@
+"""Failure-injection integration tests: outages, blackouts, silent peers.
+
+"An AR application should ideally function with degraded performance
+even if no network connectivity is available" (Section VI-B) — these
+tests throw the failures at the stack and check it degrades and
+recovers instead of wedging.
+"""
+
+import pytest
+
+from repro.core.metrics import mos_score
+from repro.core.scheduler import MultipathPolicy
+from repro.core.session import OffloadSession, ScenarioBuilder
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.simnet.queues import DropTailQueue
+from repro.transport.tcp import TcpConnection, TcpListener
+
+
+class TestMartpOutages:
+    def test_total_blackout_and_recovery(self):
+        """3 s of 100 % loss mid-session: the protocol must recover."""
+        scenario = ScenarioBuilder(seed=61).single_path(rtt=0.030, up_bps=10e6)
+        links = scenario.net.path_links("client", "server") \
+            + scenario.net.path_links("server", "client")
+
+        def black(on):
+            for link in links:
+                link.loss = 0.999999 if on else 0.0
+
+        scenario.sim.schedule(8.0, black, True)
+        scenario.sim.schedule(11.0, black, False)
+        session = OffloadSession(scenario)
+        report = session.run(25.0)
+
+        # The session survived: traffic flows again after recovery.
+        rx = session.receiver.stream_stats(2)
+        late_arrivals = [l for l in rx.latencies]
+        assert rx.received > 0
+        # Critical metadata: whatever was offered outside the blackout
+        # still arrived (ARQ covers the edges).
+        meta = report.per_class[0]
+        assert meta.received > 0
+        # And the post-recovery steady state regained real throughput.
+        post = [r for t, r in session.sender.offered_rate_trace() if t > 15.0]
+        assert post and sum(r[3] for r in post) / len(post) > 1e5
+
+    def test_sender_survives_silent_receiver(self):
+        """No feedback at all: the sender must keep running at its floor
+        without crashing or ballooning memory."""
+        scenario = ScenarioBuilder(seed=62).single_path(rtt=0.020, up_bps=10e6)
+        session = OffloadSession(scenario)
+        # Unbind the receiver's port before any traffic: pure black hole.
+        scenario.net["server"].unbind(7000)
+        report = session.run(10.0)
+        sender = session.sender
+        # Budget stayed at (or near) its floor — no feedback, no growth.
+        assert sender.budget_bps <= sender.controller.min_bps * 2
+        # Backlogs are bounded (expired, not accumulated).
+        for spec in session.streams:
+            assert len(sender.stream_stats(spec.stream_id).backlog) < 2000
+
+    def test_wifi_death_failover_to_lte(self):
+        """WIFI_PREFERRED keeps the session alive when WiFi dies for good."""
+        scenario = ScenarioBuilder(seed=63).multipath()
+        session = OffloadSession(scenario, policy=MultipathPolicy.WIFI_PREFERRED)
+        sched = session.sender.scheduler
+
+        def kill_wifi():
+            # Radio gone: packets already queued die with the link.
+            scenario.net.path_links("client-wifi", "server")[0].loss = 0.999999
+            sched.set_usable("wifi", False)
+
+        scenario.sim.schedule(5.0, kill_wifi)
+        report = session.run(15.0)
+        # Data kept flowing (on LTE) after the failure.
+        assert sched.metered_fraction() > 0.2
+        meta = report.per_class[0]
+        assert meta.received > 0
+        assert report.mean_video_quality > 0.1
+
+    def test_flapping_path_does_not_wedge_scheduler(self):
+        scenario = ScenarioBuilder(seed=64).multipath()
+        session = OffloadSession(scenario, policy=MultipathPolicy.WIFI_PREFERRED)
+        sched = session.sender.scheduler
+        for i in range(20):
+            scenario.sim.schedule(0.5 + i * 0.5, sched.set_usable, "wifi", i % 2 == 0)
+        report = session.run(12.0)
+        assert report.per_class[2].received > 0
+
+
+class TestTcpBlackout:
+    def test_transfer_completes_through_blackout(self):
+        sim = Simulator(seed=65)
+        net = Network(sim)
+        net.add_host("client")
+        net.add_host("server")
+        net.add_duplex("server", "client", 20e6, 10e6, delay=0.01,
+                       queue_up=DropTailQueue(200))
+        net.build_routes()
+        got = []
+        TcpListener(net["server"], 80,
+                    on_accept=lambda c: setattr(c, "on_data", got.append))
+        conn = TcpConnection(net["client"], 5000, "server", 80)
+        conn.on_established = lambda: conn.send(2_000_000)
+        conn.connect()
+        links = net.path_links("client", "server") + net.path_links("server", "client")
+
+        def black(on):
+            for link in links:
+                link.loss = 0.999999 if on else 0.0
+
+        sim.schedule(0.5, black, True)
+        sim.schedule(4.0, black, False)
+        sim.run(until=300.0)
+        assert sum(got) == 2_000_000
+        assert conn.timeouts >= 1          # RTO carried it through
+        assert conn._backoff == 1          # and backoff reset after recovery

@@ -1,0 +1,136 @@
+"""Unit tests for traffic generators and flow statistics."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.flows import BulkSource, CBRSource, OnOffSource, PacketSink, PoissonSource
+from repro.simnet.network import Network
+from repro.simnet.packet import Packet
+from repro.simnet.trace import FlowStats, PacketTracer
+
+
+def two_hosts(rate=10e6, delay=0.001):
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    net.add_host("a")
+    net.add_host("b")
+    net.add_duplex("a", "b", rate, delay=delay)
+    net.build_routes()
+    return sim, net
+
+
+class TestCBR:
+    def test_rate_accuracy(self):
+        sim, net = two_hosts()
+        sink = PacketSink(net["b"], 80)
+        CBRSource(net["a"], "b", 80, rate_bps=1e6, packet_size=1250)
+        sim.run(until=10.0)
+        rate = sink.stats.throughput_bps(1.0, 9.0)
+        assert rate == pytest.approx(1e6, rel=0.05)
+
+    def test_start_stop_window(self):
+        sim, net = two_hosts()
+        sink = PacketSink(net["b"], 80)
+        CBRSource(net["a"], "b", 80, rate_bps=1e6, start=2.0, stop=4.0)
+        sim.run(until=10.0)
+        assert sink.stats.bytes_between(0.0, 1.9) == 0
+        assert sink.stats.bytes_between(2.0, 4.1) > 0
+        assert sink.stats.bytes_between(4.5, 10.0) == 0
+
+    def test_invalid_rate(self):
+        sim, net = two_hosts()
+        with pytest.raises(ValueError):
+            CBRSource(net["a"], "b", 80, rate_bps=0)
+
+
+class TestPoisson:
+    def test_mean_rate(self):
+        sim, net = two_hosts(rate=100e6)
+        sink = PacketSink(net["b"], 80)
+        PoissonSource(net["a"], "b", 80, rate_pps=200, packet_size=100)
+        sim.run(until=20.0)
+        pps = sink.stats.packets_total / 20.0
+        assert pps == pytest.approx(200, rel=0.15)
+
+    def test_interarrivals_vary(self):
+        sim, net = two_hosts(rate=100e6)
+        sink = PacketSink(net["b"], 80)
+        PoissonSource(net["a"], "b", 80, rate_pps=100, packet_size=100)
+        sim.run(until=5.0)
+        times = [s.time for s in sink.stats.samples]
+        gaps = {round(b - a, 6) for a, b in zip(times, times[1:])}
+        assert len(gaps) > 10
+
+
+class TestOnOff:
+    def test_produces_bursts(self):
+        sim, net = two_hosts(rate=100e6)
+        sink = PacketSink(net["b"], 80)
+        OnOffSource(net["a"], "b", 80, peak_rate_bps=10e6, mean_on=0.5, mean_off=0.5)
+        sim.run(until=30.0)
+        series = sink.stats.throughput_timeseries(0.5)
+        rates = [r for _, r in series]
+        assert any(r == 0 for r in rates)          # off periods
+        assert any(r > 1e6 for r in rates)         # bursts
+
+
+class TestBulk:
+    def test_window_clocked_by_echo(self):
+        sim, net = two_hosts()
+        PacketSink(net["b"], 80, echo_port=81)
+        src = BulkSource(net["a"], "b", 80, window=5, total_packets=50, src_port=81)
+        sim.run(until=30.0)
+        assert src.complete
+        assert src.packets_sent == 50
+
+
+class TestFlowStats:
+    def test_mean_delay(self):
+        stats = FlowStats()
+        stats.record(Packet(src="a", dst="b", size=10, created_at=0.0), 0.1)
+        stats.record(Packet(src="a", dst="b", size=10, created_at=0.0), 0.3)
+        assert stats.mean_delay() == pytest.approx(0.2)
+
+    def test_delay_percentile(self):
+        stats = FlowStats()
+        for i in range(101):
+            stats.record(Packet(src="a", dst="b", size=1, created_at=0.0), i / 100.0)
+        assert stats.delay_percentile(50) == pytest.approx(0.5)
+        assert stats.delay_percentile(95) == pytest.approx(0.95)
+
+    def test_jitter_constant_delay_is_zero(self):
+        stats = FlowStats()
+        for i in range(10):
+            stats.record(Packet(src="a", dst="b", size=1, created_at=float(i)), i + 0.05)
+        assert stats.jitter() == pytest.approx(0.0)
+
+    def test_per_flow_filtering(self):
+        stats = FlowStats()
+        stats.record(Packet(src="a", dst="b", size=100, flow="x"), 1.0)
+        stats.record(Packet(src="a", dst="b", size=200, flow="y"), 1.0)
+        assert stats.bytes_between(0, 2, flow="x") == 100
+        assert stats.flows_seen() == ["x", "y"]
+
+    def test_throughput_timeseries_covers_window(self):
+        stats = FlowStats()
+        stats.record(Packet(src="a", dst="b", size=125), 0.5)
+        stats.record(Packet(src="a", dst="b", size=125), 1.5)
+        series = stats.throughput_timeseries(1.0, until=2.0)
+        assert len(series) == 2
+        assert series[0][1] == pytest.approx(1000.0)
+
+    def test_empty_stats(self):
+        stats = FlowStats()
+        assert stats.mean_delay() == 0.0
+        assert stats.delay_percentile(50) == 0.0
+        assert stats.throughput_timeseries(1.0) == []
+
+
+class TestPacketTracer:
+    def test_log_and_filter(self):
+        tracer = PacketTracer()
+        p = Packet(src="a", dst="b", size=1)
+        tracer.log(0.0, "enqueue", p)
+        tracer.log(0.1, "drop", p, "full")
+        assert len(tracer) == 2
+        assert len(tracer.of_kind("drop")) == 1

@@ -1,0 +1,175 @@
+"""Flagship integration tests: the paper's full narrative through the
+public API, each test crossing several packages.
+
+These are the "does the system hang together" tests: vision feeding
+offloading, offloading feeding the protocol, the protocol feeding QoE,
+QoE feeding economics — the way a downstream user would actually
+compose the library.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MultipathPolicy,
+    OffloadSession,
+    ScenarioBuilder,
+    mos_score,
+)
+from repro.edge import (
+    CityTopology,
+    PlacementProblem,
+    SyncGroup,
+    assign_users,
+    solve_local_search,
+)
+from repro.mar import (
+    APP_ARCHETYPES,
+    CLOUD,
+    SMART_GLASSES,
+    SMARTPHONE,
+    AdaptiveTrackingOffload,
+    DecisionEngine,
+    FeatureOffload,
+    FullOffload,
+    LocalOnly,
+    OffloadExecutor,
+    battery_life_hours,
+)
+from repro.mar.compute import ExecutionBudget, feasible_locally, offloading_delay
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.vision import ArPipeline, make_scene, random_homography, warp_image
+from repro.wireless.profiles import LTE, WIFI_HOME
+
+
+class TestVisionToOffloadChain:
+    """Camera frames → pipeline costs → offloading over a real path."""
+
+    def test_measured_vision_costs_drive_the_offload_decision(self):
+        scene = make_scene(240, 320, seed=21)
+        pipeline = ArPipeline(scene)
+        frame = warp_image(scene, random_homography(seed=1))
+        result = pipeline.process_frame(frame)
+        assert result.recognized
+
+        # Glasses cannot run the measured workload in a 50 ms budget...
+        measured_mc = result.costs.total
+        glasses_time = SMART_GLASSES.execution_time(measured_mc)
+        assert glasses_time > 0.050
+        # ...but the cloud can, and the network math says offload wins.
+        budget = ExecutionBudget(20e6, 50e6, latency=0.010)
+        remote = offloading_delay(SMART_GLASSES, CLOUD,
+                                  APP_ARCHETYPES["orientation"], budget)
+        assert remote < glasses_time
+
+    def test_adaptive_triggers_reduce_network_load_on_calm_scenes(self):
+        scene = make_scene(240, 320, seed=22)
+        adaptive = AdaptiveTrackingOffload(ArPipeline(scene))
+        frame = scene
+        uploads = 0
+        app = APP_ARCHETYPES["orientation"]
+        for i in range(12):
+            frame = warp_image(scene, random_homography(
+                seed=i, max_translation=1.5, max_rotation=0.004))
+            adaptive.observe_frame(frame)
+            if adaptive.plan_frame(app, i).needs_network:
+                uploads += 1
+        static_uploads = sum(
+            1 for i in range(12)
+            if FullOffload().plan_frame(app, i).needs_network
+        )
+        assert uploads < static_uploads / 2
+
+
+class TestNetworkToQoEChain:
+    """Access profile → scenario → MARTP → QoE → battery."""
+
+    def test_lte_profile_numbers_flow_into_session_quality(self):
+        # Build the Table II cloud-LTE scenario from the LTE profile's
+        # measured numbers rather than hand-picked constants.
+        scenario = ScenarioBuilder(seed=23).single_path(
+            rtt=LTE.rtt + 0.045,          # access + core to the cloud
+            down_bps=LTE.down_mean,
+            up_bps=LTE.up_mean,
+            path_name="lte",
+            metered=True,
+        )
+        report = OffloadSession(scenario).run(12.0)
+        assert report.critical_intact
+        # LTE's ~8 Mb/s uplink carries most of the nominal ~9.3 Mb/s
+        # workload, degraded but functional.
+        assert 0.3 < report.mean_video_quality <= 1.0
+        assert mos_score(report) > 3.0
+
+    def test_session_energy_projects_battery_life(self):
+        sim = Simulator(seed=24)
+        net = Network(sim)
+        net.add_host("client")
+        net.add_host("server")
+        net.add_duplex("server", "client", 80e6, 20e6, delay=0.015)
+        net.build_routes()
+        executor = OffloadExecutor(net, "client", "server",
+                                   APP_ARCHETYPES["gaming"], FullOffload(),
+                                   SMARTPHONE, server_device=CLOUD, radio="lte")
+        result = executor.run(n_frames=150)
+        duration = 150 / APP_ARCHETYPES["gaming"].fps
+        avg_mc = result.energy.compute_joules / 0.0008 / duration
+        avg_tx = result.energy.radio_joules and 40_000  # bytes/s scale
+        life = battery_life_hours(SMARTPHONE, avg_mc, avg_tx, 5_000, radio="lte")
+        assert 1.0 < life < 20.0
+
+
+class TestEdgeToSessionChain:
+    """Placement → assignment → a session against the chosen site."""
+
+    def test_planned_datacenter_serves_its_users_in_time(self):
+        topo = CityTopology.random_city(n_users=80, n_sites=16, seed=25)
+        placement = solve_local_search(PlacementProblem(topo))
+        assert placement.feasible
+        assignment = assign_users(topo, placement.chosen)
+        assert assignment.all_assigned
+
+        # Take the worst-latency user and run a real session at that RTT.
+        worst_rtt = 2 * max(
+            lat for lat in assignment.latencies.values() if lat != float("inf")
+        )
+        scenario = ScenarioBuilder(seed=25).single_path(
+            rtt=worst_rtt, down_bps=100e6, up_bps=40e6)
+        report = OffloadSession(scenario).run(8.0)
+        # Placement guaranteed the budget, so even the worst user's
+        # reference frames arrive in time.
+        assert report.per_class[2].in_time_ratio > 0.9
+
+    def test_two_edge_sites_stay_consistent_while_serving(self):
+        sim = Simulator(seed=26)
+        net = Network(sim)
+        for name in ("edge-a", "edge-b", "user"):
+            net.add_host(name)
+        net.add_duplex("edge-a", "edge-b", 1e9, delay=0.004)
+        net.add_duplex("edge-a", "user", 100e6, 40e6, delay=0.003)
+        net.build_routes()
+        group = SyncGroup(net, ["edge-a", "edge-b"], update_bytes=400)
+        for i in range(20):
+            sim.schedule(i * 0.1, group.publish, "edge-a")
+        sim.run(until=5.0)
+        assert group.incomplete() == 0
+        assert group.mean_lag() < 0.01
+
+
+class TestDecisionToPlanChain:
+    """Live estimates → engine → the equations agree with the pick."""
+
+    def test_engine_choice_is_consistent_with_the_equations(self):
+        engine = DecisionEngine(SMART_GLASSES, APP_ARCHETYPES["orientation"])
+        for _ in range(20):
+            engine.observe_rtt(0.012)
+            engine.observe_uplink(WIFI_HOME.up_mean)
+        chosen = engine.decide()
+        budget = ExecutionBudget(WIFI_HOME.up_mean, WIFI_HOME.up_mean * 3,
+                                 latency=0.006)
+        # Whatever the engine picked, it must not be dominated: local is
+        # infeasible here and the chosen forecast meets the deadline.
+        assert not feasible_locally(SMART_GLASSES, APP_ARCHETYPES["orientation"])
+        assert not isinstance(chosen, LocalOnly)
+        assert engine.forecast(chosen).meets_deadline

@@ -1,0 +1,86 @@
+"""Unit tests for QoS/QoE metrics."""
+
+import math
+
+import pytest
+
+from repro.core.metrics import ClassReport, QoeReport, mos_score
+from repro.core.traffic import Priority, TrafficClass
+
+
+def report(name="s", tc=TrafficClass.FULL_BEST_EFFORT, pr=Priority.LOWEST,
+           sent=100, dropped=0, received=100, in_time=100, recovered=0):
+    return ClassReport(
+        name=name, traffic_class=tc, priority=pr, sent=sent,
+        dropped_at_sender=dropped, received=received, in_time=in_time,
+        recovered=recovered, mean_latency=0.02, p95_latency=0.04,
+    )
+
+
+class TestClassReport:
+    def test_delivery_ratio(self):
+        r = report(sent=80, dropped=20, received=80)
+        assert r.delivery_ratio == pytest.approx(0.8)
+
+    def test_in_time_ratio(self):
+        r = report(received=100, in_time=90)
+        assert r.in_time_ratio == pytest.approx(0.9)
+
+    def test_shed_ratio(self):
+        r = report(sent=60, dropped=40)
+        assert r.shed_ratio == pytest.approx(0.4)
+
+    def test_empty_report_safe(self):
+        r = report(sent=0, dropped=0, received=0, in_time=0)
+        assert r.delivery_ratio == 1.0
+        assert r.in_time_ratio == 0.0
+
+
+class TestQoeReport:
+    def test_critical_intact_true_when_all_delivered(self):
+        q = QoeReport(per_class={
+            0: report(tc=TrafficClass.CRITICAL, received=100, in_time=100),
+        })
+        assert q.critical_intact
+
+    def test_critical_intact_false_on_loss(self):
+        q = QoeReport(per_class={
+            0: report(tc=TrafficClass.CRITICAL, received=90),
+        })
+        assert not q.critical_intact
+
+    def test_mean_video_quality_default(self):
+        q = QoeReport(per_class={})
+        assert q.mean_video_quality == 1.0
+
+    def test_mean_video_quality(self):
+        q = QoeReport(per_class={}, video_quality_timeline=[1.0, 0.5, 0.0])
+        assert q.mean_video_quality == pytest.approx(0.5)
+
+
+class TestMos:
+    def test_perfect_session_scores_5(self):
+        q = QoeReport(per_class={0: report()}, video_quality_timeline=[1.0])
+        assert mos_score(q) == pytest.approx(5.0, abs=0.01)
+
+    def test_critical_loss_is_catastrophic(self):
+        q = QoeReport(per_class={
+            0: report(tc=TrafficClass.CRITICAL, received=50, in_time=50),
+        })
+        assert mos_score(q) < 3.5
+
+    def test_video_degradation_is_gentle(self):
+        q = QoeReport(per_class={0: report()}, video_quality_timeline=[0.5])
+        assert 4.0 < mos_score(q) < 5.0
+
+    def test_score_clamped_to_1(self):
+        q = QoeReport(per_class={
+            0: report(tc=TrafficClass.CRITICAL, received=0, in_time=0),
+            1: report(pr=Priority.HIGHEST, received=100, in_time=0),
+        }, video_quality_timeline=[0.0])
+        assert mos_score(q) >= 1.0
+
+    def test_missed_deadlines_hurt_more_on_high_priority(self):
+        base = {0: report(pr=Priority.HIGHEST, in_time=50)}
+        low = {0: report(pr=Priority.LOWEST, in_time=50)}
+        assert mos_score(QoeReport(per_class=base)) < mos_score(QoeReport(per_class=low))

@@ -1,0 +1,115 @@
+"""Tests for mobility and the coverage/handover model (Section IV-A4)."""
+
+import pytest
+
+from repro.wireless.handover import AccessPoint, ConnectivityTrace, CoverageMap, TickState
+from repro.wireless.mobility import RandomWaypoint, Waypoint
+
+
+class TestRandomWaypoint:
+    def test_trajectory_covers_duration(self):
+        traj = RandomWaypoint(seed=1).trajectory(600, tick=1.0)
+        assert len(traj) >= 590
+        assert traj[0].t == 0.0
+
+    def test_positions_stay_in_area(self):
+        model = RandomWaypoint(width=100, height=100, seed=2)
+        traj = model.trajectory(600, tick=1.0)
+        assert all(0 <= p.x <= 100 and 0 <= p.y <= 100 for p in traj)
+
+    def test_speeds_bounded(self):
+        model = RandomWaypoint(v_min=1.0, v_max=2.0, max_pause=0.0, seed=3)
+        traj = model.trajectory(300, tick=1.0)
+        speeds = RandomWaypoint.speeds(traj)
+        moving = [s for s in speeds if s > 0.01]
+        assert moving
+        assert max(moving) <= 2.5  # tick quantization tolerance
+
+    def test_pauses_produce_zero_speed(self):
+        model = RandomWaypoint(max_pause=100.0, seed=4)
+        traj = model.trajectory(600, tick=1.0)
+        speeds = RandomWaypoint.speeds(traj)
+        assert any(s == 0.0 for s in speeds)
+
+    def test_deterministic_per_seed(self):
+        t1 = RandomWaypoint(seed=5).trajectory(100)
+        t2 = RandomWaypoint(seed=5).trajectory(100)
+        assert t1 == t2
+
+    def test_invalid_speeds(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(v_min=0.0)
+        with pytest.raises(ValueError):
+            RandomWaypoint(v_min=2.0, v_max=1.0)
+
+
+class TestAccessPoint:
+    def test_covers(self):
+        ap = AccessPoint("a", 0, 0, radius=10)
+        assert ap.covers(Waypoint(0, 5, 5))
+        assert not ap.covers(Waypoint(0, 20, 0))
+
+
+class TestCoverageMap:
+    def walk(self, tick=1.0, **urban_kw):
+        cm = CoverageMap.urban(seed=1, **urban_kw)
+        traj = RandomWaypoint(seed=1).trajectory(1800, tick=tick)
+        return cm.connectivity(traj)
+
+    def test_in_range_fraction_near_total(self):
+        trace = self.walk()
+        assert trace.wifi_in_range_fraction > 0.93
+
+    def test_usable_fraction_much_lower_than_in_range(self):
+        # The Wi2Me result: radio coverage != usable internet.
+        trace = self.walk()
+        assert trace.wifi_usable_fraction < trace.wifi_in_range_fraction - 0.2
+
+    def test_cellular_fraction_high(self):
+        trace = self.walk()
+        assert trace.cellular_fraction > 0.9
+
+    def test_any_connectivity_beats_wifi_alone(self):
+        trace = self.walk()
+        assert trace.any_connectivity_fraction > trace.wifi_usable_fraction
+
+    def test_handovers_happen(self):
+        trace = self.walk()
+        assert trace.handover_count() > 5
+
+    def test_closed_aps_never_usable(self):
+        ap = AccessPoint("closed", 50, 50, radius=100, open=False)
+        cm = CoverageMap(100, 100, [ap])
+        traj = [Waypoint(float(t), 50, 50) for t in range(60)]
+        trace = cm.connectivity(traj)
+        assert trace.wifi_in_range_fraction == 1.0
+        assert trace.wifi_usable_fraction == 0.0
+
+    def test_association_delay_blocks_early_usability(self):
+        ap = AccessPoint("open", 50, 50, radius=100)
+        cm = CoverageMap(100, 100, [ap])
+        traj = [Waypoint(float(t), 50, 50) for t in range(20)]
+        trace = cm.connectivity(traj, assoc_time=8.0)
+        usable_times = [t.t for t in trace.ticks if t.usable]
+        assert min(usable_times) >= 8.0
+
+    def test_handover_gap_adds_dead_time(self):
+        ap1 = AccessPoint("x", 0, 0, radius=60)
+        ap2 = AccessPoint("y", 100, 0, radius=60)
+        cm = CoverageMap(100, 10, [ap1, ap2])
+        # Walk from ap1 to ap2.
+        traj = [Waypoint(float(t), t * 2.0, 0) for t in range(50)]
+        trace = cm.connectivity(traj, assoc_time=2.0, handover_gap=5.0)
+        assert trace.handover_count() == 1
+        # After the switch there is a >= 7 s unusable window.
+        switch_t = next(
+            t.t for prev, t in zip(trace.ticks, trace.ticks[1:])
+            if prev.ap != t.ap and prev.ap is not None
+        )
+        dead = [t for t in trace.ticks if switch_t <= t.t < switch_t + 7.0]
+        assert all(not t.usable for t in dead)
+
+    def test_empty_trace_fractions(self):
+        trace = ConnectivityTrace()
+        assert trace.wifi_usable_fraction == 0.0
+        assert trace.handover_count() == 0

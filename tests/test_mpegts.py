@@ -1,0 +1,143 @@
+"""Tests for MPEG-TS-style multiplexing with interleaved FEC."""
+
+import pytest
+
+from repro.transport.mpegts import TS_PAYLOAD_BYTES, TsDemux, TsMux, TsPacket
+
+
+def mux_stream(rows=4, cols=4, pids=(1,), bytes_per_pid=None):
+    mux = TsMux(rows=rows, cols=cols)
+    nbytes = bytes_per_pid or rows * cols * TS_PAYLOAD_BYTES
+    for pid in pids:
+        mux.push(pid, nbytes)
+    mux.flush()
+    return mux, mux.take()
+
+
+class TestMux:
+    def test_packetization_count(self):
+        mux, packets = mux_stream(rows=2, cols=2,
+                                  bytes_per_pid=4 * TS_PAYLOAD_BYTES)
+        data = [p for p in packets if not p.is_parity]
+        parity = [p for p in packets if p.is_parity]
+        assert len(data) == 4
+        assert len(parity) == 2  # one per column
+
+    def test_partial_final_packet(self):
+        mux = TsMux(rows=2, cols=2)
+        mux.push(1, TS_PAYLOAD_BYTES + 10)
+        mux.flush()
+        packets = mux.take()
+        data = [p for p in packets if not p.is_parity]
+        assert data[0].payload_bytes == TS_PAYLOAD_BYTES
+        assert data[1].payload_bytes == 10
+
+    def test_multiplexes_multiple_pids(self):
+        mux, packets = mux_stream(pids=(1, 2), rows=2, cols=2,
+                                  bytes_per_pid=2 * TS_PAYLOAD_BYTES)
+        pids = {p.pid for p in packets if not p.is_parity}
+        assert pids == {1, 2}
+
+    def test_overhead_ratio(self):
+        mux, _ = mux_stream(rows=4, cols=4)
+        assert mux.overhead == pytest.approx(4 / 16)
+
+    def test_indices_monotone(self):
+        _, packets = mux_stream(rows=3, cols=3)
+        indices = [p.index for p in packets]
+        assert indices == sorted(indices)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            TsMux(rows=0)
+        with pytest.raises(ValueError):
+            TsMux(cols=1)
+
+    def test_push_validation(self):
+        with pytest.raises(ValueError):
+            TsMux().push(1, 0)
+
+
+class TestDemuxRecovery:
+    def deliver(self, packets, lost_indices, rows=4, cols=4):
+        demux = TsDemux(rows=rows, cols=cols)
+        for packet in packets:
+            if packet.index in lost_indices:
+                continue
+            demux.on_packet(packet)
+        return demux
+
+    def test_no_loss_nothing_recovered(self):
+        _, packets = mux_stream()
+        demux = self.deliver(packets, set())
+        assert demux.recovered == set()
+        assert demux.effective_loss(len(packets)) == 0.0
+
+    def test_single_loss_recovered(self):
+        _, packets = mux_stream()
+        demux = self.deliver(packets, {5})
+        assert demux.recovered == {5}
+        assert demux.effective_loss(len(packets)) == 0.0
+
+    def test_burst_loss_recovered_by_interleaving(self):
+        """A burst of cols consecutive losses hits each column once."""
+        _, packets = mux_stream(rows=4, cols=4)
+        burst = {4, 5, 6, 7}  # one full row = 4 consecutive packets
+        demux = self.deliver(packets, burst)
+        assert demux.recovered == burst
+
+    def test_burst_longer_than_cols_not_fully_recoverable(self):
+        _, packets = mux_stream(rows=4, cols=4)
+        burst = set(range(4, 10))  # 6 > cols: two columns hit twice
+        demux = self.deliver(packets, burst)
+        assert len(demux.recovered) < len(burst)
+        assert demux.effective_loss(len(packets)) > 0.0
+
+    def test_sequential_fec_comparison(self):
+        """The same burst defeats a non-interleaved (cols=1-like) layout.
+
+        With rows=1, cols=N each packet is its own column mate set —
+        emulate sequential grouping by rows=N, cols=1 being invalid, so
+        compare against group-of-4 sequential FEC: a 4-burst inside one
+        group of 4 loses >= 3 unrecoverable packets.
+        """
+        # Interleaved: recovered fully (previous test).  Sequential
+        # grouping == FecDecoder over consecutive indices:
+        from repro.core.reliability import FecDecoder
+        sequential = FecDecoder(group_size=4)
+        burst = {4, 5, 6, 7}
+        for i in range(16):
+            if i not in burst:
+                sequential.on_data(i)
+        for g in range(4):
+            sequential.on_parity(g)
+        assert len(sequential.recovered) == 0  # whole group vanished
+
+    def test_parity_loss_tolerated(self):
+        _, packets = mux_stream()
+        parity_indices = {p.index for p in packets if p.is_parity}
+        demux = self.deliver(packets, parity_indices)
+        # No data was lost, so nothing needed recovery.
+        assert demux.effective_loss(len(packets)) == pytest.approx(
+            len(parity_indices) / len(packets))
+
+    def test_late_data_completes_column(self):
+        """Recovery triggers when the straggler arrives after parity."""
+        _, packets = mux_stream(rows=2, cols=2)
+        demux = TsDemux(rows=2, cols=2)
+        data = [p for p in packets if not p.is_parity]
+        parity = [p for p in packets if p.is_parity]
+        # Deliver: data[0], both parities, then data[3] late; data[1],
+        # data[2] lost (different columns).
+        demux.on_packet(data[0])
+        for p in parity:
+            demux.on_packet(p)
+        recovered = demux.on_packet(data[3])
+        assert set(demux.recovered) >= {data[1].index} or recovered
+
+    def test_stream_byte_accounting(self):
+        _, packets = mux_stream(pids=(1, 2), rows=2, cols=2,
+                                bytes_per_pid=2 * TS_PAYLOAD_BYTES)
+        demux = self.deliver(packets, set(), rows=2, cols=2)
+        assert demux.stream_bytes[1] == 2 * TS_PAYLOAD_BYTES
+        assert demux.stream_bytes[2] == 2 * TS_PAYLOAD_BYTES

@@ -1,0 +1,169 @@
+"""Unit tests for nodes, routing and the Network topology builder."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.simnet.node import Host, Router
+from repro.simnet.packet import Packet
+
+
+class Recorder:
+    def __init__(self):
+        self.packets = []
+
+    def on_packet(self, packet):
+        self.packets.append(packet)
+
+
+def star_network(sim):
+    net = Network(sim)
+    net.add_host("a")
+    net.add_host("b")
+    net.add_router("r")
+    net.add_duplex("a", "r", 10e6, delay=0.001)
+    net.add_duplex("r", "b", 10e6, delay=0.001)
+    net.build_routes()
+    return net
+
+
+def test_host_port_dispatch():
+    sim = Simulator()
+    net = star_network(sim)
+    rec = Recorder()
+    net["b"].bind(80, rec)
+    net["a"].send(Packet(src="a", dst="b", size=100, dst_port=80))
+    sim.run()
+    assert len(rec.packets) == 1
+
+
+def test_router_forwards():
+    sim = Simulator()
+    net = star_network(sim)
+    rec = Recorder()
+    net["b"].bind(80, rec)
+    net["a"].send(Packet(src="a", dst="b", size=100, dst_port=80))
+    sim.run()
+    assert net["r"].packets_forwarded == 1
+
+
+def test_unbound_port_counted():
+    sim = Simulator()
+    net = star_network(sim)
+    net["a"].send(Packet(src="a", dst="b", size=100, dst_port=9999))
+    sim.run()
+    assert net["b"].packets_dropped_no_port == 1
+
+
+def test_default_handler():
+    sim = Simulator()
+    net = star_network(sim)
+    got = []
+    net["b"].default_handler = got.append
+    net["a"].send(Packet(src="a", dst="b", size=100, dst_port=9999))
+    sim.run()
+    assert len(got) == 1
+
+
+def test_unroutable_counted():
+    sim = Simulator()
+    net = star_network(sim)
+    ok = net["a"].send(Packet(src="a", dst="nowhere", size=100))
+    assert not ok
+    assert net["a"].packets_unroutable == 1
+
+
+def test_double_bind_rejected():
+    sim = Simulator()
+    host = Host(sim, "h")
+    host.bind(1, Recorder())
+    with pytest.raises(ValueError):
+        host.bind(1, Recorder())
+
+
+def test_unbind_allows_rebind():
+    sim = Simulator()
+    host = Host(sim, "h")
+    host.bind(1, Recorder())
+    host.unbind(1)
+    host.bind(1, Recorder())
+    assert host.is_bound(1)
+
+
+def test_router_rejects_local_delivery():
+    sim = Simulator()
+    net = Network(sim)
+    net.add_host("a")
+    net.add_router("r")
+    net.add_duplex("a", "r", 1e6)
+    net.build_routes()
+    net["a"].send(Packet(src="a", dst="r", size=10))
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_duplicate_node_name_rejected():
+    net = Network(Simulator())
+    net.add_host("x")
+    with pytest.raises(ValueError):
+        net.add_host("x")
+
+
+def test_route_via_foreign_link_rejected():
+    sim = Simulator()
+    net = Network(sim)
+    net.add_host("a")
+    net.add_host("b")
+    net.add_host("c")
+    link = net.add_link("a", "b", 1e6)
+    with pytest.raises(ValueError):
+        net["c"].add_route("b", link)
+
+
+class TestRouting:
+    def make_diamond(self):
+        """a - (fast upper r1 / slow lower r2) - b."""
+        sim = Simulator()
+        net = Network(sim)
+        for name in ("a", "b"):
+            net.add_host(name)
+        for name in ("r1", "r2"):
+            net.add_router(name)
+        net.add_duplex("a", "r1", 100e6, delay=0.001)
+        net.add_duplex("r1", "b", 100e6, delay=0.001)
+        net.add_duplex("a", "r2", 100e6, delay=0.050)
+        net.add_duplex("r2", "b", 100e6, delay=0.050)
+        net.build_routes()
+        return sim, net
+
+    def test_shortest_path_preferred(self):
+        sim, net = self.make_diamond()
+        links = net.path_links("a", "b")
+        assert [l.dst.name for l in links] == ["r1", "b"]
+
+    def test_base_rtt(self):
+        sim, net = self.make_diamond()
+        rtt = net.base_rtt("a", "b", packet_size=1514)
+        # 4 hops x 1 ms propagation + 4 serializations of ~121 µs
+        assert rtt == pytest.approx(0.004 + 4 * (1514 * 8 / 100e6), rel=0.01)
+
+    def test_bottleneck_rate(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_host("a")
+        net.add_host("b")
+        net.add_router("r")
+        net.add_duplex("a", "r", 100e6)
+        net.add_duplex("r", "b", 3e6)
+        net.build_routes()
+        assert net.bottleneck_rate("a", "b") == 3e6
+
+    def test_end_to_end_delivery_over_two_hops(self):
+        sim, net = self.make_diamond()
+        rec = Recorder()
+        net["b"].bind(5, rec)
+        net["a"].send(Packet(src="a", dst="b", size=1000, dst_port=5))
+        sim.run()
+        assert len(rec.packets) == 1
+        # Fast path: ~2 ms propagation, not 100 ms.
+        assert sim.now < 0.01

@@ -1,0 +1,55 @@
+"""Unit tests for the packet model."""
+
+import pytest
+
+from repro.simnet.packet import IP_TCP_HEADER, IP_UDP_HEADER, Packet
+
+
+def test_positive_size_required():
+    with pytest.raises(ValueError):
+        Packet(src="a", dst="b", size=0)
+
+
+def test_default_flow_label():
+    p = Packet(src="a", dst="b", size=100, src_port=1, dst_port=2)
+    assert p.flow == "a:1->b:2"
+
+
+def test_explicit_flow_label_kept():
+    p = Packet(src="a", dst="b", size=100, flow="video")
+    assert p.flow == "video"
+
+
+def test_bits_property():
+    assert Packet(src="a", dst="b", size=125).bits == 1000
+
+
+def test_age():
+    p = Packet(src="a", dst="b", size=10, created_at=1.0)
+    assert p.age(3.5) == pytest.approx(2.5)
+
+
+def test_uids_unique_and_increasing():
+    a = Packet(src="a", dst="b", size=1)
+    b = Packet(src="a", dst="b", size=1)
+    assert b.uid > a.uid
+
+
+def test_copy_gets_fresh_uid_and_isolated_payload():
+    p = Packet(src="a", dst="b", size=10, payload={"k": 1})
+    q = p.copy()
+    assert q.uid != p.uid
+    q.payload["k"] = 2
+    assert p.payload["k"] == 1
+
+
+def test_copy_overrides():
+    p = Packet(src="a", dst="b", size=10)
+    q = p.copy(dst="c", size=20)
+    assert (q.dst, q.size) == ("c", 20)
+    assert q.src == "a"
+
+
+def test_header_constants():
+    assert IP_UDP_HEADER == 28
+    assert IP_TCP_HEADER == 40

@@ -1,0 +1,196 @@
+"""Tests for pose decomposition, network monitors, and 5G slicing."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.flows import CBRSource, PacketSink
+from repro.simnet.monitor import LinkMonitor, QueueMonitor
+from repro.simnet.network import Network
+from repro.simnet.queues import DropTailQueue
+from repro.vision.pose import (
+    Pose,
+    decompose_homography,
+    default_intrinsics,
+    homography_from_pose,
+    rotation_about,
+)
+from repro.wireless.slicing import Slice, SlicedCell
+
+
+class TestPose:
+    K = default_intrinsics()
+
+    def make_pose(self, yaw=0.1, pitch=-0.05, roll=0.03, t=(0.2, -0.1, 2.0)):
+        rotation = (rotation_about("z", yaw) @ rotation_about("y", pitch)
+                    @ rotation_about("x", roll))
+        return rotation, np.array(t)
+
+    def test_round_trip_recovery(self):
+        rotation, translation = self.make_pose()
+        h = homography_from_pose(self.K, rotation, translation)
+        pose = decompose_homography(h, self.K)
+        assert np.allclose(pose.rotation, rotation, atol=1e-9)
+        # Translation recovered up to the plane-distance scale.
+        scale = translation[2] / pose.translation[2]
+        assert np.allclose(pose.translation * scale, translation, atol=1e-9)
+
+    def test_rotation_is_orthonormal(self):
+        rotation, translation = self.make_pose(yaw=0.5, pitch=0.3)
+        h = homography_from_pose(self.K, rotation, translation)
+        pose = decompose_homography(h, self.K)
+        assert np.allclose(pose.rotation @ pose.rotation.T, np.eye(3), atol=1e-9)
+        assert np.linalg.det(pose.rotation) == pytest.approx(1.0)
+
+    def test_camera_kept_in_front_of_plane(self):
+        rotation, translation = self.make_pose()
+        h = homography_from_pose(self.K, rotation, translation)
+        # Scale flips are unobservable in H; decomposition must still
+        # return t_z > 0.
+        pose = decompose_homography(-2.5 * h, self.K)
+        assert pose.translation[2] > 0
+
+    def test_euler_angles_match_construction(self):
+        rotation, translation = self.make_pose(yaw=0.2, pitch=-0.1, roll=0.05)
+        h = homography_from_pose(self.K, rotation, translation)
+        pose = decompose_homography(h, self.K)
+        yaw, pitch, roll = pose.yaw_pitch_roll
+        assert yaw == pytest.approx(0.2, abs=1e-6)
+        assert pitch == pytest.approx(-0.1, abs=1e-6)
+        assert roll == pytest.approx(0.05, abs=1e-6)
+
+    def test_angle_to_self_is_zero(self):
+        rotation, translation = self.make_pose()
+        h = homography_from_pose(self.K, rotation, translation)
+        pose = decompose_homography(h, self.K)
+        assert pose.angle_to(pose) == pytest.approx(0.0, abs=1e-6)
+
+    def test_angle_between_distinct_poses(self):
+        r1, t = self.make_pose(yaw=0.0)
+        r2, _ = self.make_pose(yaw=0.4)
+        p1 = decompose_homography(homography_from_pose(self.K, r1, t), self.K)
+        p2 = decompose_homography(homography_from_pose(self.K, r2, t), self.K)
+        assert p1.angle_to(p2) == pytest.approx(0.4, abs=1e-6)
+
+    def test_noisy_homography_still_close(self):
+        rotation, translation = self.make_pose()
+        h = homography_from_pose(self.K, rotation, translation)
+        rng = np.random.default_rng(0)
+        noisy = h + rng.normal(0, 1e-4, (3, 3))
+        pose = decompose_homography(noisy, self.K)
+        true_pose = decompose_homography(h, self.K)
+        assert pose.angle_to(true_pose) < 0.01
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            decompose_homography(np.zeros((3, 3)), self.K)
+
+    def test_rotation_about_validation(self):
+        with pytest.raises(ValueError):
+            rotation_about("q", 0.1)
+
+
+class TestMonitors:
+    def loaded_link(self, rate=2e6, offered=4e6):
+        sim = Simulator(seed=1)
+        net = Network(sim)
+        net.add_host("a")
+        net.add_host("b")
+        link = net.add_link("a", "b", rate, delay=0.005,
+                            queue=DropTailQueue(500))
+        net.build_routes()
+        PacketSink(net["b"], 80)
+        CBRSource(net["a"], "b", 80, rate_bps=offered, packet_size=1000)
+        return sim, link
+
+    def test_queue_monitor_sees_buildup(self):
+        sim, link = self.loaded_link()
+        monitor = QueueMonitor(sim, link.queue, interval=0.05)
+        sim.run(until=3.0)
+        assert monitor.peak_packets() > 50          # 2x overload builds queue
+        assert monitor.mean_packets() > 10
+        assert monitor.mean_queuing_delay(2e6) > 0.05
+
+    def test_queue_monitor_idle_link(self):
+        sim = Simulator(seed=2)
+        net = Network(sim)
+        net.add_host("a")
+        net.add_host("b")
+        link = net.add_link("a", "b", 1e6)
+        monitor = QueueMonitor(sim, link.queue, interval=0.1)
+        sim.run(until=1.0)
+        assert monitor.peak_packets() == 0
+        assert monitor.mean_queuing_delay(1e6) == 0.0
+
+    def test_link_monitor_utilization_saturated(self):
+        sim, link = self.loaded_link()
+        monitor = LinkMonitor(sim, link, interval=0.25)
+        sim.run(until=4.0)
+        assert monitor.mean_utilization() > 0.9
+        assert monitor.peak_throughput_bps() == pytest.approx(2e6, rel=0.1)
+
+    def test_link_monitor_partial_load(self):
+        sim, link = self.loaded_link(rate=10e6, offered=2e6)
+        monitor = LinkMonitor(sim, link, interval=0.25)
+        sim.run(until=4.0)
+        assert 0.1 < monitor.mean_utilization() < 0.35
+
+    def test_interval_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            QueueMonitor(sim, DropTailQueue(), interval=0.0)
+
+
+class TestSlicing:
+    def sliced_net(self, mar_guarantee=10e6):
+        sim = Simulator(seed=3)
+        net = Network(sim)
+        net.add_host("core")
+        net.add_host("ue")
+        cell = SlicedCell(
+            net, "core",
+            slices=[Slice("mar", guaranteed_bps=mar_guarantee),
+                    Slice("embb", guaranteed_bps=20e6)],
+            uplink_bps=50e6,
+        )
+        cell.attach("ue")
+        net.build_routes()
+        return sim, net, cell
+
+    def test_guarantees_must_fit(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_host("core")
+        with pytest.raises(ValueError):
+            SlicedCell(net, "core",
+                       slices=[Slice("a", 40e6), Slice("b", 20e6)],
+                       uplink_bps=50e6)
+
+    def test_mar_slice_protected_from_embb_surge(self):
+        sim, net, cell = self.sliced_net()
+        mar_sink = PacketSink(net["core"], 80)
+        embb_sink = PacketSink(net["core"], 81)
+        CBRSource(net["ue"], "core", 80, rate_bps=8e6, packet_size=1000,
+                  flow="mar")
+        # eMBB offered at 3x the cell uplink.
+        CBRSource(net["ue"], "core", 81, rate_bps=150e6, packet_size=1400,
+                  flow="embb-bulk")
+        sim.run(until=8.0)
+        # The MAR slice's delay stays low despite the surge.
+        assert mar_sink.stats.mean_delay() < 0.02
+        expected = 8e6 * 8 / (1000 * 8)
+        assert mar_sink.stats.packets_total >= 0.98 * expected
+
+    def test_unreserved_capacity_reported(self):
+        _, _, cell = self.sliced_net(mar_guarantee=10e6)
+        assert cell.unreserved_bps == pytest.approx(20e6)
+
+    def test_slice_lookup(self):
+        _, _, cell = self.sliced_net()
+        assert cell.slice_for("mar").name == "mar"
+        assert cell.slice_for("random-flow") is None
+
+    def test_reattach_idempotent(self):
+        sim, net, cell = self.sliced_net()
+        first = cell.attach("ue")
+        assert cell.attach("ue") is first

@@ -1,0 +1,73 @@
+"""Tests for the privacy filter (Section VI-G)."""
+
+import numpy as np
+import pytest
+
+from repro.core.privacy import PrivacyFilter, SensitiveRegion
+from repro.vision.features import detect_corners
+from repro.vision.synthetic import make_scene
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return make_scene(240, 320, seed=2)
+
+
+def test_blur_changes_only_declared_regions(scene):
+    f = PrivacyFilter("medium")
+    region = SensitiveRegion(50, 50, 40, 40)
+    result = f.apply(scene, [region])
+    out = result.frame
+    # Outside the region (with margin): untouched.
+    assert np.allclose(out[:40, :40], scene[:40, :40])
+    # Inside: changed (scene is textured).
+    assert not np.allclose(out[55:85, 55:85], scene[55:85, 55:85])
+
+
+def test_original_frame_not_mutated(scene):
+    before = scene.copy()
+    PrivacyFilter().apply(scene, [SensitiveRegion(0, 0, 100, 100)])
+    assert np.array_equal(scene, before)
+
+
+def test_higher_level_destroys_more_information(scene):
+    region = [SensitiveRegion(40, 40, 120, 120)]
+    low = PrivacyFilter("low").apply(scene, region).frame
+    high = PrivacyFilter("high").apply(scene, region).frame
+    assert PrivacyFilter.information_loss(scene, high) > \
+        PrivacyFilter.information_loss(scene, low)
+
+
+def test_cost_proportional_to_area(scene):
+    f = PrivacyFilter()
+    small = f.apply(scene, [SensitiveRegion(0, 0, 20, 20)])
+    large = f.apply(scene, [SensitiveRegion(0, 0, 80, 80)])
+    assert large.megacycles == pytest.approx(small.megacycles * 16, rel=0.01)
+    assert small.pixels_blurred == 400
+
+
+def test_regions_clamped_to_frame(scene):
+    f = PrivacyFilter()
+    result = f.apply(scene, [SensitiveRegion(300, 230, 100, 100)])
+    assert result.pixels_blurred <= 20 * 10
+    assert result.frame.shape == scene.shape
+
+
+def test_blur_removes_corners(scene):
+    """Privacy costs utility: blurred regions lose trackable features."""
+    corners_before = detect_corners(scene, max_corners=500, quality=0.005)
+    region = SensitiveRegion(20, 20, 280, 200)
+    blurred = PrivacyFilter("high").apply(scene, [region]).frame
+    corners_after = detect_corners(blurred, max_corners=500, quality=0.005)
+    assert len(corners_after) < len(corners_before)
+
+
+def test_unknown_level_rejected():
+    with pytest.raises(ValueError):
+        PrivacyFilter("paranoid")
+
+
+def test_no_regions_is_identity(scene):
+    result = PrivacyFilter().apply(scene, [])
+    assert np.array_equal(result.frame, scene)
+    assert result.megacycles == 0.0

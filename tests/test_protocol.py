@@ -1,0 +1,247 @@
+"""Integration tests for the assembled MARTP protocol."""
+
+import pytest
+
+from repro.core.congestion import RateController
+from repro.core.protocol import MartpReceiver, MartpSender, PathEndpoint
+from repro.core.scheduler import MultipathPolicy, PathState
+from repro.core.traffic import Priority, StreamSpec, TrafficClass, mar_baseline_streams
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.simnet.queues import DropTailQueue
+from repro.transport.udp import UdpSocket
+
+
+def single_path_pair(streams, up_bps=10e6, rtt=0.02, loss=0.0, seed=1,
+                     policy=MultipathPolicy.WIFI_PREFERRED):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    net.add_host("client")
+    net.add_host("server")
+    net.add_duplex("server", "client", 50e6, up_bps, delay=rtt / 2, loss=loss,
+                   queue_up=DropTailQueue(1000))
+    net.build_routes()
+    receiver = MartpReceiver(net["server"], 7000, streams)
+    endpoint = PathEndpoint(
+        state=PathState(name="wifi"),
+        socket=UdpSocket(net["client"], 6000),
+        dst="server",
+        dst_port=7000,
+    )
+    sender = MartpSender([endpoint], streams, policy=policy)
+    return sim, sender, receiver
+
+
+def simple_stream(**kw):
+    defaults = dict(
+        stream_id=0, name="s0", traffic_class=TrafficClass.FULL_BEST_EFFORT,
+        priority=Priority.HIGHEST, nominal_rate_bps=1e6, message_bytes=500,
+        deadline=0.2,
+    )
+    defaults.update(kw)
+    return StreamSpec(**defaults)
+
+
+def test_messages_delivered_end_to_end():
+    streams = [simple_stream()]
+    sim, sender, receiver = single_path_pair(streams)
+    sender.start()
+    for i in range(20):
+        sim.schedule(i * 0.01, sender.submit, 0, 500)
+    sim.run(until=2.0)
+    rx = receiver.stream_stats(0)
+    assert rx.received == 20
+    assert rx.in_time == 20
+
+
+def test_latency_close_to_path_rtt_half():
+    streams = [simple_stream()]
+    sim, sender, receiver = single_path_pair(streams, rtt=0.04)
+    sender.start()
+    sim.schedule(0.1, sender.submit, 0, 500)
+    sim.run(until=1.0)
+    rx = receiver.stream_stats(0)
+    assert rx.latencies[0] == pytest.approx(0.02, abs=0.005)
+
+
+def test_feedback_drives_rtt_estimate():
+    streams = [simple_stream()]
+    sim, sender, receiver = single_path_pair(streams, rtt=0.05)
+    sender.start()
+    for i in range(100):
+        sim.schedule(i * 0.02, sender.submit, 0, 500)
+    sim.run(until=3.0)
+    ctl = sender.controller
+    assert ctl.srtt == pytest.approx(0.05, abs=0.02)
+
+
+def test_no_delay_stream_drops_over_allocation():
+    # MEDIUM_NO_DELAY: over-budget submissions are discarded, not queued.
+    stream = simple_stream(priority=Priority.MEDIUM_NO_DELAY, nominal_rate_bps=100_000)
+    sim, sender, receiver = single_path_pair([stream])
+    sender.controllers["wifi"].budget_bps = 100_000
+    sender.controllers["wifi"].max_bps = 100_000
+    sender.allocation = sender.degradation.allocate(100_000)
+    sender.start()
+    # Offer 10x the allocation instantly.
+    for i in range(100):
+        sim.schedule(0.05, sender.submit, 0, 500)
+    sim.run(until=1.0)
+    tx = sender.stream_stats(0)
+    assert tx.dropped > 0
+    assert not tx.backlog
+
+
+def test_no_discard_stream_queues_over_allocation():
+    stream = simple_stream(priority=Priority.MEDIUM_NO_DISCARD,
+                           nominal_rate_bps=200_000, deadline=5.0)
+    sim, sender, receiver = single_path_pair([stream])
+    sender.controllers["wifi"].budget_bps = 200_000
+    sender.controllers["wifi"].max_bps = 200_000
+    sender.start()
+    for i in range(100):
+        sim.schedule(0.05, sender.submit, 0, 500)
+    sim.run(until=4.0)
+    rx = receiver.stream_stats(0)
+    tx = sender.stream_stats(0)
+    # Everything eventually delivered (delayed, not dropped).
+    assert tx.dropped == 0
+    assert rx.received == 100
+
+
+def test_highest_priority_bypasses_bucket():
+    stream = simple_stream(priority=Priority.HIGHEST, nominal_rate_bps=1000.0)
+    sim, sender, receiver = single_path_pair([stream])
+    sender.start()
+    for i in range(50):
+        sim.schedule(0.01, sender.submit, 0, 500)
+    sim.run(until=1.0)
+    assert receiver.stream_stats(0).received == 50
+
+
+def test_arq_recovers_losses_for_recovery_class():
+    stream = simple_stream(
+        traffic_class=TrafficClass.LOSS_RECOVERY, deadline=0.5,
+        nominal_rate_bps=2e6,
+    )
+    sim, sender, receiver = single_path_pair([stream], loss=0.05, seed=4)
+    sender.start()
+    n = 300
+    for i in range(n):
+        sim.schedule(i * 0.005, sender.submit, 0, 500)
+    sim.run(until=5.0)
+    rx = receiver.stream_stats(0)
+    tx = sender.stream_stats(0)
+    assert tx.arq.retransmissions > 0
+    assert rx.received >= n * 0.98  # nearly everything despite 5% loss
+
+
+def test_best_effort_class_never_retransmits():
+    stream = simple_stream(traffic_class=TrafficClass.FULL_BEST_EFFORT)
+    sim, sender, receiver = single_path_pair([stream], loss=0.1, seed=2)
+    sender.start()
+    for i in range(200):
+        sim.schedule(i * 0.005, sender.submit, 0, 500)
+    sim.run(until=3.0)
+    tx = sender.stream_stats(0)
+    assert tx.arq is None
+    rx = receiver.stream_stats(0)
+    assert rx.received < 200  # losses stay lost
+
+
+def test_fec_recovers_without_retransmission():
+    stream = simple_stream(
+        traffic_class=TrafficClass.FULL_BEST_EFFORT, fec=True, fec_group=4,
+        nominal_rate_bps=2e6,
+    )
+    sim, sender, receiver = single_path_pair([stream], loss=0.03, seed=7)
+    sender.start()
+    for i in range(400):
+        sim.schedule(i * 0.004, sender.submit, 0, 500)
+    sim.run(until=4.0)
+    rx = receiver.stream_stats(0)
+    assert rx.recovered > 0
+
+
+def test_critical_class_delivers_in_order():
+    stream = simple_stream(
+        traffic_class=TrafficClass.CRITICAL, deadline=5.0, nominal_rate_bps=1e6,
+    )
+    sim, sender, _ = single_path_pair([stream], loss=0.05, seed=9)
+    delivered = []
+    # Rebind a receiver with an on_message hook.
+    # (single_path_pair already bound one; use its receiver instead)
+    sim2 = sim  # same sim
+    sender.start()
+    # Attach the hook on the existing receiver through a fresh pair:
+    # simpler: re-run with hook below.
+    for i in range(100):
+        sim.schedule(i * 0.01, sender.submit, 0, 500)
+    sim.run(until=5.0)
+    tx = sender.stream_stats(0)
+    assert tx.arq is not None
+
+
+def test_critical_in_order_delivery_hook():
+    stream = simple_stream(
+        traffic_class=TrafficClass.CRITICAL, deadline=5.0, nominal_rate_bps=1e6,
+    )
+    sim = Simulator(seed=9)
+    net = Network(sim)
+    net.add_host("client")
+    net.add_host("server")
+    net.add_duplex("server", "client", 50e6, 10e6, delay=0.01, loss=0.05,
+                   queue_up=DropTailQueue(1000))
+    net.build_routes()
+    order = []
+    receiver = MartpReceiver(net["server"], 7000, [stream],
+                             on_message=lambda sid, seq, lat: order.append(seq))
+    endpoint = PathEndpoint(
+        state=PathState(name="wifi"), socket=UdpSocket(net["client"], 6000),
+        dst="server", dst_port=7000,
+    )
+    sender = MartpSender([endpoint], [stream])
+    sender.start()
+    for i in range(150):
+        sim.schedule(i * 0.01, sender.submit, 0, 400)
+    sim.run(until=10.0)
+    assert order == sorted(order)
+    assert len(order) >= 148  # ARQ recovered nearly all
+
+
+def test_budget_shrinks_under_congestion():
+    streams = mar_baseline_streams(video_nominal_bps=20e6)
+    sim, sender, receiver = single_path_pair(streams, up_bps=2e6, seed=3)
+    sender.start()
+    sender.attach_rate_driver(1)
+    sender.attach_rate_driver(3)
+    sim.run(until=10.0)
+    # The budget cannot stay near 20 Mb/s over a 2 Mb/s link.
+    assert sender.budget_bps < 8e6
+    assert sender.congestion_events > 0
+
+
+def test_allocation_trace_grows():
+    streams = [simple_stream()]
+    sim, sender, receiver = single_path_pair(streams)
+    sender.start()
+    for i in range(50):
+        sim.schedule(i * 0.02, sender.submit, 0, 500)
+    sim.run(until=2.0)
+    assert len(sender.allocation_trace) > 5
+    assert len(sender.offered_rate_trace()) == len(sender.allocation_trace)
+
+
+def test_unknown_stream_rejected():
+    streams = [simple_stream()]
+    sim, sender, receiver = single_path_pair(streams)
+    with pytest.raises(KeyError):
+        sender.submit(42, 100)
+    with pytest.raises(KeyError):
+        sender.attach_rate_driver(42)
+
+
+def test_controller_property_single_path_only():
+    streams = [simple_stream()]
+    sim, sender, receiver = single_path_pair(streams)
+    assert sender.controller is sender.controllers["wifi"]

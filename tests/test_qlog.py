@@ -1,0 +1,79 @@
+"""Tests for MARTP structured event logging."""
+
+import json
+
+import pytest
+
+from repro.core.qlog import EventLog, instrument_sender
+from repro.core.session import OffloadSession, ScenarioBuilder
+
+
+class TestEventLog:
+    def test_emit_and_filter(self):
+        log = EventLog()
+        log.emit(1.0, "congestion", "budget-decrease", path="wifi")
+        log.emit(2.0, "allocation", "round", budget=1e6)
+        assert len(log) == 2
+        assert len(log.of("congestion")) == 1
+        assert log.of(name="round")[0].data["budget"] == 1e6
+
+    def test_between(self):
+        log = EventLog()
+        for t in (0.5, 1.5, 2.5):
+            log.emit(t, "path", "tick")
+        assert len(log.between(1.0, 2.0)) == 1
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog().emit(0.0, "weird", "x")
+
+    def test_cap_counts_drops(self):
+        log = EventLog(max_events=2)
+        for i in range(5):
+            log.emit(float(i), "path", "tick")
+        assert len(log) == 2
+        assert log.dropped == 3
+
+    def test_jsonl_round_trip(self):
+        log = EventLog()
+        log.emit(1.0, "recovery", "retransmit", stream="ref", seq=7)
+        lines = log.to_jsonl().splitlines()
+        parsed = json.loads(lines[0])
+        assert parsed["data"]["seq"] == 7
+        assert parsed["category"] == "recovery"
+
+
+class TestInstrumentedSession:
+    def run_session(self, up_bps, loss=0.0, duration=10.0):
+        scenario = ScenarioBuilder(seed=77).single_path(
+            rtt=0.030, up_bps=up_bps, loss=loss)
+        session = OffloadSession(scenario)
+        log = instrument_sender(session.sender)
+        session.run(duration)
+        return session, log
+
+    def test_congested_session_logs_decreases_and_allocations(self):
+        session, log = self.run_session(up_bps=2.5e6)
+        assert len(log.of("congestion", "budget-decrease")) > 0
+        assert len(log.of("allocation", "round")) > 10
+        # Every decrease event carries a real reduction.
+        for event in log.of("congestion"):
+            assert event.data["after"] < event.data["before"]
+
+    def test_lossy_session_logs_retransmissions(self):
+        session, log = self.run_session(up_bps=20e6, loss=0.04)
+        retransmits = log.of("recovery", "retransmit")
+        assert retransmits
+        # Only the retransmitting classes appear (never interframes or
+        # sensor data, which are full best effort).
+        streams = {e.data["stream"] for e in retransmits}
+        assert streams <= {"video-reference-frames", "connection-metadata"}
+
+    def test_clean_fat_session_logs_no_congestion(self):
+        session, log = self.run_session(up_bps=40e6, duration=6.0)
+        assert log.of("congestion", "budget-decrease") == []
+
+    def test_events_time_ordered(self):
+        _, log = self.run_session(up_bps=2.5e6, duration=6.0)
+        times = [e.time for e in log.events]
+        assert times == sorted(times)

@@ -1,0 +1,71 @@
+"""Unit tests for the RTP-like stream and playout buffer."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.transport.rtp import RtpReceiver, RtpStream
+from repro.transport.udp import UdpSocket
+
+
+def make_net(delay=0.01, jitter=0.0, loss=0.0):
+    sim = Simulator(seed=3)
+    net = Network(sim)
+    net.add_host("a")
+    net.add_host("b")
+    net.add_duplex("b", "a", 50e6, 50e6, delay=delay, jitter=jitter, loss=loss)
+    net.build_routes()
+    return sim, net
+
+
+def run_stream(sim, net, n_frames=60, fps=30.0, playout=0.05, size=5000):
+    receiver = RtpReceiver(net["b"], 9, playout_delay=playout)
+    sock = UdpSocket(net["a"], 10)
+    stream = RtpStream(sock, "b", 9)
+    for i in range(n_frames):
+        sim.schedule(i / fps, stream.send_frame, size)
+    sim.run(until=n_frames / fps + 1.0)
+    return stream, receiver
+
+
+def test_frames_played_in_time_on_clean_path():
+    sim, net = make_net(delay=0.01)
+    stream, receiver = run_stream(sim, net)
+    assert receiver.played == stream.frames_sent
+    assert receiver.late == 0
+    assert receiver.loss_fraction == 0.0
+
+
+def test_playout_exactly_at_deadline():
+    sim, net = make_net(delay=0.01)
+    _, receiver = run_stream(sim, net, n_frames=5, playout=0.05)
+    times = [t for t, _ in receiver.playout_log]
+    # Frame i played at i/fps + playout_delay.
+    for i, t in enumerate(times):
+        assert t == pytest.approx(i / 30.0 + 0.05)
+
+
+def test_frames_late_when_playout_too_tight():
+    sim, net = make_net(delay=0.04)
+    _, receiver = run_stream(sim, net, playout=0.02)
+    assert receiver.late == receiver.received
+    assert receiver.played == 0
+
+
+def test_jitter_estimator_positive_under_jittery_path():
+    sim, net = make_net(delay=0.01, jitter=0.02)
+    _, receiver = run_stream(sim, net, n_frames=120, playout=0.2)
+    assert receiver.jitter > 0.0
+
+
+def test_loss_counted_in_loss_fraction():
+    sim, net = make_net(loss=0.2)
+    _, receiver = run_stream(sim, net, n_frames=200, playout=0.2)
+    assert 0.05 < receiver.loss_fraction < 0.4
+
+
+def test_sequence_numbers_increment():
+    sim, net = make_net()
+    stream, receiver = run_stream(sim, net, n_frames=10)
+    assert stream.seq == 10
+    assert receiver.max_seq == 9

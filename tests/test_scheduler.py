@@ -1,0 +1,115 @@
+"""Unit tests for the multipath scheduler and its three policies."""
+
+import pytest
+
+from repro.core.scheduler import MultipathPolicy, MultipathScheduler, PathState
+from repro.core.traffic import Message, Priority, StreamSpec, TrafficClass
+
+
+def wifi_lte():
+    return [
+        PathState(name="wifi", srtt=0.03, is_metered=False),
+        PathState(name="lte", srtt=0.07, is_metered=True),
+    ]
+
+
+def spec(traffic_class=TrafficClass.FULL_BEST_EFFORT, priority=Priority.LOWEST,
+         deadline=0.075):
+    return StreamSpec(
+        stream_id=1, name="s", traffic_class=traffic_class, priority=priority,
+        nominal_rate_bps=1e6, deadline=deadline,
+    )
+
+
+def msg():
+    return Message(stream_id=1, seq=0, size=1000, created_at=0.0, deadline=0.075)
+
+
+def test_needs_at_least_one_path():
+    with pytest.raises(ValueError):
+        MultipathScheduler([], MultipathPolicy.AGGREGATE)
+
+
+class TestWifiPreferred:
+    def test_uses_wifi_when_available(self):
+        sched = MultipathScheduler(wifi_lte(), MultipathPolicy.WIFI_PREFERRED)
+        chosen = sched.select(spec(), msg())
+        assert [p.name for p in chosen] == ["wifi"]
+
+    def test_falls_back_to_lte_when_wifi_down(self):
+        sched = MultipathScheduler(wifi_lte(), MultipathPolicy.WIFI_PREFERRED)
+        sched.set_usable("wifi", False)
+        chosen = sched.select(spec(), msg())
+        assert [p.name for p in chosen] == ["lte"]
+
+    def test_nothing_when_all_down(self):
+        sched = MultipathScheduler(wifi_lte(), MultipathPolicy.WIFI_PREFERRED)
+        sched.set_usable("wifi", False)
+        sched.set_usable("lte", False)
+        assert sched.select(spec(), msg()) == []
+
+
+class TestWifiOnlyHandover:
+    def test_wifi_when_up(self):
+        sched = MultipathScheduler(wifi_lte(), MultipathPolicy.WIFI_ONLY_HANDOVER)
+        assert [p.name for p in sched.select(spec(), msg())] == ["wifi"]
+
+    def test_lte_bridges_gap(self):
+        sched = MultipathScheduler(wifi_lte(), MultipathPolicy.WIFI_ONLY_HANDOVER)
+        sched.set_usable("wifi", False)
+        assert [p.name for p in sched.select(spec(), msg())] == ["lte"]
+
+
+class TestAggregate:
+    def test_latency_critical_takes_lowest_rtt(self):
+        sched = MultipathScheduler(wifi_lte(), MultipathPolicy.AGGREGATE)
+        critical = spec(priority=Priority.HIGHEST, deadline=0.05)
+        chosen = sched.select(critical, msg())
+        assert [p.name for p in chosen] == ["wifi"]
+
+    def test_lowest_rtt_follows_observations(self):
+        sched = MultipathScheduler(wifi_lte(), MultipathPolicy.AGGREGATE)
+        for _ in range(60):
+            sched.observe_rtt("wifi", 0.2)   # WiFi got congested
+            sched.observe_rtt("lte", 0.03)
+        critical = spec(priority=Priority.HIGHEST, deadline=0.05)
+        assert [p.name for p in sched.select(critical, msg())] == ["lte"]
+
+    def test_loss_recovery_duplicated_on_two_paths(self):
+        sched = MultipathScheduler(wifi_lte(), MultipathPolicy.AGGREGATE)
+        ref = spec(traffic_class=TrafficClass.LOSS_RECOVERY, priority=Priority.HIGHEST)
+        chosen = sched.select(ref, msg())
+        assert sorted(p.name for p in chosen) == ["lte", "wifi"]
+
+    def test_bulk_load_balanced_over_both(self):
+        sched = MultipathScheduler(wifi_lte(), MultipathPolicy.AGGREGATE)
+        bulk = spec(priority=Priority.LOWEST, deadline=1.0)
+        used = set()
+        for _ in range(50):
+            used.update(p.name for p in sched.select(bulk, msg()))
+        assert used == {"wifi", "lte"}
+
+
+class TestAccounting:
+    def test_bytes_counted_per_path(self):
+        sched = MultipathScheduler(wifi_lte(), MultipathPolicy.WIFI_PREFERRED)
+        for _ in range(10):
+            sched.select(spec(), msg())
+        assert sched.paths["wifi"].bytes_sent == 10_000
+        assert sched.paths["lte"].bytes_sent == 0
+
+    def test_metered_fraction(self):
+        sched = MultipathScheduler(wifi_lte(), MultipathPolicy.WIFI_PREFERRED)
+        sched.select(spec(), msg())
+        sched.set_usable("wifi", False)
+        sched.select(spec(), msg())
+        assert sched.metered_fraction() == pytest.approx(0.5)
+
+    def test_metered_fraction_empty(self):
+        sched = MultipathScheduler(wifi_lte(), MultipathPolicy.AGGREGATE)
+        assert sched.metered_fraction() == 0.0
+
+    def test_observe_rtt_smooths(self):
+        path = PathState(name="x", srtt=0.1)
+        path.observe_rtt(0.2)
+        assert 0.1 < path.srtt < 0.2

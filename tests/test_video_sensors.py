@@ -1,0 +1,101 @@
+"""Tests for the bandwidth estimates of Section III-B and sensor suites."""
+
+import pytest
+
+from repro.mar.sensors import STANDARD_SENSOR_SUITE, SensorStream, suite_bitrate_bps
+from repro.mar.video import (
+    VideoSource,
+    camera_fov_rate_bps,
+    compressed_bitrate,
+    raw_retina_rate_bps,
+    uncompressed_bitrate,
+)
+
+
+class TestBandwidthEstimates:
+    def test_retina_rate_range(self):
+        lo, hi = raw_retina_rate_bps()
+        assert (lo, hi) == (6e6, 10e6)
+
+    def test_fov_scaling_lands_in_paper_range(self):
+        # Paper: "around 9 to 12 Gb/s" for a 60-70 degree camera FOV.
+        lo60, _ = camera_fov_rate_bps(60.0)
+        _, hi70 = camera_fov_rate_bps(70.0)
+        assert 5e9 < lo60 < 13e9
+        assert 9e9 < hi70 < 13e9
+
+    def test_uncompressed_4k60_rate(self):
+        rate = uncompressed_bitrate(3840, 2160, 60, 12)
+        # ~5.97 Gb/s = ~711 MiB/s (the paper's figure in byte units).
+        assert rate == pytest.approx(5.97e9, rel=0.01)
+        assert rate / 8 / 2**20 == pytest.approx(711, rel=0.01)
+
+    def test_compression_brings_4k_to_tens_of_mbps(self):
+        raw = uncompressed_bitrate(3840, 2160, 60, 12)
+        compressed = compressed_bitrate(raw, ratio=250)
+        assert 15e6 < compressed < 35e6
+
+    def test_compression_ratio_validation(self):
+        with pytest.raises(ValueError):
+            compressed_bitrate(1e9, ratio=1.0)
+
+
+class TestVideoSource:
+    def test_gop_pattern(self):
+        src = VideoSource(gop=5)
+        flags = [src.frame(i).is_reference for i in range(10)]
+        assert flags == [True, False, False, False, False] * 2
+
+    def test_frame_sizes(self):
+        src = VideoSource(ref_bytes=20000, inter_bytes=4000)
+        assert src.frame(0).size_bytes == 20000
+        assert src.frame(1).size_bytes == 4000
+
+    def test_bitrate_formula(self):
+        src = VideoSource(fps=30, gop=10, ref_bytes=10000, inter_bytes=1000)
+        per_gop = 10000 + 9 * 1000
+        assert src.bitrate_bps == pytest.approx(per_gop * 8 * 3)
+
+    def test_frames_iterator_duration(self):
+        src = VideoSource(fps=30)
+        frames = list(src.frames(2.0))
+        assert len(frames) == 60
+        assert frames[-1].timestamp == pytest.approx(59 / 30)
+
+    def test_scale_quality(self):
+        src = VideoSource(ref_bytes=20000, inter_bytes=4000)
+        half = src.scale_quality(0.5)
+        assert half.ref_bytes == 10000
+        assert half.inter_bytes == 2000
+        assert half.bitrate_bps == pytest.approx(src.bitrate_bps / 2, rel=0.01)
+
+    def test_scale_quality_validation(self):
+        with pytest.raises(ValueError):
+            VideoSource().scale_quality(0.0)
+        with pytest.raises(ValueError):
+            VideoSource().scale_quality(1.5)
+
+    def test_gop_validation(self):
+        with pytest.raises(ValueError):
+            VideoSource(gop=0)
+
+
+class TestSensors:
+    def test_suite_contains_imu_and_gps(self):
+        assert "imu" in STANDARD_SENSOR_SUITE
+        assert "gps" in STANDARD_SENSOR_SUITE
+
+    def test_stream_bitrate(self):
+        imu = STANDARD_SENSOR_SUITE["imu"]
+        assert imu.bitrate_bps == pytest.approx(100 * 36 * 8)
+
+    def test_suite_bitrate_small_relative_to_video(self):
+        total = suite_bitrate_bps()
+        assert total < 100_000  # sensors are thin flows
+
+    def test_sample_generation(self):
+        s = SensorStream("x", rate_hz=10.0, sample_bytes=8)
+        samples = list(s.samples(1.0))
+        assert len(samples) == 10
+        assert samples[1][0] == pytest.approx(0.1)
+        assert all(size == 8 for _, size in samples)

@@ -1,0 +1,307 @@
+"""Tests for the computer-vision substrate: synthesis, features,
+matching, homography, tracking, pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.vision.features import (
+    DESCRIPTOR_BITS,
+    describe,
+    descriptor_size_bytes,
+    detect_corners,
+    harris_response,
+)
+from repro.vision.homography import (
+    estimate_homography,
+    ransac_homography,
+    reprojection_error,
+)
+from repro.vision.matching import hamming_matrix, match_descriptors, match_points
+from repro.vision.pipeline import ArPipeline, StageCosts
+from repro.vision.synthetic import apply_homography, make_scene, random_homography, warp_image
+from repro.vision.tracking import Tracker
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return make_scene(240, 320, seed=1)
+
+
+class TestSynthetic:
+    def test_scene_shape_and_range(self, scene):
+        assert scene.shape == (240, 320)
+        assert 0.0 <= scene.min() and scene.max() <= 1.0
+
+    def test_scene_deterministic(self):
+        assert np.array_equal(make_scene(seed=3), make_scene(seed=3))
+        assert not np.array_equal(make_scene(seed=3), make_scene(seed=4))
+
+    def test_identity_warp_preserves_interior(self, scene):
+        warped = warp_image(scene, np.eye(3))
+        assert np.allclose(warped[20:-20, 20:-20], scene[20:-20, 20:-20], atol=1e-6)
+
+    def test_random_homography_normalized(self):
+        h = random_homography(seed=5)
+        assert h[2, 2] == pytest.approx(1.0)
+
+    def test_apply_homography_identity(self):
+        pts = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert np.allclose(apply_homography(np.eye(3), pts), pts)
+
+    def test_translation_homography(self):
+        h = np.array([[1, 0, 5], [0, 1, -3], [0, 0, 1]], dtype=float)
+        out = apply_homography(h, np.array([[0.0, 0.0]]))
+        assert np.allclose(out, [[5.0, -3.0]])
+
+
+class TestFeatures:
+    def test_corners_found_on_textured_scene(self, scene):
+        corners = detect_corners(scene, max_corners=200)
+        assert len(corners) > 10
+
+    def test_corner_cap_respected(self, scene):
+        assert len(detect_corners(scene, max_corners=5)) <= 5
+
+    def test_corners_avoid_border(self, scene):
+        for kp in detect_corners(scene):
+            assert 16 <= kp.x <= 320 - 16
+            assert 16 <= kp.y <= 240 - 16
+
+    def test_min_distance_spreads_corners(self, scene):
+        corners = detect_corners(scene, min_distance=15)
+        for i, a in enumerate(corners):
+            for b in corners[i + 1:]:
+                dist = np.hypot(a.x - b.x, a.y - b.y)
+                assert dist >= 10  # local-max filter guarantees spread
+
+    def test_flat_image_no_corners(self):
+        assert detect_corners(np.zeros((100, 100))) == []
+
+    def test_harris_response_peaks_at_corner(self):
+        img = np.zeros((60, 60))
+        img[30:, 30:] = 1.0   # a single corner at (30, 30)
+        resp = harris_response(img)
+        peak = np.unravel_index(np.argmax(resp), resp.shape)
+        assert abs(peak[0] - 30) <= 3 and abs(peak[1] - 30) <= 3
+
+    def test_descriptors_shape_packed(self, scene):
+        kps = detect_corners(scene, max_corners=20)
+        desc = describe(scene, kps)
+        assert desc.shape == (len(kps), DESCRIPTOR_BITS // 8)
+        assert desc.dtype == np.uint8
+
+    def test_descriptor_stable_under_noise(self, scene):
+        kps = detect_corners(scene, max_corners=30)
+        clean = describe(scene, kps)
+        rng = np.random.default_rng(0)
+        noisy = describe(scene + rng.normal(0, 0.01, scene.shape), kps)
+        dist = hamming_matrix(clean, noisy).diagonal()
+        assert dist.mean() < DESCRIPTOR_BITS * 0.15
+
+    def test_empty_keypoints(self, scene):
+        assert describe(scene, []).shape == (0, 32)
+
+    def test_feature_payload_size(self):
+        assert descriptor_size_bytes(100) == 100 * 40
+
+
+class TestMatching:
+    def test_hamming_identity_zero(self):
+        d = np.random.default_rng(1).integers(0, 256, (5, 32)).astype(np.uint8)
+        assert np.all(hamming_matrix(d, d).diagonal() == 0)
+
+    def test_hamming_counts_bits(self):
+        a = np.zeros((1, 1), dtype=np.uint8)
+        b = np.array([[0b10110000]], dtype=np.uint8)
+        assert hamming_matrix(a, b)[0, 0] == 3
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            hamming_matrix(np.zeros((2, 4), dtype=np.uint8), np.zeros((2, 8), dtype=np.uint8))
+
+    def test_self_match_is_perfect(self, scene):
+        kps = detect_corners(scene, max_corners=50)
+        desc = describe(scene, kps)
+        matches = match_descriptors(desc, desc, ratio=1.0)
+        assert len(matches) == len(kps)
+        assert all(m.query == m.train for m in matches)
+
+    def test_empty_inputs(self):
+        empty = np.zeros((0, 32), dtype=np.uint8)
+        assert match_descriptors(empty, empty) == []
+
+    def test_match_points_stacking(self):
+        from repro.vision.matching import Match
+        q = np.array([[0.0, 1.0], [2.0, 3.0]])
+        t = np.array([[4.0, 5.0]])
+        pairs = match_points([Match(1, 0, 0)], q, t)
+        assert pairs.tolist() == [[2.0, 3.0, 4.0, 5.0]]
+
+
+class TestHomography:
+    def test_exact_recovery_from_four_points(self):
+        h_true = random_homography(seed=7)
+        src = np.array([[10.0, 10.0], [300.0, 15.0], [20.0, 220.0], [310.0, 230.0]])
+        dst = apply_homography(h_true, src)
+        h_est = estimate_homography(src, dst)
+        assert np.allclose(h_est, h_true, atol=1e-6)
+
+    def test_least_squares_with_many_points(self):
+        h_true = random_homography(seed=8)
+        rng = np.random.default_rng(0)
+        src = rng.uniform(0, 300, (40, 2))
+        dst = apply_homography(h_true, src)
+        h_est = estimate_homography(src, dst)
+        errs = reprojection_error(h_est, src, dst)
+        assert errs.max() < 1e-6
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_homography(np.zeros((3, 2)), np.zeros((3, 2)))
+
+    def test_ransac_rejects_outliers(self):
+        h_true = random_homography(seed=9)
+        rng = np.random.default_rng(1)
+        src = rng.uniform(20, 280, (60, 2))
+        dst = apply_homography(h_true, src)
+        # Corrupt 30% of correspondences.
+        n_bad = 18
+        dst[:n_bad] += rng.uniform(30, 80, (n_bad, 2))
+        result = ransac_homography(src, dst, threshold=2.0, seed=0)
+        assert result.success
+        assert result.n_inliers >= 60 - n_bad - 2
+        assert not result.inliers[:n_bad].any()
+        errs = reprojection_error(result.homography, src[result.inliers], dst[result.inliers])
+        assert errs.max() < 2.5
+
+    def test_ransac_fails_on_pure_noise(self):
+        rng = np.random.default_rng(2)
+        src = rng.uniform(0, 300, (30, 2))
+        dst = rng.uniform(0, 300, (30, 2))
+        result = ransac_homography(src, dst, threshold=1.0, min_inliers=10, seed=0)
+        assert not result.success
+
+    def test_ransac_too_few_points(self):
+        result = ransac_homography(np.zeros((2, 2)), np.zeros((2, 2)))
+        assert not result.success
+        assert result.iterations == 0
+
+
+class TestTracker:
+    def test_tracks_static_frame_perfectly(self, scene):
+        kps = detect_corners(scene, max_corners=30)
+        tracker = Tracker()
+        tracker.set_keyframe(scene, kps)
+        result = tracker.track(scene)
+        assert result.lost_fraction == 0.0
+        assert result.mean_residual < 1e-9
+
+    def test_tracks_small_translation(self, scene):
+        kps = detect_corners(scene, max_corners=30)
+        tracker = Tracker(search_radius=10)
+        tracker.set_keyframe(scene, kps)
+        shifted = np.roll(scene, 4, axis=1)  # 4 px right
+        result = tracker.track(shifted)
+        assert result.lost_fraction < 0.35
+        moved = result.points[~np.isnan(result.points[:, 0])]
+        orig = np.array([[k.x, k.y] for k in kps])[~np.isnan(result.points[:, 0])]
+        dx = (moved[:, 0] - orig[:, 0])
+        assert np.median(dx) == pytest.approx(4, abs=1.1)
+
+    def test_loses_points_on_unrelated_frame(self, scene):
+        kps = detect_corners(scene, max_corners=30)
+        tracker = Tracker()
+        tracker.set_keyframe(scene, kps)
+        other = make_scene(240, 320, seed=99)
+        result = tracker.track(other)
+        assert result.lost_fraction > 0.4
+        assert tracker.should_trigger(result)
+
+    def test_requires_keyframe(self, scene):
+        tracker = Tracker()
+        with pytest.raises(RuntimeError):
+            tracker.track(scene)
+
+
+class TestPipeline:
+    def test_recognizes_warped_scene(self, scene):
+        pipe = ArPipeline(scene)
+        h_true = random_homography(seed=11)
+        frame = warp_image(scene, h_true)
+        result = pipe.process_frame(frame)
+        assert result.recognized
+        assert result.n_inliers >= 8
+        # Estimated frame->reference homography ~ inverse of the warp.
+        inv = np.linalg.inv(h_true)
+        inv /= inv[2, 2]
+        assert np.abs(result.homography - inv).max() < 1.0
+
+    def test_rejects_unrelated_frame(self, scene):
+        pipe = ArPipeline(scene)
+        other = make_scene(240, 320, seed=55)
+        result = pipe.process_frame(other)
+        assert not result.recognized
+
+    def test_costs_accumulate_per_stage(self, scene):
+        pipe = ArPipeline(scene)
+        result = pipe.process_frame(warp_image(scene, random_homography(seed=1)))
+        costs = result.costs
+        assert costs.detect > 0 and costs.describe > 0 and costs.match > 0
+        assert costs.total == pytest.approx(
+            costs.detect + costs.describe + costs.match + costs.ransac
+            + costs.track + costs.encode + costs.render
+        )
+
+    def test_tracking_cheaper_than_recognition(self, scene):
+        pipe = ArPipeline(scene)
+        frame = warp_image(scene, random_homography(seed=2))
+        full = pipe.process_frame(frame)
+        assert full.recognized
+        _, track_costs = pipe.track_frame(frame)
+        assert track_costs.total < full.costs.total / 3
+
+    def test_track_requires_keyframe(self, scene):
+        pipe = ArPipeline(scene)
+        with pytest.raises(RuntimeError):
+            pipe.track_frame(scene)
+
+    def test_corner_budget_scales_cost(self, scene):
+        pipe = ArPipeline(scene, max_corners=300)
+        frame = warp_image(scene, random_homography(seed=3))
+        rich = pipe.process_frame(frame, max_corners=300)
+        poor = pipe.process_frame(frame, max_corners=30)
+        assert poor.costs.describe <= rich.costs.describe
+
+    def test_encode_cost_static(self):
+        c = ArPipeline.encode_cost(320 * 240)
+        assert c.encode > 0
+        assert c.total == c.encode
+
+    def test_stage_cost_split(self):
+        costs = StageCosts(detect=10.0, describe=5.0, match=3.0)
+        split = costs.split(["detect", "describe"])
+        assert split["local"] == 15.0
+        assert split["remote"] == pytest.approx(3.0)
+
+    def test_stage_cost_addition(self):
+        total = StageCosts(detect=1.0) + StageCosts(detect=2.0, match=1.0)
+        assert total.detect == 3.0
+        assert total.match == 1.0
+
+
+class TestPoseIntegration:
+    def test_pipeline_result_exposes_pose(self, scene):
+        pipe = ArPipeline(scene)
+        frame = warp_image(scene, random_homography(seed=31))
+        result = pipe.process_frame(frame)
+        assert result.recognized
+        pose = result.pose()
+        assert pose is not None
+        # A small warp implies a small rotation.
+        yaw, pitch, roll = pose.yaw_pitch_roll
+        assert abs(yaw) < 0.3 and abs(pitch) < 0.3 and abs(roll) < 0.3
+
+    def test_unrecognized_frame_has_no_pose(self, scene):
+        pipe = ArPipeline(scene)
+        result = pipe.process_frame(make_scene(240, 320, seed=88))
+        assert result.pose() is None
