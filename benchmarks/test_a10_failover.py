@@ -1,0 +1,151 @@
+"""A10 — Resilient offload failover under edge churn and radio blackout.
+
+Section VI-B: "an AR application should ideally function with degraded
+performance even if no network connectivity is available."  This
+benchmark injects the two dominant MAR failure modes — edge-server
+churn and a radio outage — into one session and compares three
+executors:
+
+- **naive** — the plain :class:`OffloadExecutor`: no liveness
+  detection, no retry, no fallback.  Frames launched into a dead path
+  simply never complete.
+- **resilient** — :class:`ResilientOffloadExecutor`: heartbeat
+  detection, backoff retries, failover to the next edge server, and a
+  circuit breaker that trips to local-only and half-opens to probe
+  recovery.
+- **local-only** — the paper's graceful-degradation floor: never
+  touches the network, pays full on-device compute latency.
+
+Fault plan: the primary edge server crashes at t=5 s (restarting at
+t=15 s) and the radio access link blacks out entirely for 3 s starting
+at t=10 s — during the blackout *no* server is reachable.
+
+Expected shape: the naive run loses every frame sent into the outages;
+the resilient run serves frames in all four phases (pre-fault, failed
+over, blackout, recovered), detects the crash within a few heartbeat
+intervals, and ends with availability far above the naive run while
+local-only remains the slow-but-steady floor.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import Figure, ascii_table, format_time, resilience_table
+from repro.core.session import ScenarioBuilder
+from repro.mar.application import APP_ARCHETYPES
+from repro.mar.devices import SMARTPHONE
+from repro.mar.offload import FullOffload, LocalOnly, OffloadExecutor, ResilientOffloadExecutor
+from repro.simnet.faults import FaultInjector, FaultPlan
+
+APP = APP_ARCHETYPES["orientation"]
+SEED = 101
+DURATION = 25.0
+N_FRAMES = int(DURATION * APP.fps)
+CRASH_AT, CRASH_FOR = 5.0, 10.0
+BLACKOUT_AT, BLACKOUT_FOR = 10.0, 3.0
+PHASES = [
+    ("pre-fault", 0.0, CRASH_AT),
+    ("edge crash", CRASH_AT, BLACKOUT_AT),
+    ("blackout", BLACKOUT_AT, BLACKOUT_AT + BLACKOUT_FOR),
+    ("recovered", BLACKOUT_AT + BLACKOUT_FOR, DURATION),
+]
+
+
+def build_faulted_scenario():
+    scenario = ScenarioBuilder(seed=SEED).edge_failover()
+    radio_links = [l for l in scenario.net.links if "client" in l.name]
+    plan = (
+        FaultPlan()
+        .server_crash(CRASH_AT, CRASH_FOR, [scenario.server])
+        .blackout(BLACKOUT_AT, BLACKOUT_FOR, radio_links)
+    )
+    FaultInjector(scenario.net).apply(plan)
+    return scenario
+
+
+def run_naive():
+    scenario = build_faulted_scenario()
+    executor = OffloadExecutor(
+        scenario.net, "client", scenario.server, APP, FullOffload(), SMARTPHONE
+    )
+    return executor.run(n_frames=N_FRAMES, settle=3.0)
+
+
+def run_resilient():
+    scenario = build_faulted_scenario()
+    executor = ResilientOffloadExecutor(
+        scenario.net, "client", scenario.all_servers, APP, FullOffload(), SMARTPHONE
+    )
+    result = executor.run(n_frames=N_FRAMES, settle=3.0)
+    return executor, result
+
+
+def run_local_only():
+    scenario = build_faulted_scenario()
+    executor = OffloadExecutor(
+        scenario.net, "client", scenario.server, APP, LocalOnly(), SMARTPHONE
+    )
+    return executor.run(n_frames=N_FRAMES, settle=3.0)
+
+
+def test_a10_failover(benchmark, record_result):
+    naive, (resilient_exec, resilient), local = run_once(
+        benchmark, lambda: (run_naive(), run_resilient(), run_local_only())
+    )
+    report = resilient_exec.resilience_report()
+
+    rows = []
+    for name, result in (("naive offload", naive), ("resilient", resilient),
+                         ("local-only", local)):
+        rows.append([
+            name,
+            result.frames_sent,
+            result.frames_completed,
+            f"{1 - result.loss_rate:.1%}",
+            format_time(result.mean_latency),
+            format_time(result.percentile(95)),
+        ])
+    table = ascii_table(
+        ["executor", "frames", "completed", "served", "mean lat", "p95 lat"],
+        rows,
+        title=(f"A10 — edge crash @{CRASH_AT:.0f}s for {CRASH_FOR:.0f}s + "
+               f"{BLACKOUT_FOR:.0f}s radio blackout @{BLACKOUT_AT:.0f}s"),
+    )
+
+    res_table = resilience_table(
+        [("resilient", report)],
+        title="Resilient executor — failure handling",
+    )
+
+    # Service-mode timeline as a step figure.
+    order = ["healthy", "suspect", "failed-over", "probing", "degraded-local"]
+    fig = Figure("Service mode over time (resilient executor)",
+                 x_label="time (s)", y_label="mode (0=healthy .. 4=degraded)")
+    pts = []
+    timeline = resilient_exec.metrics.mode_timeline
+    for (t0, mode), (t1, _) in zip(timeline, timeline[1:] + [(DURATION, None)]):
+        level = order.index(mode.value)
+        pts.append((t0, level))
+        pts.append((max(t0, min(t1, DURATION) - 1e-6), level))
+    fig.add_series("mode", pts)
+
+    record_result("A10_failover", table + "\n\n" + res_table + "\n\n" + fig.render())
+
+    # --- shape assertions ---
+    # (1) The naive executor lost real work to the outages.
+    assert naive.frames_completed < N_FRAMES * 0.8
+    # (2) The resilient executor served (almost) everything: offload
+    #     where possible, degraded local compute where not.
+    assert resilient.frames_completed >= N_FRAMES * 0.98
+    assert report.frames_degraded > 0 and report.frames_offloaded > 0
+    # (3) Detection was prompt: within a small number of heartbeats.
+    assert report.detection_delays
+    assert report.mean_detection_time <= 4 * resilient_exec.ping_interval + 0.5
+    # (4) Failover actually happened, and the breaker tripped during
+    #     the total blackout then recovered (finite MTTR).
+    assert report.failovers >= 1
+    assert report.breaker_trips >= 1
+    assert report.mttr == report.mttr and report.mttr < 8.0   # not NaN, bounded
+    # (5) Availability beats the naive run's served fraction.
+    assert report.availability > 1 - naive.loss_rate
+    # (6) Local-only floor: everything completes, slowly.
+    assert local.frames_completed == N_FRAMES

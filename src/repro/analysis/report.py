@@ -6,7 +6,11 @@ text; these helpers keep the formatting consistent across benchmarks.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+import math
+from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.metrics import ResilienceReport
 
 
 def format_rate(bps: float) -> str:
@@ -43,6 +47,35 @@ def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
     for row in cells:
         lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def resilience_table(reports: Sequence[Tuple[str, "ResilienceReport"]],
+                     title: str = "Resilience metrics") -> str:
+    """Render named :class:`ResilienceReport`s side by side."""
+
+    def t(x: float) -> str:
+        return "—" if x != x or math.isinf(x) else format_time(x)
+
+    rows = []
+    for name, r in reports:
+        rows.append([
+            name,
+            t(r.mean_detection_time),
+            t(r.mttr),
+            f"{r.availability:.1%}",
+            str(r.frames_offloaded),
+            str(r.frames_degraded),
+            str(r.frames_dropped),
+            f"{r.degraded_fraction:.1%}",
+            str(r.failovers),
+            str(r.breaker_trips),
+        ])
+    return ascii_table(
+        ["session", "detection", "MTTR", "avail", "offl", "degr",
+         "drop", "degr-frac", "failovers", "trips"],
+        rows,
+        title=title,
+    )
 
 
 class Figure:

@@ -38,7 +38,17 @@ from repro.core.reliability import ArqBuffer, FecEncoder, FecDecoder
 from repro.core.scheduler import MultipathScheduler, PathState, MultipathPolicy
 from repro.core.protocol import MartpSender, MartpReceiver
 from repro.core.session import OffloadSession, ScenarioBuilder
-from repro.core.metrics import ClassReport, QoeReport, mos_score
+from repro.core.metrics import ClassReport, QoeReport, ResilienceReport, mos_score
+from repro.core.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    DecorrelatedBackoff,
+    HeartbeatMonitor,
+    Liveness,
+    ResilienceMetrics,
+    RttEstimator,
+    ServiceMode,
+)
 from repro.core.privacy import PrivacyFilter, SensitiveRegion
 from repro.core.qlog import EventLog, instrument_sender
 
@@ -63,7 +73,16 @@ __all__ = [
     "ScenarioBuilder",
     "ClassReport",
     "QoeReport",
+    "ResilienceReport",
     "mos_score",
+    "BreakerState",
+    "CircuitBreaker",
+    "DecorrelatedBackoff",
+    "HeartbeatMonitor",
+    "Liveness",
+    "ResilienceMetrics",
+    "RttEstimator",
+    "ServiceMode",
     "PrivacyFilter",
     "SensitiveRegion",
     "EventLog",

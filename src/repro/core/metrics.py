@@ -122,6 +122,63 @@ class QoeReport:
         return sum(tl) / len(tl) if tl else 1.0
 
 
+@dataclass
+class ResilienceReport:
+    """Failure-handling summary of one session (Section VI-B).
+
+    Produced by :meth:`repro.core.resilience.ResilienceMetrics.report`;
+    quantifies how the session behaved *around* failures: how fast they
+    were detected, how long recovery took, and how service time and
+    frames split between offloaded, degraded-local and dropped.
+    """
+
+    duration: float
+    detection_delays: List[float] = field(default_factory=list)
+    recovery_times: List[float] = field(default_factory=list)
+    failovers: int = 0
+    breaker_trips: int = 0
+    frames_offloaded: int = 0
+    frames_degraded: int = 0
+    frames_dropped: int = 0
+    offload_available_time: float = 0.0
+    degraded_time: float = 0.0
+    frames_total: int = 0
+
+    @property
+    def mean_detection_time(self) -> float:
+        """Mean delay from last good contact to failure declaration."""
+        d = self.detection_delays
+        return sum(d) / len(d) if d else float("nan")
+
+    @property
+    def mttr(self) -> float:
+        """Mean time from failure declaration to restored offloading."""
+        r = self.recovery_times
+        return sum(r) / len(r) if r else float("nan")
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the session with the offload service available."""
+        if self.duration <= 0:
+            return 0.0
+        return min(1.0, self.offload_available_time / self.duration)
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Fraction of completed frames served in degraded-local mode."""
+        done = self.frames_offloaded + self.frames_degraded
+        return self.frames_degraded / done if done else 0.0
+
+    @property
+    def drop_fraction(self) -> float:
+        return self.frames_dropped / self.frames_total if self.frames_total else 0.0
+
+    @property
+    def served_every_frame(self) -> bool:
+        """Graceful degradation's bottom line: nothing was dropped."""
+        return self.frames_dropped == 0 and self.frames_total > 0
+
+
 def mos_score(report: QoeReport, deadline_weight: float = 3.0) -> float:
     """A 1–5 mean-opinion-score-like aggregate.
 

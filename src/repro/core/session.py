@@ -47,6 +47,14 @@ class Scenario:
     path_names: List[str]
     server: str
     metered: Dict[str, bool] = field(default_factory=dict)
+    #: failover candidates behind ``server``, best first (edge churn
+    #: scenarios; empty for the classic single-server topologies)
+    backup_servers: List[str] = field(default_factory=list)
+
+    @property
+    def all_servers(self) -> List[str]:
+        """Primary then backups — the preference order for failover."""
+        return [self.server] + self.backup_servers
 
     def path_endpoints(self, streams_port: int = MARTP_PORT,
                        base_port: int = 6000) -> List[PathEndpoint]:
@@ -156,6 +164,60 @@ class ScenarioBuilder:
             path_names=["wifi", "lte"],
             server=server,
             metered={"wifi": False, "lte": True},
+        )
+
+    # ------------------------------------------------------------------
+    def edge_failover(
+        self,
+        radio_rtt: float = 0.010,
+        radio_down_bps: float = 60e6,
+        radio_up_bps: float = 20e6,
+        radio_loss: float = 0.0,
+        backhaul_rtts: Tuple[float, ...] = (0.002, 0.008),
+        cloud_backhaul_rtt: Optional[float] = 0.050,
+        uplink_buffer: int = 1000,
+    ) -> Scenario:
+        """A client behind one radio link with several offload targets.
+
+        The access network fans out to a chain of edge servers (one per
+        entry of ``backhaul_rtts``, nearest first; a server's total RTT
+        is ``radio_rtt`` plus its backhaul) and optionally a distant
+        cloud server — the topology of the Section VI-B/VI-E churn
+        story: edge servers come and go, the radio can black out, and a
+        resilient executor must walk down the candidate list before
+        giving up and running locally.
+        """
+        sim = Simulator(seed=self.seed)
+        net = Network(sim)
+        net.add_host("client")
+        net.add_router("ap")
+        net.add_duplex(
+            "ap", "client",
+            rate_down_bps=radio_down_bps,
+            rate_up_bps=radio_up_bps,
+            delay=radio_rtt / 2,
+            loss=radio_loss,
+            queue_up=DropTailQueue(uplink_buffer),
+        )
+        servers: List[str] = []
+        for i, backhaul in enumerate(backhaul_rtts):
+            name = f"edge{i}"
+            net.add_host(name)
+            net.add_duplex(name, "ap", 1e9, 1e9, delay=backhaul / 2)
+            servers.append(name)
+        if cloud_backhaul_rtt is not None:
+            net.add_host("cloud")
+            net.add_duplex("cloud", "ap", 1e9, 1e9, delay=cloud_backhaul_rtt / 2)
+            servers.append("cloud")
+        net.build_routes()
+        return Scenario(
+            sim=sim,
+            net=net,
+            client_hosts=["client"],
+            path_names=["wifi"],
+            server=servers[0],
+            metered={"wifi": False},
+            backup_servers=servers[1:],
         )
 
     # ------------------------------------------------------------------

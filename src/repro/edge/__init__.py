@@ -22,7 +22,7 @@ from repro.edge.placement import (
     solve_lp_rounding,
     solve_exact,
 )
-from repro.edge.assignment import assign_users, AssignmentResult
+from repro.edge.assignment import assign_users, failover_order, AssignmentResult
 from repro.edge.sync import SyncGroup, UpdateRecord
 
 __all__ = [
@@ -36,6 +36,7 @@ __all__ = [
     "solve_lp_rounding",
     "solve_exact",
     "assign_users",
+    "failover_order",
     "AssignmentResult",
     "SyncGroup",
     "UpdateRecord",

@@ -72,3 +72,41 @@ def assign_users(topology: CityTopology, opened: Set[int]) -> AssignmentResult:
         remaining[best] -= user.demand
         load[best] += user.demand
     return AssignmentResult(mapping=mapping, latencies=latencies, load=load)
+
+
+def failover_order(
+    topology: CityTopology,
+    opened: Set[int],
+    user_index: int,
+    assignment: Optional[AssignmentResult] = None,
+    k: Optional[int] = None,
+) -> List[int]:
+    """Ranked failover candidates for one user, best first.
+
+    When the user's assigned site crashes, the session should walk down
+    this list (Section VI-B's degraded-but-alive guideline applied to
+    Section VI-E's placement).  Ranking: opened sites other than the
+    primary, with spare capacity for the user's demand (given the
+    current ``assignment`` load), within-budget sites before
+    over-budget ones, then by latency.  Over-budget sites still appear
+    — offloading past the deadline is degraded service, but beats
+    falling back to device-only compute for most workloads.  ``k``
+    truncates the list.
+    """
+    matrix = topology.latency_matrix()
+    user = topology.users[user_index]
+    primary = assignment.mapping.get(user_index) if assignment is not None else None
+    candidates = []
+    for si in opened:
+        if si == primary:
+            continue
+        if assignment is not None:
+            cap = topology.sites[si].capacity
+            spare = cap - assignment.load.get(si, 0.0)
+            if spare < user.demand:
+                continue
+        latency = float(matrix[user_index, si])
+        candidates.append((latency > user.latency_budget, latency, si))
+    candidates.sort()
+    order = [si for _, _, si in candidates]
+    return order if k is None else order[:k]

@@ -44,6 +44,7 @@ from repro.mar.offload import (
     FeatureOffload,
     TrackingOffload,
     OffloadExecutor,
+    ResilientOffloadExecutor,
     SessionResult,
 )
 from repro.mar.cache import ObjectCache
@@ -85,6 +86,7 @@ __all__ = [
     "FeatureOffload",
     "TrackingOffload",
     "OffloadExecutor",
+    "ResilientOffloadExecutor",
     "SessionResult",
     "ObjectCache",
     "EnergyModel",

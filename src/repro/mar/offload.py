@@ -20,8 +20,17 @@ Table II.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
+from repro.core.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    DecorrelatedBackoff,
+    HeartbeatMonitor,
+    Liveness,
+    ResilienceMetrics,
+    ServiceMode,
+)
 from repro.mar.application import MarApplication
 from repro.mar.devices import CLOUD, Device
 from repro.mar.energy import EnergyModel
@@ -151,6 +160,7 @@ class SessionResult:
 
     frame_latencies: List[float] = field(default_factory=list)
     offloaded_latencies: List[float] = field(default_factory=list)
+    degraded_latencies: List[float] = field(default_factory=list)
     link_rtts: List[float] = field(default_factory=list)
     deadline: float = 0.0
     frames_sent: int = 0
@@ -367,3 +377,307 @@ class OffloadExecutor:
         duration = n_frames * self.app.frame_budget + settle
         self.sim.run(until=self.sim.now + duration)
         return self.result
+
+
+# ----------------------------------------------------------------------
+# Resilient execution: heartbeats, retries, failover, circuit breaking
+# ----------------------------------------------------------------------
+class ResilientOffloadExecutor(OffloadExecutor):
+    """An :class:`OffloadExecutor` that survives dead servers and paths.
+
+    On top of the base frame pipeline it adds the Section VI-B
+    resilience layer:
+
+    - a :class:`~repro.core.resilience.HeartbeatMonitor` per server
+      (primary + failover candidates) with RTT-adaptive timeouts —
+      liveness is *detected*, never assumed;
+    - per-frame retry with exponential backoff and decorrelated jitter;
+      a frame whose retries exhaust is re-executed locally instead of
+      dropped (graceful degradation, not a stalled pipeline);
+    - failover: when the active server is declared failed, traffic
+      moves to the best surviving candidate (heartbeat state first,
+      preference order second);
+    - a :class:`~repro.core.resilience.CircuitBreaker` around the
+      offload service: when no candidate survives (or retries keep
+      exhausting) it trips and the executor runs frames in
+      :class:`LocalOnly` degraded mode, half-opening periodically to
+      probe recovery.  Heartbeat pongs arriving while tripped also
+      close the breaker — whichever probe succeeds first wins.
+
+    The resulting state machine (healthy → suspect → failed-over →
+    degraded-local → probing → healthy) is recorded in
+    :class:`~repro.core.resilience.ResilienceMetrics` and summarized by
+    :meth:`resilience_report`.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        client: str,
+        servers: Sequence[str],
+        app: MarApplication,
+        strategy: OffloadStrategy,
+        device: Device,
+        server_device: Device = CLOUD,
+        client_port: int = 9000,
+        server_port: int = 9001,
+        radio: str = "wifi",
+        heartbeat_interval: float = 0.25,
+        miss_threshold: int = 3,
+        frame_timeout: float = 2.0,
+        max_frame_retries: int = 2,
+        retry_backoff_base: float = 0.05,
+        retry_backoff_cap: float = 1.0,
+        breaker_failures: int = 3,
+        breaker_cooldown: float = 1.0,
+    ) -> None:
+        if not servers:
+            raise ValueError("need at least one server")
+        super().__init__(
+            net, client, servers[0], app, strategy, device, server_device,
+            client_port, server_port, radio,
+            ping_interval=heartbeat_interval, frame_timeout=frame_timeout,
+        )
+        self.servers = list(servers)
+        self.active_server = servers[0]
+        self.miss_threshold = miss_threshold
+        self.max_frame_retries = max_frame_retries
+        self._backups = {
+            name: _ServerSide(net, name, server_port, server_device)
+            for name in self.servers[1:]
+        }
+        self._rng = net.sim.child_rng(f"resilience:{client}")
+        self._retry_base = retry_backoff_base
+        self._retry_cap = retry_backoff_cap
+        self.monitors: Dict[str, HeartbeatMonitor] = {
+            name: HeartbeatMonitor(
+                net.sim, name, self._send_heartbeat,
+                interval=heartbeat_interval, miss_threshold=miss_threshold,
+                on_state_change=self._on_liveness,
+            )
+            for name in self.servers
+        }
+        self.breaker = CircuitBreaker(
+            clock=lambda: self.sim.now,
+            failure_threshold=breaker_failures,
+            cooldown=breaker_cooldown,
+        )
+        self.metrics = ResilienceMetrics()
+        self.mode = ServiceMode.HEALTHY
+        self._attempts: Dict[int, Dict] = {}
+        #: (completion time, frame index, "offloaded"|"local"|"degraded")
+        self.frame_log: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    # Liveness plumbing
+    # ------------------------------------------------------------------
+    def _send_heartbeat(self, target: str, token: float) -> None:
+        self.socket.sendto(target, self.server_port, 64, kind="ping", t=token)
+
+    def _on_packet(self, packet: Packet) -> None:
+        if packet.kind == "pong":
+            monitor = self.monitors.get(packet.src)
+            if monitor is not None:
+                monitor.on_pong(packet.payload["echo"])
+            if packet.src == self.active_server:
+                self.result.link_rtts.append(self.sim.now - packet.payload["echo"])
+            return
+        super()._on_packet(packet)
+
+    def _steady_mode(self) -> ServiceMode:
+        return (ServiceMode.HEALTHY if self.active_server == self.servers[0]
+                else ServiceMode.FAILED_OVER)
+
+    def _set_mode(self, mode: ServiceMode) -> None:
+        self.mode = mode
+        self.metrics.record_mode(self.sim.now, mode)
+
+    def _on_liveness(self, target: str, old: Liveness, new: Liveness) -> None:
+        if new is Liveness.FAILED:
+            if target == self.active_server:
+                self.metrics.detection_delays.append(
+                    self.monitors[target].detection_delays[-1]
+                )
+                self.metrics.outage_begin(self.sim.now)
+                self._fail_over(exclude=target)
+        elif new is Liveness.HEALTHY:
+            if self.breaker.state is not BreakerState.CLOSED:
+                # A probe pong while tripped: the world is back.
+                self.breaker.record_success()
+                self.active_server = target
+                self._set_mode(self._steady_mode())
+            elif target == self.active_server and self.mode is ServiceMode.SUSPECT:
+                self._set_mode(self._steady_mode())
+        elif new is Liveness.SUSPECT:
+            if target == self.active_server and self.mode in (
+                ServiceMode.HEALTHY, ServiceMode.FAILED_OVER
+            ):
+                self._set_mode(ServiceMode.SUSPECT)
+
+    def _fail_over(self, exclude: str) -> None:
+        rank = {Liveness.HEALTHY: 0, Liveness.SUSPECT: 1}
+        candidates = [
+            s for s in self.servers
+            if s != exclude and self.monitors[s].state is not Liveness.FAILED
+        ]
+        candidates.sort(key=lambda s: (rank[self.monitors[s].state],
+                                       self.servers.index(s)))
+        if candidates:
+            self.active_server = candidates[0]
+            self.metrics.failovers += 1
+            self._set_mode(ServiceMode.FAILED_OVER)
+        else:
+            self.breaker.trip()
+            self._set_mode(ServiceMode.DEGRADED_LOCAL)
+
+    # ------------------------------------------------------------------
+    # Frame pipeline overrides
+    # ------------------------------------------------------------------
+    def start(self, n_frames: int) -> None:
+        self.n_frames = n_frames
+        for i in range(n_frames):
+            self.sim.schedule(i * self.app.frame_budget, self._generate_frame, i)
+        self._set_mode(self.mode)
+        for monitor in self.monitors.values():
+            monitor.start()
+
+    def _local_plan(self) -> FramePlan:
+        return FramePlan(
+            local_megacycles=self.app.megacycles_per_frame,
+            upload_bytes=0,
+            remote_megacycles=0.0,
+            download_bytes=0,
+        )
+
+    def _generate_frame(self, index: int) -> None:
+        self._frame_index = index
+        if not self.breaker.allow_request():
+            # Tripped: serve the frame on-device, degraded but alive.
+            plan = self._local_plan()
+            self.result.frames_sent += 1
+            self.result.energy.on_compute(plan.local_megacycles)
+            local_time = self.device.execution_time(plan.local_megacycles)
+            self.sim.schedule(local_time, self._complete_degraded, index, self.sim.now)
+            return
+        probe = self.breaker.state is BreakerState.HALF_OPEN
+        if probe:
+            self._set_mode(ServiceMode.PROBING)
+        plan = self.strategy.plan_frame(self.app, index)
+        self.result.frames_sent += 1
+        self.result.energy.on_compute(plan.local_megacycles)
+        local_time = self.device.execution_time(plan.local_megacycles)
+        if plan.needs_network:
+            self.sim.schedule(local_time, self._send_upload, index, plan, probe)
+        else:
+            self.sim.schedule(local_time, self._complete_frame, index, self.sim.now)
+
+    def _send_upload(self, index: int, plan: FramePlan, probe: bool = False) -> None:
+        generated_at = self.sim.now - self.device.execution_time(plan.local_megacycles)
+        self._pending[index] = {"generated": generated_at, "got": 0, "need": 0}
+        self._attempts[index] = {
+            "plan": plan,
+            "count": 0,
+            "probe": probe,
+            "backoff": DecorrelatedBackoff(self._rng, base=self._retry_base,
+                                           cap=self._retry_cap),
+        }
+        self._transmit_upload(index)
+
+    def _transmit_upload(self, index: int) -> None:
+        meta = self._attempts.get(index)
+        if meta is None or index not in self._pending:
+            return
+        plan: FramePlan = meta["plan"]
+        n_fragments = max(1, -(-plan.upload_bytes // FRAGMENT_BYTES))
+        remaining = plan.upload_bytes
+        for _ in range(n_fragments):
+            size = min(FRAGMENT_BYTES, remaining) if remaining > 0 else 1
+            remaining -= size
+            self.socket.sendto(
+                self.active_server,
+                self.server_port,
+                size,
+                kind="frame-fragment",
+                flow=f"offload:{self.socket.host.name}",
+                frame=index,
+                n_fragments=n_fragments,
+                remote_megacycles=plan.remote_megacycles,
+                download_bytes=plan.download_bytes,
+            )
+        self.result.energy.on_transfer(plan.upload_bytes, new_burst=True)
+        self.sim.schedule(self._frame_deadline(), self._check_frame,
+                          index, meta["count"])
+
+    def _frame_deadline(self) -> float:
+        """RTT-adaptive per-attempt timeout, bounded by ``frame_timeout``."""
+        rtt = self.monitors[self.active_server].rtt
+        return min(self.frame_timeout, max(0.05, 3 * rtt.timeout()))
+
+    def _check_frame(self, index: int, attempt: int) -> None:
+        if index not in self._pending:
+            return
+        meta = self._attempts.get(index)
+        if meta is None or meta["count"] != attempt:
+            return                               # a newer attempt is in flight
+        # State read only — the retry path must not consume the breaker's
+        # half-open probe slot (allow_request mutates on cooldown expiry).
+        tripped = self.breaker.state is BreakerState.OPEN
+        if meta["count"] < self.max_frame_retries and not tripped:
+            meta["count"] += 1
+            self.sim.schedule(meta["backoff"].next(), self._transmit_upload, index)
+            return
+        # Retries exhausted: degrade this frame to local execution.
+        state = self._pending.pop(index)
+        self._attempts.pop(index, None)
+        self.breaker.record_failure()
+        if self.breaker.state is BreakerState.OPEN:
+            self.metrics.outage_begin(self.sim.now)
+            self._set_mode(ServiceMode.DEGRADED_LOCAL)
+        megacycles = self.app.megacycles_per_frame
+        self.result.energy.on_compute(megacycles)
+        self.sim.schedule(
+            self.device.execution_time(megacycles),
+            self._complete_degraded, index, state["generated"],
+        )
+
+    def _complete_degraded(self, index: int, generated_at: float) -> None:
+        latency = self.sim.now - generated_at
+        self.result.frame_latencies.append(latency)
+        self.result.degraded_latencies.append(latency)
+        self.result.frames_completed += 1
+        self.metrics.frames_degraded += 1
+        self.frame_log.append((self.sim.now, index, "degraded"))
+
+    def _complete_frame(self, index: int, generated_at: float, offloaded: bool = False) -> None:
+        meta = self._attempts.pop(index, None)
+        super()._complete_frame(index, generated_at, offloaded)
+        self.frame_log.append((self.sim.now, index, "offloaded" if offloaded else "local"))
+        if not offloaded:
+            self.metrics.frames_local_by_design += 1
+            return
+        self.metrics.frames_offloaded += 1
+        self.metrics.outage_end(self.sim.now)
+        if meta is not None and meta["probe"]:
+            self.breaker.record_success()
+        if self.breaker.state is BreakerState.CLOSED and self.mode in (
+            ServiceMode.PROBING, ServiceMode.DEGRADED_LOCAL
+        ):
+            self._set_mode(self._steady_mode())
+
+    def _expire_frame(self, index: int) -> None:
+        # Superseded by the retry/fallback machinery of _check_frame.
+        pass
+
+    # ------------------------------------------------------------------
+    def run(self, n_frames: int = 300, settle: float = 2.0) -> SessionResult:
+        result = super().run(n_frames, settle)
+        for monitor in self.monitors.values():
+            monitor.stop()
+        self.metrics.close(self.sim.now)
+        self.metrics.frames_dropped = result.frames_sent - result.frames_completed
+        return result
+
+    def resilience_report(self):
+        """Aggregate the session's resilience metrics (after ``run``)."""
+        self.metrics.breaker_trips = self.breaker.trips
+        return self.metrics.report(duration=self.sim.now)

@@ -14,6 +14,7 @@ from repro.simnet.link import Link, DuplexLink, VariableRateLink
 from repro.simnet.replay import TraceReplayLink, commute_trace
 from repro.simnet.node import Host, Node, Router
 from repro.simnet.network import Network
+from repro.simnet.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.simnet.flows import BulkSource, CBRSource, OnOffSource, PacketSink, PoissonSource
 from repro.simnet.trace import FlowStats, PacketTracer
 from repro.simnet.monitor import LinkMonitor, QueueMonitor
@@ -35,6 +36,9 @@ __all__ = [
     "Host",
     "Router",
     "Network",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "CBRSource",
     "PoissonSource",
     "OnOffSource",

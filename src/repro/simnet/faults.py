@@ -1,0 +1,364 @@
+"""Declarative fault injection for simulated networks (Section VI-B).
+
+The paper's robustness guideline — "an AR application should ideally
+function with degraded performance even if no network connectivity is
+available" — needs failures to be first-class inputs, not ad-hoc
+``link.loss`` pokes inside tests.  This module provides:
+
+- :class:`FaultEvent` — one timed fault (link blackout, loss burst,
+  bandwidth crush, delay spike / reorder window, server crash/restart,
+  handover stall) with explicit targets and severity;
+- :class:`FaultPlan` — an ordered collection of events with builder
+  classmethods for the common fault shapes;
+- :class:`FaultInjector` — schedules a plan on the :class:`Simulator`,
+  applies each event when it starts and restores the *complete* prior
+  state when it expires.
+
+State restoration is snapshot-based: the first fault touching a link
+snapshots every mutable field (``loss``, ``rate_bps``, ``delay``,
+``jitter``); the effective state while any fault is active is computed
+by composing all active faults over that snapshot, and the last expiry
+restores the snapshot verbatim.  This closes the latent bug class where
+a blackout implemented as ``loss = 0.999999`` silently leaked a jitter
+or rate mutation past its window.  Overlapping faults compose:
+
+- loss probabilities combine independently
+  (``1 - (1-base)·∏(1-loss_i)``),
+- rate factors multiply,
+- extra delay and jitter add.
+
+Node faults (server crash) flip :attr:`Node.down`; a crashed node drops
+everything delivered to it, so heartbeats and frames time out exactly as
+they would against a dead edge server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.simnet.link import Link
+from repro.simnet.network import Network
+from repro.simnet.node import Node
+
+#: Blackouts set the composed loss to exactly 1.0: `Link` only validates
+#: the constructor argument, and ``rng.random() < 1.0`` always drops.
+BLACKOUT_LOSS = 1.0
+
+LinkRef = Union[str, Link]
+NodeRef = Union[str, Node]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault.
+
+    ``kind`` is informational (it names the builder that produced the
+    event); behaviour is fully determined by the severity fields.  A
+    ``duration`` of ``None`` means the fault never expires on its own
+    (a permanent crash or a link cut that outlives the run).
+    """
+
+    kind: str
+    start: float
+    duration: Optional[float]
+    links: Tuple[str, ...] = ()
+    nodes: Tuple[str, ...] = ()
+    #: extra independent drop probability while active (1.0 = blackout)
+    loss: float = 0.0
+    #: multiplier on the link's serialization rate (1.0 = untouched)
+    rate_factor: float = 1.0
+    #: additive propagation delay in seconds
+    extra_delay: float = 0.0
+    #: additive jitter in seconds (opens a reorder/late-delivery window)
+    extra_jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("fault start must be >= 0")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("fault duration must be positive (or None)")
+        if not 0.0 <= self.loss <= 1.0:
+            raise ValueError("loss must be in [0, 1]")
+        if self.rate_factor <= 0:
+            raise ValueError("rate_factor must be positive")
+        if not self.links and not self.nodes:
+            raise ValueError("a fault needs at least one link or node target")
+
+    @property
+    def end(self) -> Optional[float]:
+        return None if self.duration is None else self.start + self.duration
+
+    # ------------------------------------------------------------------
+    # Builders — the fault vocabulary of the robustness scenarios.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _link_names(links: Iterable[LinkRef]) -> Tuple[str, ...]:
+        return tuple(l if isinstance(l, str) else l.name for l in links)
+
+    @staticmethod
+    def _node_names(nodes: Iterable[NodeRef]) -> Tuple[str, ...]:
+        return tuple(n if isinstance(n, str) else n.name for n in nodes)
+
+    @classmethod
+    def blackout(cls, start: float, duration: Optional[float],
+                 links: Iterable[LinkRef]) -> "FaultEvent":
+        """Total radio silence on the given links."""
+        return cls(kind="blackout", start=start, duration=duration,
+                   links=cls._link_names(links), loss=BLACKOUT_LOSS)
+
+    @classmethod
+    def loss_burst(cls, start: float, duration: Optional[float],
+                   links: Iterable[LinkRef], loss: float = 0.3) -> "FaultEvent":
+        """A window of elevated random loss (interference, cell edge)."""
+        return cls(kind="loss-burst", start=start, duration=duration,
+                   links=cls._link_names(links), loss=loss)
+
+    @classmethod
+    def bandwidth_crush(cls, start: float, duration: Optional[float],
+                        links: Iterable[LinkRef],
+                        factor: float = 0.1) -> "FaultEvent":
+        """Throughput collapses to ``factor`` of nominal (congested cell)."""
+        return cls(kind="bandwidth-crush", start=start, duration=duration,
+                   links=cls._link_names(links), rate_factor=factor)
+
+    @classmethod
+    def delay_spike(cls, start: float, duration: Optional[float],
+                    links: Iterable[LinkRef], extra_delay: float = 0.2,
+                    extra_jitter: float = 0.0) -> "FaultEvent":
+        """Added latency, optionally with a jitter/reorder window
+        (bufferbloat episode, cross-layer retransmission storm)."""
+        return cls(kind="delay-spike", start=start, duration=duration,
+                   links=cls._link_names(links), extra_delay=extra_delay,
+                   extra_jitter=extra_jitter)
+
+    @classmethod
+    def server_crash(cls, start: float, duration: Optional[float],
+                     nodes: Iterable[NodeRef]) -> "FaultEvent":
+        """Edge-server churn: the node drops every delivered packet until
+        restart (``duration`` elapses) — or forever when ``None``."""
+        return cls(kind="server-crash", start=start, duration=duration,
+                   nodes=cls._node_names(nodes))
+
+    @classmethod
+    def handover_stall(cls, start: float, duration: float,
+                       links: Iterable[LinkRef],
+                       residual_delay: float = 0.05) -> "FaultEvent":
+        """A hard handover: the radio goes silent for ``duration`` and
+        traffic that survives rides a briefly inflated path."""
+        return cls(kind="handover-stall", start=start, duration=duration,
+                   links=cls._link_names(links), loss=BLACKOUT_LOSS,
+                   extra_delay=residual_delay)
+
+
+@dataclass
+class FaultPlan:
+    """An ordered set of fault events plus builder sugar.
+
+    Plans are plain data — build one anywhere, hand it to a
+    :class:`FaultInjector`.  ``events`` need not be pre-sorted.
+    """
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        self.events.append(event)
+        return self
+
+    def extend(self, events: Iterable[FaultEvent]) -> "FaultPlan":
+        self.events.extend(events)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(sorted(self.events, key=lambda e: e.start))
+
+    @property
+    def horizon(self) -> float:
+        """Latest expiry across all bounded events."""
+        ends = [e.end for e in self.events if e.end is not None]
+        return max(ends) if ends else 0.0
+
+    # Convenience pass-throughs mirroring the FaultEvent builders.
+    def blackout(self, start: float, duration: Optional[float],
+                 links: Iterable[LinkRef]) -> "FaultPlan":
+        return self.add(FaultEvent.blackout(start, duration, links))
+
+    def loss_burst(self, start: float, duration: Optional[float],
+                   links: Iterable[LinkRef], loss: float = 0.3) -> "FaultPlan":
+        return self.add(FaultEvent.loss_burst(start, duration, links, loss))
+
+    def bandwidth_crush(self, start: float, duration: Optional[float],
+                        links: Iterable[LinkRef], factor: float = 0.1) -> "FaultPlan":
+        return self.add(FaultEvent.bandwidth_crush(start, duration, links, factor))
+
+    def delay_spike(self, start: float, duration: Optional[float],
+                    links: Iterable[LinkRef], extra_delay: float = 0.2,
+                    extra_jitter: float = 0.0) -> "FaultPlan":
+        return self.add(FaultEvent.delay_spike(start, duration, links,
+                                               extra_delay, extra_jitter))
+
+    def server_crash(self, start: float, duration: Optional[float],
+                     nodes: Iterable[NodeRef]) -> "FaultPlan":
+        return self.add(FaultEvent.server_crash(start, duration, nodes))
+
+    def handover_stall(self, start: float, duration: float,
+                       links: Iterable[LinkRef],
+                       residual_delay: float = 0.05) -> "FaultPlan":
+        return self.add(FaultEvent.handover_stall(start, duration, links,
+                                                  residual_delay))
+
+
+@dataclass(frozen=True)
+class _LinkSnapshot:
+    """Every mutable field a fault may touch, captured before it does."""
+
+    loss: float
+    rate_bps: float
+    delay: float
+    jitter: float
+
+    @classmethod
+    def of(cls, link: Link) -> "_LinkSnapshot":
+        return cls(loss=link.loss, rate_bps=link.rate_bps,
+                   delay=link.delay, jitter=link.jitter)
+
+    def restore(self, link: Link) -> None:
+        link.loss = self.loss
+        link.rate_bps = self.rate_bps
+        link.delay = self.delay
+        link.jitter = self.jitter
+
+
+def path_links(net: Network, a: str, b: str) -> List[Link]:
+    """Both directions of the current route between two nodes — the
+    usual target set for access-side faults."""
+    return net.path_links(a, b) + net.path_links(b, a)
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to a network on its simulator.
+
+    The injector keeps, per link, the pre-fault snapshot and the list of
+    currently active events; the link's effective state is always
+    ``compose(snapshot, active_events)``, and the snapshot is restored
+    exactly when the last event on that link expires.  Per node it
+    refcounts crash events so overlapping crash windows do not revive a
+    server early.
+
+    The injector also keeps a ``timeline`` of ``(time, event, phase)``
+    records (phase is ``"start"`` or ``"end"``) so resilience metrics
+    can measure detection delay against ground truth.
+    """
+
+    def __init__(self, net: Network) -> None:
+        self.net = net
+        self.sim = net.sim
+        self._links_by_name: Dict[str, Link] = {l.name: l for l in net.links}
+        self._snapshots: Dict[str, _LinkSnapshot] = {}
+        self._active_on_link: Dict[str, List[FaultEvent]] = {}
+        self._crash_refcount: Dict[str, int] = {}
+        self._active: List[FaultEvent] = []
+        self.timeline: List[Tuple[float, FaultEvent, str]] = []
+        self.activated = 0
+        self.expired = 0
+
+    # ------------------------------------------------------------------
+    def apply(self, plan: FaultPlan) -> None:
+        """Schedule every event of the plan (idempotent per event)."""
+        for event in plan:
+            self.schedule(event)
+
+    def schedule(self, event: FaultEvent) -> None:
+        self._resolve_targets(event)  # fail fast on unknown names
+        self.sim.schedule_at(max(event.start, self.sim.now), self._activate, event)
+
+    # ------------------------------------------------------------------
+    def _resolve_targets(self, event: FaultEvent) -> Tuple[List[Link], List[Node]]:
+        try:
+            links = [self._links_by_name[name] for name in event.links]
+        except KeyError as exc:
+            raise KeyError(f"fault targets unknown link {exc.args[0]!r}") from None
+        try:
+            nodes = [self.net.nodes[name] for name in event.nodes]
+        except KeyError as exc:
+            raise KeyError(f"fault targets unknown node {exc.args[0]!r}") from None
+        return links, nodes
+
+    def _activate(self, event: FaultEvent) -> None:
+        links, nodes = self._resolve_targets(event)
+        for link in links:
+            if link.name not in self._snapshots:
+                self._snapshots[link.name] = _LinkSnapshot.of(link)
+            self._active_on_link.setdefault(link.name, []).append(event)
+            self._recompose(link)
+        for node in nodes:
+            self._crash_refcount[node.name] = self._crash_refcount.get(node.name, 0) + 1
+            node.down = True
+        self.activated += 1
+        self._active.append(event)
+        self.timeline.append((self.sim.now, event, "start"))
+        if event.duration is not None:
+            self.sim.schedule(event.duration, self._expire, event)
+
+    def _expire(self, event: FaultEvent) -> None:
+        links, nodes = self._resolve_targets(event)
+        for link in links:
+            active = self._active_on_link.get(link.name, [])
+            if event in active:
+                active.remove(event)
+            if active:
+                self._recompose(link)
+            else:
+                # Last fault on this link: restore *all* fields verbatim.
+                self._snapshots.pop(link.name).restore(link)
+                self._active_on_link.pop(link.name, None)
+        for node in nodes:
+            count = self._crash_refcount.get(node.name, 1) - 1
+            if count <= 0:
+                self._crash_refcount.pop(node.name, None)
+                node.down = False
+            else:
+                self._crash_refcount[node.name] = count
+        self.expired += 1
+        if event in self._active:
+            self._active.remove(event)
+        self.timeline.append((self.sim.now, event, "end"))
+
+    def _recompose(self, link: Link) -> None:
+        base = self._snapshots[link.name]
+        survive = 1.0 - base.loss
+        rate = base.rate_bps
+        delay = base.delay
+        jitter = base.jitter
+        for event in self._active_on_link[link.name]:
+            survive *= 1.0 - event.loss
+            rate *= event.rate_factor
+            delay += event.extra_delay
+            jitter += event.extra_jitter
+        link.loss = 1.0 - survive
+        link.rate_bps = max(rate, 1.0)
+        link.delay = delay
+        link.jitter = jitter
+
+    # ------------------------------------------------------------------
+    # Introspection helpers for tests and metrics.
+    # ------------------------------------------------------------------
+    def active_faults(self) -> List[FaultEvent]:
+        """Events currently applied, in activation order."""
+        return list(self._active)
+
+    def outage_windows(self) -> List[Tuple[float, Optional[float]]]:
+        """(start, end) ground-truth windows of every injected event;
+        ``end`` is None for unexpired/permanent faults."""
+        starts: Dict[int, float] = {}
+        windows: List[Tuple[float, Optional[float]]] = []
+        for t, e, phase in self.timeline:
+            if phase == "start":
+                starts[id(e)] = t
+            else:
+                windows.append((starts.pop(id(e)), t))
+        windows.extend((t, None) for t in starts.values())
+        return sorted(windows)

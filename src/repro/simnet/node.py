@@ -35,6 +35,10 @@ class Node:
         self.packets_forwarded = 0
         self.packets_received = 0
         self.packets_unroutable = 0
+        #: Crashed nodes (see :mod:`repro.simnet.faults`) drop every
+        #: packet delivered or offered for forwarding until restart.
+        self.down = False
+        self.packets_dropped_down = 0
 
     def add_interface(self, link: "Link") -> None:
         self.interfaces.append(link)
@@ -50,6 +54,9 @@ class Node:
     # ------------------------------------------------------------------
     def send(self, packet: Packet) -> bool:
         """Inject a locally generated packet toward its destination."""
+        if self.down:
+            self.packets_dropped_down += 1
+            return False
         if packet.created_at == 0.0:
             packet.created_at = self.sim.now
         return self._forward(packet)
@@ -63,6 +70,9 @@ class Node:
 
     def receive(self, packet: Packet, via: Optional["Link"] = None) -> None:
         """Called by an ingress link when a packet arrives."""
+        if self.down:
+            self.packets_dropped_down += 1
+            return
         if packet.dst == self.name:
             self.packets_received += 1
             self._deliver_local(packet)

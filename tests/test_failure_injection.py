@@ -4,6 +4,10 @@
 even if no network connectivity is available" (Section VI-B) — these
 tests throw the failures at the stack and check it degrades and
 recovers instead of wedging.
+
+Faults are injected through :mod:`repro.simnet.faults` (declarative
+plans with snapshot/restore semantics) rather than by mutating
+``link.loss`` in scheduled lambdas.
 """
 
 import pytest
@@ -12,6 +16,7 @@ from repro.core.metrics import mos_score
 from repro.core.scheduler import MultipathPolicy
 from repro.core.session import OffloadSession, ScenarioBuilder
 from repro.simnet.engine import Simulator
+from repro.simnet.faults import FaultInjector, FaultPlan
 from repro.simnet.network import Network
 from repro.simnet.queues import DropTailQueue
 from repro.transport.tcp import TcpConnection, TcpListener
@@ -24,14 +29,14 @@ class TestMartpOutages:
         links = scenario.net.path_links("client", "server") \
             + scenario.net.path_links("server", "client")
 
-        def black(on):
-            for link in links:
-                link.loss = 0.999999 if on else 0.0
-
-        scenario.sim.schedule(8.0, black, True)
-        scenario.sim.schedule(11.0, black, False)
+        injector = FaultInjector(scenario.net)
+        injector.apply(FaultPlan().blackout(8.0, 3.0, links))
         session = OffloadSession(scenario)
         report = session.run(25.0)
+
+        # The injector restored the links exactly when the window closed.
+        assert injector.expired == 1
+        assert all(link.loss == 0.0 for link in links)
 
         # The session survived: traffic flows again after recovery.
         rx = session.receiver.stream_stats(2)
@@ -66,12 +71,13 @@ class TestMartpOutages:
         session = OffloadSession(scenario, policy=MultipathPolicy.WIFI_PREFERRED)
         sched = session.sender.scheduler
 
-        def kill_wifi():
-            # Radio gone: packets already queued die with the link.
-            scenario.net.path_links("client-wifi", "server")[0].loss = 0.999999
-            sched.set_usable("wifi", False)
-
-        scenario.sim.schedule(5.0, kill_wifi)
+        # Radio gone for good at t=5: a permanent blackout on the WiFi
+        # uplink, plus telling the scheduler the path is unusable.
+        wifi_link = scenario.net.path_links("client-wifi", "server")[0]
+        FaultInjector(scenario.net).apply(
+            FaultPlan().blackout(5.0, None, [wifi_link])
+        )
+        scenario.sim.schedule(5.0, sched.set_usable, "wifi", False)
         report = session.run(15.0)
         # Data kept flowing (on LTE) after the failure.
         assert sched.metered_fraction() > 0.2
@@ -105,13 +111,7 @@ class TestTcpBlackout:
         conn.on_established = lambda: conn.send(2_000_000)
         conn.connect()
         links = net.path_links("client", "server") + net.path_links("server", "client")
-
-        def black(on):
-            for link in links:
-                link.loss = 0.999999 if on else 0.0
-
-        sim.schedule(0.5, black, True)
-        sim.schedule(4.0, black, False)
+        FaultInjector(net).apply(FaultPlan().blackout(0.5, 3.5, links))
         sim.run(until=300.0)
         assert sum(got) == 2_000_000
         assert conn.timeouts >= 1          # RTO carried it through
