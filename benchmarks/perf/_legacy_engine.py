@@ -1,0 +1,127 @@
+"""Verbatim copy of the pre-overhaul discrete-event engine.
+
+This is the `Simulator` as it stood before the hot-path overhaul
+(lazy-deletion compaction, O(1) pending, reschedule-in-place, tuple
+heap): cancelled events stay in the heap until their deadline passes,
+``pending`` is an O(n) scan, and every event carries an args/kwargs
+pair.  The perf harness runs the same workloads against this class and
+the current :class:`repro.simnet.engine.Simulator` in the same process
+to measure the speedup — keeping the comparison honest across machines.
+
+A ``reschedule``/``reschedule_at`` shim (plain cancel+push, the
+pre-overhaul idiom at every RTO call-site) lets unmodified transport
+code run on top of this engine.
+
+Do not import this from production code.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Any, Callable, Optional
+
+
+class LegacyEvent:
+    """A scheduled callback (pre-overhaul layout)."""
+
+    __slots__ = ("time", "seq", "fn", "args", "kwargs", "cancelled")
+
+    def __init__(self, time, seq, fn, args, kwargs) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "LegacyEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class LegacySimulator:
+    """Pre-overhaul deterministic discrete-event simulator."""
+
+    def __init__(self, seed: int = 0, **_ignored) -> None:
+        self.now: float = 0.0
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self._heap: list = []
+        self._seq = itertools.count()
+        self._running = False
+
+    # -- scheduling ----------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any,
+                 **kwargs: Any) -> LegacyEvent:
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.schedule_at(self.now + delay, fn, *args, **kwargs)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any,
+                    **kwargs: Any) -> LegacyEvent:
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        event = LegacyEvent(time, next(self._seq), fn, args, kwargs)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: LegacyEvent) -> None:
+        event.cancel()
+
+    # Shim: the pre-overhaul code had no reschedule API — every re-arm
+    # was a cancel + fresh push, leaving a dead entry in the heap.
+    def reschedule(self, event: LegacyEvent, delay: float) -> LegacyEvent:
+        return self.reschedule_at(event, self.now + delay)
+
+    def reschedule_at(self, event: LegacyEvent, time: float) -> LegacyEvent:
+        event.cancel()
+        return self.schedule_at(time, event.fn, *event.args, **event.kwargs)
+
+    # -- execution -----------------------------------------------------
+    def step(self) -> bool:
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.fn(*event.args, **event.kwargs)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> int:
+        fired = 0
+        self._running = True
+        try:
+            while self._heap:
+                if max_events is not None and fired >= max_events:
+                    break
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                if not self.step():
+                    break
+                fired += 1
+        finally:
+            self._running = False
+        if until is not None and until > self.now:
+            self.now = until
+        return fired
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def heap_size(self) -> int:
+        return len(self._heap)
+
+    def child_rng(self, tag: str) -> random.Random:
+        return random.Random(f"{self.seed}:{tag}")

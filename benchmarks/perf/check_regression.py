@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Compare a fresh perf run against a checked-in baseline.
+
+Guards two classes of metric:
+
+- **speedup ratios** (new engine vs. legacy engine, measured in the
+  same process): machine-independent, so a fresh CI run is comparable
+  to a baseline recorded elsewhere.  Fails when a ratio drops more than
+  ``--tolerance`` (default 25%) below the baseline.
+- **determinism fingerprints**: the A10 fixed-seed outcome must match
+  the baseline byte for byte, and the TCP transfer must end in the
+  identical state on both engines.
+
+Absolute throughputs (events/sec) are *not* compared across runs by
+default — they track the host machine, not the code — but are printed
+for the trajectory record.  Use ``--strict-absolute`` to compare them
+too (only meaningful on a pinned runner).
+
+Usage::
+
+    python benchmarks/perf/check_regression.py FRESH.json --baseline BENCH_PR2.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+RATIO_KEYS = ("event_throughput", "rearm_heavy", "tcp_transfer")
+ABSOLUTE_KEYS = (("event_throughput", "new", "events_per_sec"),
+                 ("rearm_heavy", "new", "events_per_sec"),
+                 ("tcp_transfer", "new", "events_per_sec"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="JSON produced by run_benchmarks.py")
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in baseline JSON")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional regression (default 0.25)")
+    parser.add_argument("--strict-absolute", action="store_true",
+                        help="also compare absolute events/sec")
+    args = parser.parse_args(argv)
+
+    fresh = json.loads(pathlib.Path(args.fresh).read_text())["benchmarks"]
+    base = json.loads(pathlib.Path(args.baseline).read_text())["benchmarks"]
+    failures = []
+
+    for key in RATIO_KEYS:
+        got = fresh[key]["speedup"]
+        want = base[key]["speedup"]
+        floor = want * (1.0 - args.tolerance)
+        status = "ok" if got >= floor else "REGRESSED"
+        print(f"{key:>20s}: speedup {got:6.2f}x (baseline {want:.2f}x, "
+              f"floor {floor:.2f}x) {status}")
+        if got < floor:
+            failures.append(f"{key} speedup {got:.2f}x < floor {floor:.2f}x")
+
+    # The rearm workload carries the headline acceptance bar.
+    if fresh["rearm_heavy"]["speedup"] < 2.0:
+        failures.append(
+            f"rearm_heavy speedup {fresh['rearm_heavy']['speedup']:.2f}x "
+            "below the 2.0x acceptance bar")
+
+    # Determinism: both engines agreed within the fresh run...
+    tf = fresh["tcp_transfer"]
+    if tf["new"]["fingerprint"] != tf["legacy"]["fingerprint"]:
+        failures.append("tcp_transfer outcome diverged between engines")
+    # ...and, when the load configuration matches, the fixed-seed A10
+    # outcome must reproduce the baseline exactly.
+    fresh_cfg = json.loads(pathlib.Path(args.fresh).read_text()).get("config")
+    base_cfg = json.loads(pathlib.Path(args.baseline).read_text()).get("config")
+    if fresh_cfg == base_cfg:
+        if fresh["a10_failover"]["fingerprint"] != base["a10_failover"]["fingerprint"]:
+            failures.append("a10_failover fingerprint diverged from baseline")
+        else:
+            print(f"{'a10_failover':>20s}: fingerprint matches baseline")
+    else:
+        print(f"{'a10_failover':>20s}: config differs "
+              f"({fresh_cfg} vs {base_cfg}); fingerprint not compared")
+
+    if args.strict_absolute:
+        for bench, side, metric in ABSOLUTE_KEYS:
+            got = fresh[bench][side][metric]
+            want = base[bench][side][metric]
+            floor = want * (1.0 - args.tolerance)
+            if got < floor:
+                failures.append(
+                    f"{bench}.{side}.{metric} {got:.0f} < floor {floor:.0f}")
+
+    if failures:
+        print("\nPERF REGRESSION:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nperf check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

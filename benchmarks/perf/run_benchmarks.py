@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Perf-benchmark runner: emits a machine-readable ``BENCH_*.json``.
+
+Runs every workload in ``workloads.py`` against the current engine and,
+where the workload is engine-parametric, against the verbatim pre-
+overhaul engine in ``_legacy_engine.py`` — so the reported speedups are
+measured in the *same* process on the *same* machine.
+
+Usage::
+
+    python benchmarks/perf/run_benchmarks.py                # full load
+    python benchmarks/perf/run_benchmarks.py --quick        # CI smoke
+    python benchmarks/perf/run_benchmarks.py --out BENCH_PR2.json
+
+The output schema is documented in docs/PERF.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(HERE))
+
+from _legacy_engine import LegacySimulator  # noqa: E402
+import workloads  # noqa: E402
+
+from repro.simnet.engine import Simulator  # noqa: E402
+
+FULL = {
+    "event_throughput": dict(n_events=300_000),
+    "rearm_heavy": dict(n_conns=100, duration=1.0),
+    "tcp_transfer": dict(nbytes=2_000_000, windows=20),
+    "a10_scale": 1.0,
+    "repeats": 3,
+}
+QUICK = {
+    "event_throughput": dict(n_events=60_000),
+    "rearm_heavy": dict(n_conns=40, duration=0.5),
+    "tcp_transfer": dict(nbytes=500_000, windows=10),
+    "a10_scale": 0.4,
+    "repeats": 2,
+}
+
+
+def best_of(fn, repeats, *args, **kwargs):
+    """Min wall time over ``repeats`` runs (stats from the fastest)."""
+    best = None
+    for _ in range(repeats):
+        elapsed, stats = fn(*args, **kwargs)
+        if best is None or elapsed < best[0]:
+            best = (elapsed, stats)
+    return best
+
+
+def compare(fn, repeats, **kwargs):
+    new_t, new_s = best_of(fn, repeats, Simulator, **kwargs)
+    old_t, old_s = best_of(fn, repeats, LegacySimulator, **kwargs)
+    return {
+        "new": {"seconds": new_t, **new_s},
+        "legacy": {"seconds": old_t, **old_s},
+        "speedup": old_t / new_t if new_t > 0 else float("inf"),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced load for CI smoke runs")
+    parser.add_argument("--out", default=str(REPO / "BENCH_PR2.json"),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+    cfg = QUICK if args.quick else FULL
+    repeats = cfg["repeats"]
+
+    results = {}
+
+    print("== event_throughput ==", flush=True)
+    results["event_throughput"] = compare(
+        workloads.event_throughput, repeats, **cfg["event_throughput"])
+    print(f"   speedup {results['event_throughput']['speedup']:.2f}x")
+
+    print("== rearm_heavy (cancelled-timer churn) ==", flush=True)
+    results["rearm_heavy"] = compare(
+        workloads.rearm_heavy, repeats, **cfg["rearm_heavy"])
+    print(f"   speedup {results['rearm_heavy']['speedup']:.2f}x")
+
+    print("== tcp_transfer (TCP over DuplexLink) ==", flush=True)
+    results["tcp_transfer"] = compare(
+        workloads.tcp_transfer, repeats, **cfg["tcp_transfer"])
+    print(f"   speedup {results['tcp_transfer']['speedup']:.2f}x")
+    new_fp = results["tcp_transfer"]["new"]["fingerprint"]
+    old_fp = results["tcp_transfer"]["legacy"]["fingerprint"]
+    if new_fp != old_fp:
+        print(f"ERROR: tcp_transfer outcome diverged between engines: "
+              f"{new_fp} vs {old_fp}", file=sys.stderr)
+        return 1
+    print("   outcome identical on both engines (determinism preserved)")
+
+    print("== a10_failover ==", flush=True)
+    a10_t, a10_s = best_of(workloads.a10_failover, repeats, cfg["a10_scale"])
+    results["a10_failover"] = {"seconds": a10_t, **a10_s}
+    print(f"   {a10_t:.2f}s wall, fingerprint {a10_s['fingerprint'][:12]}…")
+
+    payload = {
+        "bench": "PR2-event-engine",
+        "config": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benchmarks": results,
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+    ok = results["rearm_heavy"]["speedup"] >= 2.0
+    print(f"rearm_heavy acceptance (>=2.0x): "
+          f"{'PASS' if ok else 'FAIL'} ({results['rearm_heavy']['speedup']:.2f}x)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,173 @@
+"""Perf workloads: each runs against any engine exposing the Simulator API.
+
+Three workloads establish the perf trajectory the ROADMAP calls for:
+
+- ``event_throughput`` — raw schedule/fire rate on a ring of
+  self-rescheduling callbacks (no cancellations): the floor cost of one
+  event.
+- ``rearm_heavy`` — the cancelled-timer-heavy pattern of a loaded
+  transport: per-"connection" feedback every millisecond, each feedback
+  re-arming a retransmission timer parked far in the future.  On the
+  pre-overhaul engine every re-arm leaves a dead heap entry until its
+  stale deadline passes; steady state carries ``horizon / feedback``
+  dead entries *per connection*.
+- ``tcp_transfer`` — a real TCP-over-DuplexLink bulk transfer (lossy,
+  jittery, windowed ``run(until=...)`` loop), exercising the full
+  packet/link/transport stack on the engine under test.
+
+Every workload returns ``(elapsed_wall_seconds, stats_dict)``; stats
+include a determinism fingerprint where meaningful.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Tuple
+
+
+def _now() -> float:
+    return time.perf_counter()
+
+
+# ----------------------------------------------------------------------
+def event_throughput(sim_factory: Callable, n_events: int = 200_000,
+                     ring: int = 64) -> Tuple[float, Dict]:
+    """Fire ``n_events`` across a ring of chained callbacks."""
+    sim = sim_factory(seed=1)
+    remaining = [n_events]
+
+    def tick(slot: int) -> None:
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            sim.schedule(0.001, tick, slot)
+
+    for slot in range(ring):
+        sim.schedule(0.001 * (slot + 1) / ring, tick, slot)
+    t0 = _now()
+    fired = sim.run()
+    elapsed = _now() - t0
+    return elapsed, {
+        "events_fired": fired,
+        "events_per_sec": fired / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+def rearm_heavy(sim_factory: Callable, n_conns: int = 100,
+                duration: float = 1.0, feedback: float = 0.001,
+                horizon: float = 0.5) -> Tuple[float, Dict]:
+    """TCP-transfer-shaped RTO re-arm churn.
+
+    Each of ``n_conns`` connections receives feedback every ``feedback``
+    seconds; every feedback re-arms an RTO-like timer ``horizon``
+    seconds out (RFC 6298 rule 5.3: restart on new cumulative ACK).
+    The timer virtually never fires — exactly the pathological pattern
+    for lazy deletion without compaction or reschedule-in-place.
+    """
+    sim = sim_factory(seed=1)
+    rto_fires = [0]
+    timers = [None] * n_conns
+
+    def on_rto(i: int) -> None:
+        rto_fires[0] += 1
+        timers[i] = None
+
+    def ack(i: int) -> None:
+        timer = timers[i]
+        if timer is None:
+            timers[i] = sim.schedule(horizon, on_rto, i)
+        else:
+            timers[i] = sim.reschedule(timer, horizon)
+        if sim.now < duration:
+            sim.schedule(feedback, ack, i)
+
+    for i in range(n_conns):
+        sim.schedule(feedback * (i + 1) / n_conns, ack, i)
+    t0 = _now()
+    fired = sim.run(until=duration + 2 * horizon)
+    elapsed = _now() - t0
+    return elapsed, {
+        "events_fired": fired,
+        "events_per_sec": fired / elapsed if elapsed > 0 else 0.0,
+        "rto_fires": rto_fires[0],
+        "peak_heap": getattr(sim, "heap_size", None),
+    }
+
+
+# ----------------------------------------------------------------------
+def tcp_transfer(sim_factory: Callable, nbytes: int = 2_000_000,
+                 windows: int = 20, window_len: float = 0.5) -> Tuple[float, Dict]:
+    """Bulk TCP over a lossy duplex access link, windowed run loop."""
+    from repro.simnet.network import Network
+    from repro.transport.tcp import TcpConnection, TcpListener
+
+    sim = sim_factory(seed=7)
+    net = Network(sim)
+    net.add_host("server")
+    net.add_host("client")
+    net.add_duplex("server", "client", 20e6, 5e6, delay=0.02,
+                   jitter=0.002, loss=0.005)
+    net.build_routes()
+    TcpListener(net["server"], 80)
+    conn = TcpConnection(net["client"], 5000, "server", 80)
+    conn.on_established = lambda: conn.send(nbytes)
+    conn.connect()
+    t0 = _now()
+    fired = 0
+    for _ in range(windows):
+        fired += sim.run(until=sim.now + window_len)
+    elapsed = _now() - t0
+    return elapsed, {
+        "events_fired": fired,
+        "events_per_sec": fired / elapsed if elapsed > 0 else 0.0,
+        "bytes_acked": conn.snd_una,
+        "timeouts": conn.timeouts,
+        "retransmits": conn.retransmits,
+        "final_heap": getattr(sim, "heap_size", None),
+        "fingerprint": f"{conn.snd_una}:{conn.timeouts}:{conn.retransmits}",
+    }
+
+
+# ----------------------------------------------------------------------
+def a10_failover(scale: float = 1.0) -> Tuple[float, Dict]:
+    """The A10 resilient-failover scenario (current engine only).
+
+    Returns wall time plus a determinism fingerprint of the outcome —
+    fixed seed, so the fingerprint must be stable run over run.
+    """
+    import hashlib
+
+    from repro.core.session import ScenarioBuilder
+    from repro.mar.application import APP_ARCHETYPES
+    from repro.mar.devices import SMARTPHONE
+    from repro.mar.offload import FullOffload, ResilientOffloadExecutor
+    from repro.simnet.faults import FaultInjector, FaultPlan
+
+    app = APP_ARCHETYPES["orientation"]
+    duration = 25.0 * scale
+    n_frames = int(duration * app.fps)
+    scenario = ScenarioBuilder(seed=101).edge_failover()
+    radio_links = [l for l in scenario.net.links if "client" in l.name]
+    plan = (
+        FaultPlan()
+        .server_crash(5.0 * scale, 10.0 * scale, [scenario.server])
+        .blackout(10.0 * scale, 3.0 * scale, radio_links)
+    )
+    FaultInjector(scenario.net).apply(plan)
+    executor = ResilientOffloadExecutor(
+        scenario.net, "client", scenario.all_servers, app, FullOffload(),
+        SMARTPHONE,
+    )
+    t0 = _now()
+    result = executor.run(n_frames=n_frames, settle=3.0)
+    elapsed = _now() - t0
+    timeline = ";".join(f"{t!r}:{m.value}" for t, m in executor.metrics.mode_timeline)
+    fingerprint = hashlib.sha256(
+        f"{result.frames_sent}/{result.frames_completed}/{timeline}".encode()
+    ).hexdigest()
+    return elapsed, {
+        "frames_sent": result.frames_sent,
+        "frames_completed": result.frames_completed,
+        "frames_per_sec": result.frames_completed / elapsed if elapsed > 0 else 0.0,
+        "fingerprint": fingerprint,
+    }

@@ -91,8 +91,6 @@ def test_e9_commute_resilience(benchmark, record_result):
               ("tunnel (outage)", 41, 48), ("after tunnel (4 Mb/s)", 50, 68)]
 
     def martp_rate(t0, t1):
-        stats = receiver.stream_stats(3)
-        window = [l for l in stats.latencies]  # not time-indexed; use budget
         vals = [r[3] for t, r in sender.offered_rate_trace() if t0 <= t < t1]
         return sum(vals) / len(vals) if vals else 0.0
 

@@ -110,7 +110,6 @@ def test_fig4_graceful_degradation_vs_tcp(benchmark, record_result):
 
     # --- shape assertions ---
     meta = report.per_class[0]
-    inter = report.per_class[3]
     # (1) Metadata is never lost — "unaltered at all cost".
     assert meta.delivery_ratio >= 0.999
     # (2) Interframes collapse in the severe phase.

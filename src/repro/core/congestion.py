@@ -65,6 +65,7 @@ class RateController:
     last_decrease: float = field(init=False, default=-1e9)
     congestion_events: int = field(init=False, default=0)
     trace: List[Tuple[float, float]] = field(init=False, default_factory=list)
+    _last_growth: Optional[float] = field(init=False, default=None)
 
     def __post_init__(self) -> None:
         self.budget_bps = self.initial_bps
@@ -100,14 +101,28 @@ class RateController:
     def _increase(self, now: float) -> None:
         interval = self.srtt if self.srtt else self.reaction_interval
         # Scale the quantum so the growth is ~quantum per RTT regardless
-        # of how often feedback arrives.
-        self.budget_bps = min(self.max_bps, self.budget_bps + self.increase_quantum_bps)
+        # of how often feedback arrives: each call contributes the
+        # fraction of an RTT that elapsed since the last growth step.
+        # The elapsed time is capped at a few RTTs so a feedback gap
+        # (handled separately by ``on_feedback_timeout``) cannot buy a
+        # burst of credit.
+        if self._last_growth is None:
+            elapsed = interval
+        else:
+            elapsed = min(now - self._last_growth, 4.0 * interval)
+        self._last_growth = now
+        if elapsed <= 0:
+            return
+        gain = self.increase_quantum_bps * (elapsed / interval)
+        self.budget_bps = min(self.max_bps, self.budget_bps + gain)
         self._record(now)
 
     def _decrease(self, now: float, reason: str) -> None:
         if now - self.last_decrease < self.reaction_interval:
             return
         self.last_decrease = now
+        # Congested time is not growth time: restart the AI clock.
+        self._last_growth = now
         self.congestion_events += 1
         self.budget_bps = max(self.min_bps, self.budget_bps * self.beta)
         self._record(now)

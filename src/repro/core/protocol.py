@@ -530,7 +530,8 @@ class MartpReceiver:
         if self._feedback_event is not None:
             if self._feedback_event.time <= due:
                 return
-            self._feedback_event.cancel()
+            self._feedback_event = self.sim.reschedule_at(self._feedback_event, due)
+            return
         self._feedback_event = self.sim.schedule(delay, self._send_feedback)
 
     # ------------------------------------------------------------------

@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.metrics import ResilienceReport
-from repro.simnet.engine import Simulator
+from repro.simnet.engine import Event, Simulator
 
 
 class RttEstimator:
@@ -154,6 +154,7 @@ class HeartbeatMonitor:
         #: time from last successful contact to each FAILED declaration
         self.detection_delays: List[float] = []
         self._outstanding: Dict[float, float] = {}
+        self._check_events: Dict[float, "Event"] = {}
         self._started_at: Optional[float] = None
         self._stopped = False
 
@@ -172,7 +173,9 @@ class HeartbeatMonitor:
         self._outstanding[token] = token
         self.send_ping(self.target, token)
         self.pings_sent += 1
-        self.sim.schedule(self.rtt.timeout(), self._check, token)
+        # Keep a handle on the deadline so an answered ping cancels its
+        # check instead of leaving a dead timer to fire as a no-op.
+        self._check_events[token] = self.sim.schedule(self.rtt.timeout(), self._check, token)
         delay = (
             self.interval if self.state is not Liveness.FAILED
             else self.backoff.next()
@@ -180,6 +183,7 @@ class HeartbeatMonitor:
         self.sim.schedule(delay, self._tick)
 
     def _check(self, token: float) -> None:
+        self._check_events.pop(token, None)
         if self._outstanding.pop(token, None) is None:
             return
         self.misses += 1
@@ -192,6 +196,9 @@ class HeartbeatMonitor:
         sent = self._outstanding.pop(token, None)
         if sent is None:
             return
+        check = self._check_events.pop(token, None)
+        if check is not None:
+            check.cancel()
         self.pongs_received += 1
         self.rtt.sample(self.sim.now - sent)
         self.misses = 0

@@ -4,6 +4,41 @@ A :class:`Simulator` owns a priority queue of timestamped events.  Every
 other component (links, transports, applications) schedules callbacks on
 it.  Events fire in non-decreasing time order; ties break in scheduling
 order so runs are fully deterministic for a fixed seed.
+
+Hot-path design notes
+---------------------
+
+The heap stores ``(time, seq, event)`` tuples so ``heapq`` compares
+plain tuples in C instead of calling a Python ``__lt__`` per sift.
+Cancellation is *lazy*: a cancelled event keeps its heap entry and is
+skipped when popped, but the simulator counts dead entries and compacts
+the heap (filter + heapify) once they exceed both ``compact_min`` and
+``compact_ratio`` of the heap — so long ``run(until=...)`` window loops
+no longer accumulate cancelled timers (TCP/QUIC RTO re-arms, heartbeat
+deadlines) across windows.  Compaction never reorders firings: pop
+order is the total order ``(time, seq)`` regardless of the heap's
+internal array layout.
+
+Timers that move *later* (the overwhelmingly common RTO/PTO re-arm
+pattern) should use :meth:`Simulator.reschedule`, which defers the
+event in place: the existing heap entry stays where it is and is
+re-pushed at the new deadline only when it surfaces.  A reschedule
+allocates a fresh sequence number at call time — exactly what a
+cancel+push would have done — so tie-breaking, and therefore the whole
+run, is bit-identical to the naive implementation.
+
+Clock semantics of :meth:`Simulator.run` (all three exit paths):
+
+- **drain** (no events left): the clock rests at the last fired event,
+  then advances to ``until`` if one was given;
+- **until reached** (next event is later than ``until``): the clock
+  advances to exactly ``until`` so back-to-back ``run(until=...)``
+  calls behave like a continuous timeline;
+- **max_events tripped**: the clock stays at the last fired event
+  whenever events at or before ``until`` remain unfired — jumping
+  ahead of unfired work would make the clock run backwards on the next
+  call.  If nothing remains at or before ``until``, it advances as in
+  the drain case.
 """
 
 from __future__ import annotations
@@ -13,6 +48,11 @@ import itertools
 import random
 from typing import Any, Callable, Optional
 
+# Event lifecycle states (int enum kept flat for hot-path speed).
+_PENDING = 0
+_CANCELLED = 1
+_FIRED = 2
+
 
 class Event:
     """A scheduled callback.
@@ -20,10 +60,16 @@ class Event:
     Events are created through :meth:`Simulator.schedule` /
     :meth:`Simulator.schedule_at` and can be cancelled with
     :meth:`cancel` (or :meth:`Simulator.cancel`).  A cancelled event
-    stays in the heap but is skipped when popped.
+    stays in the heap but is skipped when popped; the owning simulator
+    compacts the heap when too many dead entries accumulate.
+
+    ``time``/``seq`` are the *effective* firing key.  The heap entry
+    carries its own frozen ``(time, seq)`` copy; when the two disagree
+    the event has been rescheduled and the entry is re-pushed at the
+    new deadline instead of firing.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "kwargs", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "kwargs", "_sim", "_state")
 
     def __init__(
         self,
@@ -31,24 +77,37 @@ class Event:
         seq: int,
         fn: Callable[..., Any],
         args: tuple,
-        kwargs: dict,
+        kwargs: Optional[dict],
+        sim: "Optional[Simulator]" = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
+        # The zero-kwarg fast path stores None instead of materialising
+        # (and retaining) an empty dict per event.
         self.kwargs = kwargs
-        self.cancelled = False
+        self._sim = sim
+        self._state = _PENDING
+
+    @property
+    def cancelled(self) -> bool:
+        return self._state == _CANCELLED
+
+    @property
+    def fired(self) -> bool:
+        return self._state == _FIRED
 
     def cancel(self) -> None:
-        """Mark this event so it will not fire."""
-        self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        """Mark this event so it will not fire.  Idempotent; a no-op on
+        an event that already fired."""
+        if self._state == _PENDING:
+            self._state = _CANCELLED
+            if self._sim is not None:
+                self._sim._note_cancel()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "cancelled" if self.cancelled else "pending"
+        state = ("pending", "cancelled", "fired")[self._state]
         name = getattr(self.fn, "__qualname__", repr(self.fn))
         return f"<Event t={self.time:.6f} {name} {state}>"
 
@@ -63,15 +122,33 @@ class Simulator:
         stochastic components in the reproduction draw from
         :attr:`rng` (or a child RNG derived from it) so a run is a pure
         function of its seed.
+    compact_min:
+        Never compact while fewer than this many cancelled entries sit
+        in the heap (compaction is O(n); tiny heaps are not worth it).
+    compact_ratio:
+        Compact once cancelled entries exceed this fraction of the
+        heap.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, compact_min: int = 64,
+                 compact_ratio: float = 0.5) -> None:
         self.now: float = 0.0
         self.seed = seed
         self.rng = random.Random(seed)
-        self._heap: list[Event] = []
+        self._heap: list = []  # entries: (time, seq, Event)
         self._seq = itertools.count()
         self._running = False
+        self._pending = 0      # live (not cancelled, not fired) events
+        self._cancelled = 0    # cancelled entries still in the heap
+        self.compact_min = compact_min
+        self.compact_ratio = compact_ratio
+        # Counters (cheap; exposed for benchmarks and tests).
+        self.events_scheduled = 0
+        self.events_fired = 0
+        self.compactions = 0
+        #: optional per-fire hook ``hook(event)`` for trace capture;
+        #: costs one None-check per fired event when unset.
+        self.trace_hook: Optional[Callable[[Event], None]] = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -86,62 +163,194 @@ class Simulator:
         """Schedule ``fn(*args, **kwargs)`` at absolute simulation ``time``."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
-        event = Event(time, next(self._seq), fn, args, kwargs)
-        heapq.heappush(self._heap, event)
+        seq = next(self._seq)
+        event = Event(time, seq, fn, args, kwargs or None, self)
+        heapq.heappush(self._heap, (time, seq, event))
+        self._pending += 1
+        self.events_scheduled += 1
         return event
+
+    def reschedule(self, event: Event, delay: float) -> Event:
+        """Move ``event`` to ``delay`` seconds from now; returns the
+        (possibly new) event the caller must hold on to."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.reschedule_at(event, self.now + delay)
+
+    def reschedule_at(self, event: Event, time: float) -> Event:
+        """Move a timer to absolute ``time`` without churning the heap.
+
+        The common re-arm pattern (RTO/PTO/heartbeat deadlines pushed
+        *later*) is O(1): the event's effective key is updated in place
+        and its existing heap entry is recycled when it surfaces.
+        Moving a timer *earlier* — or rescheduling an event that
+        already fired or was cancelled — falls back to a fresh entry.
+        Exactly one sequence number is consumed either way, matching
+        cancel+push semantics bit-for-bit.
+        """
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        if event._state != _PENDING:
+            # Fired or cancelled: start a fresh timer with the same callback.
+            kw = event.kwargs
+            if kw is None:
+                return self.schedule_at(time, event.fn, *event.args)
+            return self.schedule_at(time, event.fn, *event.args, **kw)
+        seq = next(self._seq)
+        if time >= event.time:
+            # Defer in place: the stale heap entry re-pushes itself on pop.
+            event.time = time
+            event.seq = seq
+            return event
+        # Earlier deadline: the lazy entry sits too late in the heap —
+        # retire it and push a replacement.
+        event._state = _CANCELLED
+        self._note_cancel()
+        new = Event(time, seq, event.fn, event.args, event.kwargs, self)
+        heapq.heappush(self._heap, (time, seq, new))
+        self._pending += 1
+        self.events_scheduled += 1
+        return new
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event."""
         event.cancel()
 
     # ------------------------------------------------------------------
+    # Heap maintenance
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        self._pending -= 1
+        self._cancelled += 1
+        if (self._cancelled >= self.compact_min
+                and self._cancelled >= self.compact_ratio * len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.  Firing order is
+        unaffected: pops follow the total order ``(time, seq)``."""
+        # In-place: run() holds a local reference to this list.
+        self._heap[:] = [entry for entry in self._heap if entry[2]._state != _CANCELLED]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self.compactions += 1
+
+    def _next_entry(self):
+        """Surface the next live heap entry (skimming dead and deferred
+        entries off the top), or None when the heap is drained."""
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            event = entry[2]
+            state = event._state
+            if state == _CANCELLED:
+                heapq.heappop(heap)
+                self._cancelled -= 1
+                continue
+            if event.seq != entry[1]:
+                # Deferred by reschedule(): recycle the entry at the
+                # event's effective deadline.
+                heapq.heappop(heap)
+                heapq.heappush(heap, (event.time, event.seq, event))
+                continue
+            return entry
+        return None
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _fire(self, event: Event) -> None:
+        event._state = _FIRED
+        self._pending -= 1
+        self.now = event.time
+        self.events_fired += 1
+        if self.trace_hook is not None:
+            self.trace_hook(event)
+        kw = event.kwargs
+        if kw is None:
+            event.fn(*event.args)
+        else:
+            event.fn(*event.args, **kw)
+
     def step(self) -> bool:
         """Fire the next pending event.  Returns False when none remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self.now = event.time
-            event.fn(*event.args, **event.kwargs)
-            return True
-        return False
+        entry = self._next_entry()
+        if entry is None:
+            return False
+        heapq.heappop(self._heap)
+        self._fire(entry[2])
+        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Run events until the heap drains, ``until`` is reached, or
-        ``max_events`` have fired.  Returns the number of events fired.
+        ``max_events`` have fired.  Returns the number of events fired
+        (cancelled entries that are popped and discarded do not count).
 
-        When ``until`` is given the clock is advanced to exactly
-        ``until`` at the end of the run even if the last event fired
-        earlier, so back-to-back ``run(until=...)`` calls behave like a
-        continuous timeline.
+        See the module docstring for the exact clock semantics of each
+        exit path.
         """
         fired = 0
+        stopped_by_max = False
+        heap = self._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
         self._running = True
         try:
-            while self._heap:
+            while heap:
                 if max_events is not None and fired >= max_events:
+                    stopped_by_max = True
                     break
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
+                time, seq, event = heap[0]
+                state = event._state
+                if state == _CANCELLED:
+                    heappop(heap)
+                    self._cancelled -= 1
                     continue
-                if until is not None and head.time > until:
+                if event.seq != seq:
+                    heappop(heap)
+                    heappush(heap, (event.time, event.seq, event))
+                    continue
+                if until is not None and time > until:
                     break
-                if not self.step():
-                    break
+                heappop(heap)
+                self._fire(event)
                 fired += 1
         finally:
             self._running = False
         if until is not None and until > self.now:
-            self.now = until
+            if not stopped_by_max:
+                self.now = until
+            else:
+                # Only jump the clock past unfired work if there is none
+                # at or before the horizon.
+                head = self._next_entry()
+                if head is None or head[0] > until:
+                    self.now = until
         return fired
 
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events in the queue (O(1))."""
+        return self._pending
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length, including lazily-cancelled entries."""
+        return len(self._heap)
+
+    @property
+    def cancelled_in_heap(self) -> int:
+        """Cancelled entries awaiting pop or compaction."""
+        return self._cancelled
+
+    @property
+    def next_event_time(self) -> Optional[float]:
+        """Deadline of the next live event, or None when drained."""
+        entry = self._next_entry()
+        return entry[0] if entry is not None else None
 
     def child_rng(self, tag: str) -> random.Random:
         """Derive a named, reproducible RNG for a subsystem.

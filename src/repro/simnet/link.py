@@ -47,6 +47,16 @@ class Link:
         Queue discipline instance; defaults to a 100-packet DropTail.
     """
 
+    # Hot attributes are slot-backed; "__dict__" stays in the list so
+    # subclasses and tests may still attach ad-hoc attributes (the dict
+    # is only materialised when actually used).
+    __slots__ = (
+        "sim", "src", "dst", "rate_bps", "delay", "jitter", "loss", "queue",
+        "name", "_rng", "_busy", "_last_delivery", "_finish_cb", "_deliver_cb",
+        "bytes_sent", "bytes_delivered", "bytes_lost", "packets_delivered",
+        "packets_lost", "__dict__",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -75,9 +85,17 @@ class Link:
         self._rng = sim.child_rng(f"link:{self.name}")
         self._busy = False
         self._last_delivery = 0.0
-        # Statistics
+        # Pre-bound callbacks: the hot path schedules these once per
+        # packet, so avoid re-creating bound-method objects each time.
+        self._finish_cb = self._finish_transmission
+        self._deliver_cb = self._deliver
+        # Statistics.  ``bytes_sent - bytes_delivered - bytes_lost`` is
+        # the in-flight byte count; wire drops land in ``bytes_lost`` /
+        # ``packets_lost`` while queue drops are counted by the queue
+        # discipline (surfaced via :attr:`queue_drops`).
         self.bytes_sent = 0
         self.bytes_delivered = 0
+        self.bytes_lost = 0
         self.packets_delivered = 0
         self.packets_lost = 0
         src.add_interface(self)
@@ -98,18 +116,19 @@ class Link:
         self._busy = True
         tx_time = packet.bits / self.rate_bps
         self.bytes_sent += packet.size
-        self.sim.schedule(tx_time, self._finish_transmission, packet)
+        self.sim.schedule(tx_time, self._finish_cb, packet)
 
     def _finish_transmission(self, packet: Packet) -> None:
         if self._rng.random() < self.loss:
             self.packets_lost += 1
+            self.bytes_lost += packet.size
         else:
             extra = self._rng.uniform(0.0, self.jitter) if self.jitter > 0 else 0.0
             arrival = self.sim.now + self.delay + extra
             # Never reorder: delivery is monotone along one link.
             arrival = max(arrival, self._last_delivery)
             self._last_delivery = arrival
-            self.sim.schedule_at(arrival, self._deliver, packet)
+            self.sim.schedule_at(arrival, self._deliver_cb, packet)
         self._start_transmission()
 
     def _deliver(self, packet: Packet) -> None:
@@ -123,6 +142,16 @@ class Link:
     def backlog(self) -> int:
         """Packets currently queued (not counting the one in flight)."""
         return len(self.queue)
+
+    @property
+    def queue_drops(self) -> int:
+        """Packets the queue discipline refused or AQM-dropped."""
+        return self.queue.drops
+
+    @property
+    def bytes_in_flight(self) -> int:
+        """Bytes serialized but neither delivered nor lost on the wire."""
+        return self.bytes_sent - self.bytes_delivered - self.bytes_lost
 
     def utilization(self, elapsed: float) -> float:
         """Fraction of ``elapsed`` seconds spent transmitting."""
@@ -143,6 +172,11 @@ class VariableRateLink(Link):
     captures the "abrupt changes of several orders of magnitude"
     reported for HSPA+/LTE in Section IV-A without modeling PHY detail.
     """
+
+    __slots__ = (
+        "mean_rate_bps", "min_rate_bps", "max_rate_bps", "sigma", "alpha",
+        "update_interval", "rate_history",
+    )
 
     def __init__(
         self,
@@ -185,6 +219,8 @@ class DuplexLink:
     stresses that most access links are asymmetric (down:up ratios of
     2.5–8) while MAR traffic is upload-heavy.
     """
+
+    __slots__ = ("down", "up")
 
     def __init__(
         self,

@@ -173,12 +173,16 @@ class QuicConnection(SocketBase):
         self._transmit(packet)
 
     def _arm_pto(self) -> None:
-        if self._pto_event is not None:
-            self._pto_event.cancel()
-            self._pto_event = None
         if self._inflight:
             pto = max(PTO_MIN, (self.srtt or 0.1) * 2 + 4 * self.rttvar)
-            self._pto_event = self.sim.schedule(pto, self._on_pto)
+            if self._pto_event is not None:
+                # Re-arm in place: no cancelled entry left in the heap.
+                self._pto_event = self.sim.reschedule(self._pto_event, pto)
+            else:
+                self._pto_event = self.sim.schedule(pto, self._on_pto)
+        elif self._pto_event is not None:
+            self._pto_event.cancel()
+            self._pto_event = None
 
     def _on_pto(self) -> None:
         """Probe timeout: retransmit the oldest packet, collapse cwnd."""

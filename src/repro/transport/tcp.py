@@ -200,12 +200,18 @@ class TcpConnection(SocketBase):
         push the timeout out, or a lost fast-retransmission deadlocks
         behind an endless dupack stream.
         """
+        armed = self.state == SYN_SENT or self.bytes_in_flight > 0
         if self._rto_event is not None:
             if not reset:
                 return
-            self._rto_event.cancel()
-            self._rto_event = None
-        if self.state == SYN_SENT or self.bytes_in_flight > 0:
+            if armed:
+                # Re-arm in place: no cancelled entry left in the heap.
+                self._rto_event = self.sim.reschedule(
+                    self._rto_event, self.rto * self._backoff)
+            else:
+                self._rto_event.cancel()
+                self._rto_event = None
+        elif armed:
             self._rto_event = self.sim.schedule(self.rto * self._backoff, self._on_rto)
 
     def _on_rto(self) -> None:

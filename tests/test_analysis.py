@@ -95,3 +95,53 @@ class TestFigure:
         fig.add_series("s", [(0, 5.0), (1, 5.0)])
         out = fig.render()
         assert "*" in out
+
+
+class TestLinkTable:
+    def test_link_table_separates_queue_and_wire_drops(self):
+        from repro.analysis.report import link_table
+        from repro.simnet.engine import Simulator
+        from repro.simnet.link import Link
+        from repro.simnet.packet import Packet
+        from repro.simnet.queues import DropTailQueue
+
+        class Sink:
+            def __init__(self, name):
+                self.name = name
+            def add_interface(self, link):
+                pass
+            def receive(self, packet, via=None):
+                pass
+
+        sim = Simulator(seed=3)
+        link = Link(sim, Sink("a"), Sink("b"), rate_bps=1e9, loss=0.3,
+                    queue=DropTailQueue(capacity=10))
+        for _ in range(50):
+            link.send(Packet(src="a", dst="b", size=100))
+        sim.run()
+        text = link_table([link], elapsed=1.0)
+        assert "queue drops" in text
+        assert "wire lost" in text
+        assert str(link.queue_drops) in text
+        assert str(link.packets_lost) in text
+
+    def test_link_table_goodput_uses_delivered_bytes(self):
+        from repro.analysis.report import format_rate, link_table
+        from repro.simnet.engine import Simulator
+        from repro.simnet.link import Link
+        from repro.simnet.packet import Packet
+
+        class Sink:
+            def __init__(self, name):
+                self.name = name
+            def add_interface(self, link):
+                pass
+            def receive(self, packet, via=None):
+                pass
+
+        sim = Simulator()
+        link = Link(sim, Sink("a"), Sink("b"), rate_bps=1e6)
+        link.send(Packet(src="a", dst="b", size=12500))
+        sim.run()
+        text = link_table([link], elapsed=1.0)
+        assert format_rate(12500 * 8) in text

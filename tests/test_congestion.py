@@ -11,10 +11,49 @@ def test_budget_starts_at_initial():
 
 
 def test_additive_increase_without_congestion():
+    """Growth is ~one quantum per RTT: ten RTTs of clean feedback at
+    one sample per RTT add ten quanta."""
     ctl = RateController(initial_bps=1e6, increase_quantum_bps=100_000)
+    rtt = 0.02
     for i in range(10):
-        ctl.on_rtt_sample(0.02, now=i * 0.05)
+        ctl.on_rtt_sample(rtt, now=i * rtt)
     assert ctl.budget_bps == pytest.approx(2e6)
+
+
+def test_increase_rate_invariant_to_feedback_frequency():
+    """Regression for the dead-``interval`` bug: the budget used to grow
+    by a full quantum per *feedback call*, so 10x more frequent feedback
+    meant 10x faster growth.  Growth must be ~``increase_quantum_bps``
+    per RTT at both 1x and 10x feedback rates."""
+    rtt = 0.02
+    horizon = 100 * rtt  # 100 RTTs of clean feedback
+
+    def run(samples_per_rtt):
+        ctl = RateController(initial_bps=1e6, increase_quantum_bps=100_000,
+                             max_bps=1e12)
+        step = rtt / samples_per_rtt
+        n = int(horizon / step)
+        for i in range(n):
+            ctl.on_rtt_sample(rtt, now=(i + 1) * step)
+        return ctl.budget_bps - 1e6
+
+    grown_1x = run(1)
+    grown_10x = run(10)
+    expected = 100 * 100_000  # one quantum per RTT over 100 RTTs
+    assert grown_1x == pytest.approx(expected, rel=0.05)
+    assert grown_10x == pytest.approx(expected, rel=0.05)
+    assert grown_10x == pytest.approx(grown_1x, rel=0.05)
+
+
+def test_increase_elapsed_time_capped():
+    """A long silent gap between clean feedbacks must not buy a burst of
+    budget credit (feedback loss has its own penalty path)."""
+    ctl = RateController(initial_bps=1e6, increase_quantum_bps=100_000,
+                         max_bps=1e12)
+    ctl.on_rtt_sample(0.02, now=0.02)
+    before = ctl.budget_bps
+    ctl.on_rtt_sample(0.02, now=10.0)  # ~500 RTT gap
+    assert ctl.budget_bps - before <= 4 * 100_000 + 1e-6
 
 
 def test_heavy_loss_triggers_multiplicative_decrease():

@@ -63,7 +63,7 @@ class TestSocket:
 
     def test_rate_converges_near_bottleneck_without_wire_loss(self):
         sim, net = make_net(up=3e6)
-        receiver = DccpSocket(net["b"], 9)
+        DccpSocket(net["b"], 9)
         sender = DccpSocket(net["a"], 10, dst="b", dst_port=9,
                             initial_rate_bps=200_000)
         sender.start(lambda: 1200)

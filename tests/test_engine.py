@@ -152,3 +152,220 @@ def test_child_rng_independent_of_draw_order():
 def test_step_returns_false_when_empty():
     sim = Simulator()
     assert sim.step() is False
+
+
+# ----------------------------------------------------------------------
+# Hot-path machinery: compaction, O(1) pending, reschedule, clock rules
+# ----------------------------------------------------------------------
+
+def test_compaction_triggers_and_preserves_events():
+    sim = Simulator(compact_min=8, compact_ratio=0.5)
+    keep = []
+    survivors = [sim.schedule(10.0 + i, keep.append, i) for i in range(4)]
+    doomed = [sim.schedule(1.0 + 0.001 * i, lambda: keep.append("bad"))
+              for i in range(40)]
+    for e in doomed:
+        e.cancel()
+    assert sim.compactions >= 1
+    # Dead entries stay bounded by the trigger threshold instead of
+    # accumulating all 40 cancellations.
+    assert sim.cancelled_in_heap < 8
+    assert sim.heap_size <= len(survivors) + 8
+    sim.run()
+    assert keep == [0, 1, 2, 3]
+
+
+def test_no_compaction_below_min_threshold():
+    sim = Simulator(compact_min=64, compact_ratio=0.0)
+    for i in range(10):
+        sim.schedule(1.0 + i, lambda: None).cancel()
+    assert sim.compactions == 0
+    assert sim.cancelled_in_heap == 10
+
+
+def test_pending_counter_consistent_under_interleaving():
+    sim = Simulator(compact_min=4, compact_ratio=0.25)
+
+    def naive_pending(s):
+        return sum(1 for _, _, e in s._heap
+                   if not e.cancelled and not e.fired)
+
+    events = []
+    for i in range(30):
+        events.append(sim.schedule(0.1 * (i + 1), lambda: None))
+        if i % 3 == 0:
+            events[i // 2].cancel()
+        if i % 7 == 0:
+            sim.run(max_events=2)
+        assert sim.pending == naive_pending(sim)
+    sim.run()
+    assert sim.pending == 0 == naive_pending(sim)
+
+
+def test_cancel_is_idempotent_for_counters():
+    sim = Simulator()
+    e = sim.schedule(1.0, lambda: None)
+    e.cancel()
+    e.cancel()
+    assert sim.pending == 0
+    assert sim.cancelled_in_heap == 1
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    e = sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert e.fired
+    e.cancel()
+    assert not e.cancelled
+    assert sim.pending == 0
+
+
+def test_reschedule_later_fires_once_at_new_time():
+    sim = Simulator()
+    fired = []
+    e = sim.schedule(1.0, lambda: fired.append(sim.now))
+    e2 = sim.reschedule(e, 5.0)
+    assert e2 is e  # deferred in place
+    sim.run()
+    assert fired == [5.0]
+    assert sim.heap_size == 0
+
+
+def test_reschedule_earlier_fires_at_new_time():
+    sim = Simulator()
+    fired = []
+    e = sim.schedule(5.0, lambda: fired.append(sim.now))
+    e2 = sim.reschedule(e, 1.0)
+    sim.run()
+    assert fired == [1.0]
+    assert e2.fired
+
+
+def test_reschedule_chain_never_fires_stale_deadline():
+    sim = Simulator()
+    fired = []
+    e = sim.schedule(1.0, lambda: fired.append(sim.now))
+    for delay in (2.0, 3.0, 0.5, 4.0):
+        e = sim.reschedule(e, delay)
+    sim.run()
+    assert fired == [4.0]
+
+
+def test_reschedule_matches_cancel_plus_push_tie_breaking():
+    """A rescheduled timer must tie-break exactly as a cancel+push
+    would: the new seq is allocated at reschedule time."""
+    def run(use_reschedule):
+        sim = Simulator()
+        fired = []
+        timer = sim.schedule(1.0, fired.append, "timer")
+        if use_reschedule:
+            sim.reschedule(timer, 3.0)
+        else:
+            timer.cancel()
+            sim.schedule(3.0, fired.append, "timer")
+        sim.schedule(3.0, fired.append, "rival")  # same deadline, later seq
+        sim.run()
+        return fired
+
+    assert run(True) == run(False) == ["timer", "rival"]
+
+
+def test_reschedule_after_fire_starts_fresh_timer():
+    sim = Simulator()
+    fired = []
+    e = sim.schedule(1.0, fired.append, "x")
+    sim.run()
+    e2 = sim.reschedule(e, 1.0)
+    assert e2 is not e
+    sim.run()
+    assert fired == ["x", "x"]
+
+
+def test_reschedule_into_past_rejected():
+    sim = Simulator()
+    e = sim.schedule(5.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run(until=3.0)
+    with pytest.raises(ValueError):
+        sim.reschedule_at(e, 1.0)
+
+
+def test_run_clock_drain_advances_to_until():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_run_clock_until_exit_is_exact():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(20.0, lambda: None)
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_run_clock_max_events_does_not_jump_past_unfired_work():
+    """If max_events trips while events <= until remain, the clock must
+    stay at the last fired event — otherwise the next run() would move
+    the clock backwards."""
+    sim = Simulator()
+    times = []
+    for t in (1.0, 2.0, 3.0):
+        sim.schedule(t, times.append, t)
+    fired = sim.run(until=10.0, max_events=2)
+    assert fired == 2
+    assert sim.now == 2.0  # NOT 10.0
+    sim.run(until=10.0)
+    assert times == [1.0, 2.0, 3.0]
+    assert sim.now == 10.0
+
+
+def test_run_clock_max_events_advances_when_nothing_remains_before_until():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(50.0, lambda: None)
+    sim.run(until=10.0, max_events=1)
+    assert sim.now == 10.0  # remaining work is beyond the horizon
+
+
+def test_run_counts_zero_when_only_cancelled_events_popped():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(1.0 + i, lambda: None).cancel()
+    assert sim.run(max_events=3) == 0
+    assert sim.heap_size == 0
+
+
+def test_kwargs_fast_path_stores_none():
+    sim = Simulator()
+    e = sim.schedule(1.0, lambda: None)
+    assert e.kwargs is None
+    e2 = sim.schedule(1.0, lambda **kw: None, a=1)
+    assert e2.kwargs == {"a": 1}
+
+
+def test_next_event_time_skips_cancelled():
+    sim = Simulator()
+    e1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.next_event_time == 1.0
+    e1.cancel()
+    assert sim.next_event_time == 2.0
+
+
+def test_trace_hook_sees_fired_events_only():
+    sim = Simulator()
+    log = []
+    sim.trace_hook = lambda ev: log.append((ev.time, ev.fn.__name__))
+
+    def cb():
+        pass
+
+    sim.schedule(1.0, cb)
+    sim.schedule(2.0, cb).cancel()
+    e = sim.schedule(3.0, cb)
+    sim.reschedule(e, 4.0)
+    sim.run()
+    assert log == [(1.0, "cb"), (4.0, "cb")]

@@ -40,7 +40,6 @@ class TestMartpOutages:
 
         # The session survived: traffic flows again after recovery.
         rx = session.receiver.stream_stats(2)
-        late_arrivals = [l for l in rx.latencies]
         assert rx.received > 0
         # Critical metadata: whatever was offered outside the blackout
         # still arrived (ARQ covers the edges).
@@ -57,7 +56,7 @@ class TestMartpOutages:
         session = OffloadSession(scenario)
         # Unbind the receiver's port before any traffic: pure black hole.
         scenario.net["server"].unbind(7000)
-        report = session.run(10.0)
+        session.run(10.0)
         sender = session.sender
         # Budget stayed at (or near) its floor — no feedback, no growth.
         assert sender.budget_bps <= sender.controller.min_bps * 2

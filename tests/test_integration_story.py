@@ -166,8 +166,8 @@ class TestDecisionToPlanChain:
             engine.observe_rtt(0.012)
             engine.observe_uplink(WIFI_HOME.up_mean)
         chosen = engine.decide()
-        budget = ExecutionBudget(WIFI_HOME.up_mean, WIFI_HOME.up_mean * 3,
-                                 latency=0.006)
+        ExecutionBudget(WIFI_HOME.up_mean, WIFI_HOME.up_mean * 3,
+                        latency=0.006)
         # Whatever the engine picked, it must not be dominated: local is
         # infeasible here and the chosen forecast meets the deadline.
         assert not feasible_locally(SMART_GLASSES, APP_ARCHETYPES["orientation"])

@@ -100,6 +100,45 @@ def test_stats_accounting():
     assert link.packets_delivered == 1
 
 
+def test_wire_loss_accounts_bytes():
+    """Wire drops must land in bytes_lost so goodput reports do not
+    conflate lost and in-flight bytes."""
+    sim = Simulator(seed=3)
+    link, _, dst = make_link(sim, rate=1e9, loss=0.5, queue=DropTailQueue(1000))
+    for _ in range(200):
+        link.send(Packet(src="src", dst="dst", size=100))
+    sim.run()
+    assert link.packets_lost > 0
+    assert link.bytes_lost == link.packets_lost * 100
+    assert link.bytes_delivered == link.packets_delivered * 100
+    # Conservation: everything serialized was delivered or lost.
+    assert link.bytes_sent == link.bytes_delivered + link.bytes_lost
+    assert link.bytes_in_flight == 0
+
+
+def test_bytes_in_flight_mid_transfer():
+    sim = Simulator()
+    link, _, _ = make_link(sim, rate=8e3, delay=1.0)  # slow + long pipe
+    link.send(Packet(src="src", dst="dst", size=1000))
+    sim.run(until=1.5)  # serialized (1 s) but not yet delivered (2 s)
+    assert link.bytes_sent == 1000
+    assert link.bytes_in_flight == 1000
+    sim.run()
+    assert link.bytes_in_flight == 0
+
+
+def test_queue_drops_surfaced_on_link():
+    sim = Simulator()
+    link, _, _ = make_link(sim, rate=8e3, queue=DropTailQueue(capacity=2))
+    for _ in range(6):
+        link.send(Packet(src="src", dst="dst", size=1000))
+    assert link.queue_drops == 3  # 1 in flight + 2 queued, rest dropped
+    sim.run()
+    # Queue drops never pollute the wire-loss counters.
+    assert link.packets_lost == 0
+    assert link.bytes_lost == 0
+
+
 def test_utilization():
     sim = Simulator()
     link, _, _ = make_link(sim, rate=1e6)

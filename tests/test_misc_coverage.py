@@ -76,7 +76,7 @@ class TestDcfDynamics:
         sim = Simulator(seed=34)
         channel = DcfChannel(sim)
         a = channel.add_station(DcfStation("a", 54e6))
-        b = channel.add_station(DcfStation("b", 54e6))
+        channel.add_station(DcfStation("b", 54e6))
         sim.run(until=3.0)
         channel.set_rate("b", 6e6)
         sim.run(until=6.0)

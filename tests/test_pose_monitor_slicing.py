@@ -169,7 +169,7 @@ class TestSlicing:
     def test_mar_slice_protected_from_embb_surge(self):
         sim, net, cell = self.sliced_net()
         mar_sink = PacketSink(net["core"], 80)
-        embb_sink = PacketSink(net["core"], 81)
+        PacketSink(net["core"], 81)
         CBRSource(net["ue"], "core", 80, rate_bps=8e6, packet_size=1000,
                   flow="mar")
         # eMBB offered at 3x the cell uplink.

@@ -168,13 +168,9 @@ def test_critical_class_delivers_in_order():
         traffic_class=TrafficClass.CRITICAL, deadline=5.0, nominal_rate_bps=1e6,
     )
     sim, sender, _ = single_path_pair([stream], loss=0.05, seed=9)
-    delivered = []
-    # Rebind a receiver with an on_message hook.
-    # (single_path_pair already bound one; use its receiver instead)
-    sim2 = sim  # same sim
+    # Ordered-delivery with an on_message hook is covered by
+    # test_critical_in_order_delivery_hook below.
     sender.start()
-    # Attach the hook on the existing receiver through a fresh pair:
-    # simpler: re-run with hook below.
     for i in range(100):
         sim.schedule(i * 0.01, sender.submit, 0, 500)
     sim.run(until=5.0)
@@ -194,8 +190,8 @@ def test_critical_in_order_delivery_hook():
                    queue_up=DropTailQueue(1000))
     net.build_routes()
     order = []
-    receiver = MartpReceiver(net["server"], 7000, [stream],
-                             on_message=lambda sid, seq, lat: order.append(seq))
+    MartpReceiver(net["server"], 7000, [stream],
+                  on_message=lambda sid, seq, lat: order.append(seq))
     endpoint = PathEndpoint(
         state=PathState(name="wifi"), socket=UdpSocket(net["client"], 6000),
         dst="server", dst_port=7000,

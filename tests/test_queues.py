@@ -64,7 +64,6 @@ class TestCoDel:
         q = CoDelQueue(target=0.005, interval=0.1, capacity=10000)
         # Continuously refill so sojourn stays high past the interval.
         t = 0.0
-        drops_seen = 0
         for step in range(400):
             q.enqueue(make_packet(), t)
             if step % 2 == 0:

@@ -151,6 +151,6 @@ class TestFecEndToEnd:
             if i not in lost:
                 dec.on_data(i)
             if parity is not None:
-                recovered = dec.on_parity(parity_count)
+                dec.on_parity(parity_count)
                 parity_count += 1
         assert dec.recovered == [5]

@@ -63,7 +63,7 @@ class TestWifiCell:
         sim = Simulator(seed=2)
         cell = WifiCell(sim)
         a = cell.add_station(WifiStation("a", 54e6))
-        b = cell.add_station(WifiStation("b", 54e6))
+        cell.add_station(WifiStation("b", 54e6))
         sim.run(until=5.0)
         cell.set_rate("b", 6e6)
         sim.run(until=10.0)
