@@ -114,6 +114,95 @@ def link_table(links: Sequence["Link"], elapsed: float,
     )
 
 
+# ----------------------------------------------------------------------
+# Fleet campaign reports (repro.fleet)
+# ----------------------------------------------------------------------
+def _fleet_fmt(value: float, unit: str) -> str:
+    if value != value:  # NaN — metric absent at this point
+        return "—"
+    if unit == "time":
+        return format_time(value)
+    if unit == "rate":
+        return format_rate(value)
+    return f"{value:.3f}"
+
+
+def fleet_point_table(points: Sequence[Tuple[str, object]],
+                      hist_key: Optional[str], hist_unit: str,
+                      moment_keys: Sequence[str],
+                      title: str) -> str:
+    """Cell-level saturation table: one row per campaign grid point.
+
+    ``points`` pairs a grid-point label with that point's merged
+    :class:`~repro.fleet.aggregate.Aggregate` (duck-typed — anything
+    with ``counts``/``moments``/``histograms`` mappings works).  The
+    named histogram contributes p50/p95/p99 columns; each named moment
+    contributes a mean column.
+    """
+    nan = float("nan")
+    headers = ["point", "n"]
+    if hist_key:
+        headers += [f"{hist_key} p50", "p95", "p99"]
+    headers += [f"mean {k}" for k in moment_keys]
+    rows = []
+    for label, agg in points:
+        hist = agg.histograms.get(hist_key) if hist_key else None
+        n = hist.total if hist is not None else (
+            max(agg.counts.values()) if agg.counts else 0)
+        row = [label, str(n)]
+        if hist_key:
+            if hist is not None and hist.total:
+                row += [_fleet_fmt(hist.percentile(q), hist_unit)
+                        for q in (50.0, 95.0, 99.0)]
+            else:
+                row += ["—", "—", "—"]
+        for key in moment_keys:
+            m = agg.moments.get(key)
+            unit = hist_unit if key == hist_key else (
+                "rate" if key.endswith("bps") else
+                "time" if key.endswith(("latency", "rtt")) else "plain")
+            row.append(_fleet_fmt(m.mean if m is not None and m.count else nan,
+                                  unit))
+        rows.append(row)
+    return ascii_table(headers, rows, title=title)
+
+
+def fleet_report(result) -> str:
+    """Render a :class:`~repro.fleet.workers.FleetResult` as text.
+
+    Deliberately excludes wall-clock timings and cache counters that
+    vary between equivalent runs: serial and parallel executions of the
+    same campaign must render byte-identically (the fleet determinism
+    contract; timing goes to the CLI's stderr progress line instead).
+    """
+    c = result.campaign
+    hist_key = result.latency_key or result.rate_key
+    hist_unit = "time" if result.latency_key else "rate"
+    lines = [
+        f"Fleet campaign {c.name!r} — scenario {c.scenario!r}",
+        f"shards: {len(result.outcomes)} "
+        f"(ok {result.completed}, quarantined {len(result.quarantined)}) · "
+        f"seeds/point: {c.seeds} · base seed: {c.base_seed}",
+        "",
+        fleet_point_table(list(result.per_point.items()), hist_key, hist_unit,
+                          result.moment_keys,
+                          title="Per-point aggregates"),
+        "",
+        fleet_point_table([("ALL", result.aggregate)], hist_key, hist_unit,
+                          result.moment_keys,
+                          title="Campaign-wide aggregate"),
+    ]
+    if result.quarantined:
+        lines.append("")
+        lines.append("quarantined shards (replay with "
+                     "`python -m repro fleet <campaign> --replay TAG`):")
+        for outcome in result.outcomes:
+            if outcome.status == "quarantined":
+                lines.append(f"  {outcome.tag}  "
+                             f"[{outcome.attempts} attempts: {outcome.error}]")
+    return "\n".join(lines)
+
+
 class Figure:
     """An ASCII line 'figure': named series over a shared x axis."""
 

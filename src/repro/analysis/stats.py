@@ -1,4 +1,13 @@
-"""Small statistics helpers (no numpy dependency on hot paths)."""
+"""Small statistics helpers (no numpy dependency on hot paths).
+
+Every summary helper accepts arbitrary *iterables* — raw sequences,
+generators, or streams of per-shard summary objects — not just
+materialized lists, so fleet reports can feed shard summaries straight
+through.  :func:`timeseries_bins` additionally understands *mergeable*
+values (anything with a ``merge`` method, e.g.
+:class:`repro.fleet.aggregate.StreamingMoments`): buckets of mergeable
+summaries reduce by merging instead of averaging.
+"""
 
 from __future__ import annotations
 
@@ -7,13 +16,15 @@ from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 
 
-def mean(data: Sequence[float]) -> float:
+def mean(data: Iterable[float]) -> float:
     """Arithmetic mean; NaN for empty input."""
+    data = data if isinstance(data, Sequence) else list(data)
     return sum(data) / len(data) if data else float("nan")
 
 
-def stddev(data: Sequence[float]) -> float:
+def stddev(data: Iterable[float]) -> float:
     """Sample standard deviation; 0.0 for fewer than two points."""
+    data = data if isinstance(data, Sequence) else list(data)
     n = len(data)
     if n < 2:
         return 0.0
@@ -21,13 +32,13 @@ def stddev(data: Sequence[float]) -> float:
     return math.sqrt(sum((x - mu) ** 2 for x in data) / (n - 1))
 
 
-def percentile(data: Sequence[float], q: float) -> float:
+def percentile(data: Iterable[float], q: float) -> float:
     """Linear-interpolated percentile, q in [0, 100]; NaN when empty."""
-    if not data:
-        return float("nan")
     if not 0.0 <= q <= 100.0:
         raise ValueError("q must be in [0, 100]")
     ordered = sorted(data)
+    if not ordered:
+        return float("nan")
     pos = (q / 100.0) * (len(ordered) - 1)
     lo = int(pos)
     hi = min(lo + 1, len(ordered) - 1)
@@ -51,8 +62,9 @@ class Summary:
     maximum: float
 
 
-def summarize(data: Sequence[float]) -> Summary:
+def summarize(data: Iterable[float]) -> Summary:
     """Summary statistics of a sample (NaN-filled when empty)."""
+    data = list(data)
     if not data:
         nan = float("nan")
         return Summary(0, nan, nan, nan, nan, nan, nan, nan)
@@ -68,25 +80,48 @@ def summarize(data: Sequence[float]) -> Summary:
     )
 
 
+def _merge_copies(vals: Sequence):
+    """Merge mergeable summaries without mutating the inputs."""
+    merged = type(vals[0])()
+    for v in vals:
+        merged.merge(v)
+    return merged
+
+
 def timeseries_bins(
-    samples: Iterable[Tuple[float, float]], bin_size: float, reducer=mean
-) -> List[Tuple[float, float]]:
-    """Bin (time, value) samples; returns (bin_start, reduced_value)."""
+    samples: Iterable[Tuple[float, object]], bin_size: float, reducer=mean
+) -> List[Tuple[float, object]]:
+    """Bin (time, value) samples; returns (bin_start, reduced_value).
+
+    Values may be plain numbers (reduced with ``reducer``, default
+    :func:`mean`) or mergeable shard summaries — objects exposing
+    ``merge(other)``, such as fleet ``StreamingMoments`` — in which
+    case each bucket reduces to a fresh merged summary (inputs are not
+    mutated) and ``reducer`` is ignored.
+    """
     if bin_size <= 0:
         raise ValueError("bin_size must be positive")
     buckets: dict = {}
     for t, v in samples:
         buckets.setdefault(int(t // bin_size), []).append(v)
-    return [(k * bin_size, reducer(vals)) for k, vals in sorted(buckets.items())]
+    out: List[Tuple[float, object]] = []
+    for k, vals in sorted(buckets.items()):
+        if hasattr(vals[0], "merge"):
+            out.append((k * bin_size, _merge_copies(vals)))
+        else:
+            out.append((k * bin_size, reducer(vals)))
+    return out
 
 
-def jain_index(allocations: Sequence[float]) -> float:
+def jain_index(allocations: Iterable[float]) -> float:
     """Jain's fairness index: 1.0 = perfectly fair, 1/n = one hog.
 
     The paper's property (2) — "fair to other connections while
     exploiting the maximum available bandwidth" — is scored with this
     classic measure over per-flow throughputs.
     """
+    allocations = allocations if isinstance(allocations, Sequence) \
+        else list(allocations)
     if not allocations:
         return float("nan")
     total = sum(allocations)

@@ -1,29 +1,37 @@
-"""Command-line interface: quick demos and experiment-report browsing.
+"""Command-line interface: quick demos, fleet campaigns, report browsing.
 
 Usage (also via ``python -m repro``):
 
-    python -m repro list                 # available demos + saved reports
+    python -m repro list                 # demos, campaigns, saved reports
     python -m repro demo quickstart      # run a built-in demo
     python -m repro demo anomaly
     python -m repro demo table2
+    python -m repro fleet                # run the default (256-shard) campaign
+    python -m repro fleet smoke -w 2     # a named campaign on 2 workers
     python -m repro show T2              # print a saved benchmark report
+    python -m repro show cell256         # fleet reports are found too
 
 The demos are self-contained, seconds-long simulations over the public
 API; the full experiment suite lives in ``benchmarks/`` (run with
 ``pytest benchmarks/ --benchmark-only``) and saves its rendered reports
-under ``benchmarks/results/`` where ``show`` finds them.
+under ``benchmarks/results/`` where ``show`` finds them.  ``fleet``
+runs a sharded multi-process campaign (see ``docs/FLEET.md``) and
+saves its report under ``benchmarks/results/fleet/``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
+import time
 from typing import Callable, Dict
 
-from repro.analysis.report import ascii_table, format_rate, format_time
+from repro.analysis.report import ascii_table, fleet_report, format_rate, format_time
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+FLEET_RESULTS_DIR = RESULTS_DIR / "fleet"
 
 
 # ----------------------------------------------------------------------
@@ -113,15 +121,25 @@ DEMOS: Dict[str, Callable[[], str]] = {
 # Commands
 # ----------------------------------------------------------------------
 def cmd_list(_args: argparse.Namespace) -> int:
+    from repro.fleet import demo_campaigns
+
     print("demos (python -m repro demo <name>):")
     for name, fn in DEMOS.items():
         print(f"  {name:<12} {fn.__doc__.strip().splitlines()[0]}")
+    print("\nfleet campaigns (python -m repro fleet <name>):")
+    for name, c in demo_campaigns().items():
+        print(f"  {name:<12} {c.n_shards} shards of {c.scenario}")
     print("\nsaved experiment reports (python -m repro show <id>):")
-    if RESULTS_DIR.is_dir():
-        for path in sorted(RESULTS_DIR.glob("*.txt")):
-            print(f"  {path.stem}")
+    saved = sorted(RESULTS_DIR.glob("*.txt")) if RESULTS_DIR.is_dir() else []
+    saved += sorted(FLEET_RESULTS_DIR.glob("*.txt")) \
+        if FLEET_RESULTS_DIR.is_dir() else []
+    if saved:
+        for path in saved:
+            kind = "fleet" if path.parent.name == "fleet" else "bench"
+            print(f"  {path.stem:<12} [{kind}]")
     else:
-        print("  (none — run `pytest benchmarks/ --benchmark-only` first)")
+        print("  (none — run `pytest benchmarks/ --benchmark-only` "
+              "or `python -m repro fleet` first)")
     return 0
 
 
@@ -138,6 +156,8 @@ def cmd_demo(args: argparse.Namespace) -> int:
 def cmd_show(args: argparse.Namespace) -> int:
     matches = sorted(RESULTS_DIR.glob(f"{args.experiment}*.txt")) \
         if RESULTS_DIR.is_dir() else []
+    matches += sorted(FLEET_RESULTS_DIR.glob(f"{args.experiment}*.txt")) \
+        if FLEET_RESULTS_DIR.is_dir() else []
     if not matches:
         print(f"no saved report matching {args.experiment!r} under "
               f"{RESULTS_DIR}", file=sys.stderr)
@@ -146,6 +166,69 @@ def cmd_show(args: argparse.Namespace) -> int:
         print(f"== {path.stem} ==")
         print(path.read_text().rstrip())
         print()
+    return 0
+
+
+def _fleet_progress(done: int, total: int, elapsed: float) -> None:
+    """One-line progress/ETA on stderr (stdout stays report-only)."""
+    eta = (elapsed / done) * (total - done) if done else float("inf")
+    eta_s = f"{eta:5.1f}s" if eta != float("inf") else "   ??"
+    sys.stderr.write(f"\r[fleet] {done}/{total} shards "
+                     f"({done / total:4.0%})  elapsed {elapsed:5.1f}s  "
+                     f"eta {eta_s}")
+    sys.stderr.flush()
+    if done == total:
+        sys.stderr.write("\n")
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import (FaultInjection, ResultCache, demo_campaigns,
+                             run_campaign, run_shard)
+
+    campaigns = demo_campaigns()
+    campaign = campaigns.get(args.campaign)
+    if campaign is None:
+        print(f"unknown campaign {args.campaign!r}; "
+              f"try: {', '.join(campaigns)}", file=sys.stderr)
+        return 2
+    if args.seeds:
+        campaign.seeds = args.seeds
+
+    if args.replay:
+        agg = run_shard(campaign, args.replay)
+        print(agg.to_json())
+        return 0
+
+    workers = args.workers if args.workers is not None \
+        else max(1, os.cpu_count() or 1)
+    cache = None if args.no_cache else ResultCache()
+    faults = None
+    if args.inject_fault:
+        # Persistently kill the first shard's worker: exercises the
+        # broken-pool retry path end-to-end and must end in quarantine.
+        faults = FaultInjection(tags=(campaign.shards()[0].tag,), mode="kill")
+
+    t0 = time.monotonic()
+    result = run_campaign(
+        campaign, workers=workers, cache=cache, faults=faults,
+        progress=None if args.quiet else _fleet_progress)
+    text = fleet_report(result)
+
+    FLEET_RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    out = FLEET_RESULTS_DIR / f"{campaign.name}.txt"
+    out.write_text(text + "\n")
+    print(text)
+    if cache is not None:
+        print(f"[fleet] cache: {result.cache_hits} hits / "
+              f"{result.cache_misses} misses "
+              f"({result.cache_hits / max(1, len(result.outcomes)):.0%} hit rate)",
+              file=sys.stderr)
+    print(f"[fleet] {workers} worker(s), {time.monotonic() - t0:.1f}s wall, "
+          f"report saved to {out}", file=sys.stderr)
+    if args.expect_quarantine and not result.quarantined:
+        print("[fleet] ERROR: expected the quarantine path to fire, "
+              "but no shard was quarantined", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -163,6 +246,29 @@ def main(argv=None) -> int:
     show = sub.add_parser("show", help="print a saved benchmark report")
     show.add_argument("experiment", help="experiment id prefix, e.g. T2 or F4")
     show.set_defaults(func=cmd_show)
+    fleet = sub.add_parser(
+        "fleet", help="run a sharded multi-process campaign")
+    fleet.add_argument("campaign", nargs="?", default="cell256",
+                       help="campaign name (default: cell256; "
+                            "see `repro list`)")
+    fleet.add_argument("-w", "--workers", type=int, default=None,
+                       help="worker processes (default: CPU count; "
+                            "1 = serial fallback)")
+    fleet.add_argument("--seeds", type=int, default=None,
+                       help="override seed replicas per grid point")
+    fleet.add_argument("--no-cache", action="store_true",
+                       help="skip the on-disk result cache")
+    fleet.add_argument("--replay", metavar="TAG", default=None,
+                       help="replay one shard by tag and print its "
+                            "aggregate JSON")
+    fleet.add_argument("--inject-fault", action="store_true",
+                       help="kill the first shard's worker on every "
+                            "attempt (CI smoke: exercises quarantine)")
+    fleet.add_argument("--expect-quarantine", action="store_true",
+                       help="exit non-zero unless a shard was quarantined")
+    fleet.add_argument("--quiet", action="store_true",
+                       help="suppress the progress/ETA line")
+    fleet.set_defaults(func=cmd_fleet)
     args = parser.parse_args(argv)
     try:
         return args.func(args)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TYPE_CHECKING
 
+from repro.analysis.stats import percentile as _stats_percentile
 from repro.core.traffic import Priority, StreamSpec, TrafficClass
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -63,15 +64,12 @@ class ClassReport:
         return min(1.0, ratio)
 
 
-def _percentile(data: List[float], q: float) -> float:
-    if not data:
-        return float("nan")
-    data = sorted(data)
-    pos = (q / 100.0) * (len(data) - 1)
-    lo = int(pos)
-    hi = min(lo + 1, len(data) - 1)
-    frac = pos - lo
-    return data[lo] * (1 - frac) + data[hi] * frac
+# The single canonical linear-interpolation percentile lives in
+# analysis.stats; this module used to carry a near-identical copy that
+# differed in its interpolation form (convex combination vs.
+# a + frac*(b-a)) and could disagree in the last ulp.  Keep the name as
+# a deprecated alias so existing call sites and tests stay valid.
+_percentile = _stats_percentile
 
 
 def class_report(sender: "MartpSender", receiver: "MartpReceiver",

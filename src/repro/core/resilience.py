@@ -89,6 +89,15 @@ class DecorrelatedBackoff:
         self.cap = cap
         self._prev = base
 
+    @classmethod
+    def from_tag(cls, seed: int, tag: str, base: float = 0.1,
+                 cap: float = 5.0) -> "DecorrelatedBackoff":
+        """A backoff whose jitter stream is a pure function of
+        ``(seed, tag)`` — the same derivation scheme as
+        :meth:`Simulator.child_rng`, for users outside a simulator
+        (e.g. the fleet campaign runner's retry schedule)."""
+        return cls(random.Random(f"{seed}:{tag}"), base=base, cap=cap)
+
     def next(self) -> float:
         self._prev = min(self.cap, self.rng.uniform(self.base, self._prev * 3))
         return self._prev

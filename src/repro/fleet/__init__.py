@@ -1,0 +1,55 @@
+"""repro.fleet — sharded multi-process campaign runner.
+
+Turns the deterministic single-scenario engine into a campaign
+machine: declare a :class:`Campaign` (scenario × parameter grid × seed
+range), run it with :func:`run_campaign` across a process pool (or the
+byte-identical serial fallback), and get back O(1)-sized mergeable
+:class:`Aggregate` statistics per grid point.  Results are cached on
+disk (:class:`ResultCache`) keyed by a content hash of the spec, so
+re-running a sweep only executes missing shards.
+
+See ``docs/FLEET.md`` for the spec format, the seed-derivation and
+cache-key contracts, and how to replay a quarantined shard.
+"""
+
+from repro.fleet.aggregate import (
+    Aggregate,
+    FixedBinHistogram,
+    StreamingMoments,
+)
+from repro.fleet.campaign import (
+    Campaign,
+    ShardSpec,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+    shard_seed,
+)
+from repro.fleet.cache import ResultCache
+from repro.fleet.scenarios import demo_campaigns
+from repro.fleet.workers import (
+    FaultInjection,
+    FleetResult,
+    ShardOutcome,
+    run_campaign,
+    run_shard,
+)
+
+__all__ = [
+    "Aggregate",
+    "Campaign",
+    "FaultInjection",
+    "FixedBinHistogram",
+    "FleetResult",
+    "ResultCache",
+    "ShardOutcome",
+    "ShardSpec",
+    "StreamingMoments",
+    "demo_campaigns",
+    "get_scenario",
+    "register_scenario",
+    "run_campaign",
+    "run_shard",
+    "scenario_names",
+    "shard_seed",
+]

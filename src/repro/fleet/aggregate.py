@@ -1,0 +1,348 @@
+"""Mergeable streaming statistics for campaign shards.
+
+A fleet worker must return an **O(1)-sized summary** of its shard, not
+raw traces: a 10,000-seed campaign with per-message latency lists would
+move gigabytes through the result queue.  Three mergeable primitives
+cover everything the fleet reports need:
+
+- :class:`StreamingMoments` — count / mean / M2 (Welford) plus min and
+  max.  Merging uses the parallel-variance formula of Chan, Golub &
+  LeVeque, so ``merge(agg(A), agg(B))`` equals ``agg(A + B)`` up to
+  floating-point rounding (exactly, for count/min/max).
+- :class:`FixedBinHistogram` — fixed-bin counts with underflow and
+  overflow buckets; merging is elementwise integer addition (exact),
+  and p50/p95/p99 are read off the cumulative counts with linear
+  interpolation inside a bin.
+- :class:`Aggregate` — a named bundle of integer counters, moments and
+  histograms; merging is keywise union.
+
+Determinism contract: serial and parallel campaign runs both compute
+one :class:`Aggregate` per shard and merge them **in shard-index
+order**, so the merged result — and any report rendered from it — is
+byte-identical regardless of worker count or completion order.
+Serialization (:meth:`Aggregate.to_json`) is canonical (sorted keys,
+no whitespace), making the byte-equality testable and the on-disk
+cache format stable.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Iterable, List, Optional
+
+
+class StreamingMoments:
+    """Welford-style streaming count/mean/M2 with min/max, mergeable."""
+
+    __slots__ = ("count", "mean", "m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (x - self.mean)
+        if x < self.minimum:
+            self.minimum = x
+        if x > self.maximum:
+            self.maximum = x
+
+    def extend(self, xs: Iterable[float]) -> "StreamingMoments":
+        for x in xs:
+            self.add(x)
+        return self
+
+    def merge(self, other: "StreamingMoments") -> "StreamingMoments":
+        """Fold ``other`` into this accumulator (Chan et al. merge)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self.m2 = other.m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return self
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.mean += delta * other.count / total
+        self.m2 += other.m2 + delta * delta * self.count * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        return self
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator); 0.0 below two samples."""
+        return self.m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def to_dict(self) -> dict:
+        d = {"count": self.count, "mean": self.mean, "m2": self.m2}
+        if self.count:  # inf sentinels are not JSON-portable
+            d["min"] = self.minimum
+            d["max"] = self.maximum
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "StreamingMoments":
+        m = cls()
+        m.count = int(d["count"])
+        m.mean = float(d["mean"])
+        m.m2 = float(d["m2"])
+        if m.count:
+            m.minimum = float(d["min"])
+            m.maximum = float(d["max"])
+        return m
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StreamingMoments) and self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Moments n={self.count} mean={self.mean:.6g} "
+                f"std={self.std:.6g}>")
+
+
+class FixedBinHistogram:
+    """Equal-width histogram over ``[lo, hi)`` with exact merging.
+
+    Out-of-range samples land in the underflow/overflow buckets and are
+    treated as sitting at the range edge for percentile purposes, so
+    percentiles stay defined (and conservative) even when the range
+    guess was too tight.
+    """
+
+    __slots__ = ("lo", "hi", "bins", "underflow", "overflow")
+
+    def __init__(self, lo: float, hi: float, n_bins: int = 100) -> None:
+        if not (hi > lo) or n_bins <= 0:
+            raise ValueError("need hi > lo and n_bins > 0")
+        self.lo = lo
+        self.hi = hi
+        self.bins = [0] * n_bins
+        self.underflow = 0
+        self.overflow = 0
+
+    @property
+    def bin_width(self) -> float:
+        return (self.hi - self.lo) / len(self.bins)
+
+    @property
+    def total(self) -> int:
+        return sum(self.bins) + self.underflow + self.overflow
+
+    def add(self, x: float) -> None:
+        if x < self.lo:
+            self.underflow += 1
+        elif x >= self.hi:
+            self.overflow += 1
+        else:
+            idx = int((x - self.lo) / (self.hi - self.lo) * len(self.bins))
+            # float rounding at the top edge can yield len(bins)
+            self.bins[min(idx, len(self.bins) - 1)] += 1
+
+    def extend(self, xs: Iterable[float]) -> "FixedBinHistogram":
+        for x in xs:
+            self.add(x)
+        return self
+
+    def compatible(self, other: "FixedBinHistogram") -> bool:
+        return (self.lo == other.lo and self.hi == other.hi
+                and len(self.bins) == len(other.bins))
+
+    def merge(self, other: "FixedBinHistogram") -> "FixedBinHistogram":
+        if not self.compatible(other):
+            raise ValueError(
+                f"histogram configs differ: [{self.lo},{self.hi})x{len(self.bins)}"
+                f" vs [{other.lo},{other.hi})x{len(other.bins)}")
+        for i, c in enumerate(other.bins):
+            self.bins[i] += c
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+        return self
+
+    def percentile(self, q: float) -> float:
+        """Linear-in-bin percentile, ``q`` in [0, 100]; NaN when empty."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        total = self.total
+        if total == 0:
+            return float("nan")
+        rank = (q / 100.0) * total
+        cum = self.underflow
+        if rank <= cum:
+            return self.lo
+        for i, c in enumerate(self.bins):
+            if c and rank <= cum + c:
+                frac = (rank - cum) / c
+                return self.lo + (i + frac) * self.bin_width
+            cum += c
+        return self.hi
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "bins": list(self.bins),
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FixedBinHistogram":
+        h = cls(float(d["lo"]), float(d["hi"]), len(d["bins"]))
+        h.bins = [int(c) for c in d["bins"]]
+        h.underflow = int(d["underflow"])
+        h.overflow = int(d["overflow"])
+        return h
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FixedBinHistogram) and self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Histogram [{self.lo},{self.hi}) n={self.total} "
+                f"p50={self.p50:.4g} p95={self.p95:.4g}>")
+
+
+class Aggregate:
+    """A named bundle of counters, moments and histograms.
+
+    This is the unit a shard returns and the unit the runner merges —
+    scenario runners fill one per shard, the campaign runner folds them
+    together keywise.  Missing keys merge as identity, so shards whose
+    scenario skipped a metric (e.g. zero slow stations) still combine.
+    """
+
+    __slots__ = ("counts", "moments", "histograms")
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+        self.moments: Dict[str, StreamingMoments] = {}
+        self.histograms: Dict[str, FixedBinHistogram] = {}
+
+    # -- accessors (get-or-create) -------------------------------------
+    def count(self, name: str, n: int = 1) -> int:
+        self.counts[name] = self.counts.get(name, 0) + n
+        return self.counts[name]
+
+    def moment(self, name: str) -> StreamingMoments:
+        m = self.moments.get(name)
+        if m is None:
+            m = self.moments[name] = StreamingMoments()
+        return m
+
+    def histogram(self, name: str, lo: float = 0.0, hi: float = 1.0,
+                  n_bins: int = 100) -> FixedBinHistogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = FixedBinHistogram(lo, hi, n_bins)
+        return h
+
+    # -- merge ---------------------------------------------------------
+    def merge(self, other: "Aggregate") -> "Aggregate":
+        for name, n in other.counts.items():
+            self.counts[name] = self.counts.get(name, 0) + n
+        for name, m in other.moments.items():
+            self.moment(name).merge(m)
+        for name, h in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                self.histograms[name] = FixedBinHistogram.from_dict(h.to_dict())
+            else:
+                mine.merge(h)
+        return self
+
+    @classmethod
+    def merged(cls, parts: Iterable["Aggregate"]) -> "Aggregate":
+        out = cls()
+        for part in parts:
+            if part is not None:
+                out.merge(part)
+        return out
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "counts": dict(sorted(self.counts.items())),
+            "moments": {k: m.to_dict() for k, m in sorted(self.moments.items())},
+            "histograms": {k: h.to_dict() for k, h in sorted(self.histograms.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Aggregate":
+        a = cls()
+        a.counts = {k: int(v) for k, v in d.get("counts", {}).items()}
+        a.moments = {k: StreamingMoments.from_dict(v)
+                     for k, v in d.get("moments", {}).items()}
+        a.histograms = {k: FixedBinHistogram.from_dict(v)
+                        for k, v in d.get("histograms", {}).items()}
+        return a
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, no whitespace — byte-stable."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "Aggregate":
+        return cls.from_dict(json.loads(text))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Aggregate) and self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Aggregate counts={len(self.counts)} "
+                f"moments={len(self.moments)} hists={len(self.histograms)}>")
+
+
+def approx_equal_moments(a: StreamingMoments, b: StreamingMoments,
+                         rel: float = 1e-9, abs_tol: float = 1e-12) -> bool:
+    """Merge-vs-onepass equality: exact on count/min/max, tolerant on
+    the float accumulators (merging reassociates the sums)."""
+    if a.count != b.count:
+        return False
+    if a.count == 0:
+        return True
+    return (a.minimum == b.minimum and a.maximum == b.maximum
+            and math.isclose(a.mean, b.mean, rel_tol=rel, abs_tol=abs_tol)
+            and math.isclose(a.m2, b.m2, rel_tol=rel, abs_tol=max(abs_tol, rel * a.count)))
+
+
+def merge_all(parts: Iterable[Optional[Aggregate]]) -> Aggregate:
+    """Merge an iterable of (possibly None) aggregates in order."""
+    out = Aggregate()
+    for part in parts:
+        if part is not None:
+            out.merge(part)
+    return out
+
+
+__all__: List[str] = [
+    "StreamingMoments",
+    "FixedBinHistogram",
+    "Aggregate",
+    "approx_equal_moments",
+    "merge_all",
+]

@@ -1,0 +1,96 @@
+"""On-disk shard-result cache for fleet campaigns.
+
+Layout (default root ``benchmarks/results/fleet/cache/``)::
+
+    cache/<fingerprint16>/campaign.json        # the spec, for humans/replay
+    cache/<fingerprint16>/00042-1a2b3c4d.json  # one canonical Aggregate per shard
+
+The directory name is the first 16 hex chars of
+:meth:`Campaign.fingerprint` — a content hash of the spec plus the
+fleet schema version, package version, and scenario version.  Any
+change to the campaign spec or to code the results depend on lands in
+a fresh directory; re-running an unchanged spec only executes shards
+whose file is missing (normally none → 100% hit rate).
+
+Shard files hold the shard's canonical :class:`Aggregate` JSON, so a
+cache hit merges byte-identically with a freshly computed shard.
+Writes are atomic (temp file + ``os.replace``) so a killed worker can
+never leave a half-written entry; unreadable entries are treated as
+misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Optional, TYPE_CHECKING
+
+from repro.fleet.aggregate import Aggregate
+from repro.fleet.campaign import stable_hash
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fleet.campaign import Campaign, ShardSpec
+
+#: Default cache root, next to the benchmark reports.
+DEFAULT_CACHE_ROOT = (pathlib.Path(__file__).resolve().parents[3]
+                      / "benchmarks" / "results" / "fleet" / "cache")
+
+
+class ResultCache:
+    """Per-shard result store keyed by campaign fingerprint + shard tag."""
+
+    def __init__(self, root: Optional[pathlib.Path] = None) -> None:
+        self.root = pathlib.Path(root) if root is not None else DEFAULT_CACHE_ROOT
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def campaign_dir(self, campaign: "Campaign") -> pathlib.Path:
+        return self.root / campaign.fingerprint()[:16]
+
+    def shard_path(self, campaign: "Campaign", spec: "ShardSpec") -> pathlib.Path:
+        # Tags contain '/', '=' and ',' — filename-hostile — so the file
+        # name pairs the (order-preserving) index with a tag hash.
+        return (self.campaign_dir(campaign)
+                / f"{spec.index:05d}-{stable_hash(spec.tag)[:8]}.json")
+
+    # ------------------------------------------------------------------
+    def get(self, campaign: "Campaign", spec: "ShardSpec") -> Optional[Aggregate]:
+        """Cached aggregate for a shard, or None (counts hit/miss)."""
+        path = self.shard_path(campaign, spec)
+        try:
+            agg = Aggregate.from_json(path.read_text())
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return agg
+
+    def put(self, campaign: "Campaign", spec: "ShardSpec",
+            agg: Aggregate) -> None:
+        """Atomically persist one shard's aggregate."""
+        cdir = self.campaign_dir(campaign)
+        cdir.mkdir(parents=True, exist_ok=True)
+        meta = cdir / "campaign.json"
+        if not meta.exists():
+            self._atomic_write(meta, json.dumps(
+                {"fingerprint": campaign.fingerprint(),
+                 "spec": campaign.spec_dict()},
+                indent=2, sort_keys=True) + "\n")
+        self._atomic_write(self.shard_path(campaign, spec), agg.to_json())
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _atomic_write(path: pathlib.Path, text: str) -> None:
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(text)
+        os.replace(tmp, path)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+__all__ = ["DEFAULT_CACHE_ROOT", "ResultCache"]

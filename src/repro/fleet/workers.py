@@ -1,0 +1,412 @@
+"""Sharded campaign execution: process pool, retries, quarantine.
+
+:func:`run_campaign` expands a :class:`Campaign` into shards and runs
+them either serially (``workers <= 1``) or on a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  The two modes are
+**aggregate-equivalent by construction**: both compute one
+:class:`Aggregate` per shard and merge the per-shard aggregates in
+shard-index order, so the merged result — and any report rendered from
+it — is byte-identical regardless of worker count, scheduling, or
+completion order.
+
+Fault tolerance
+---------------
+- A shard that raises is retried up to ``max_attempts`` times with a
+  decorrelated-jitter delay between attempts
+  (:meth:`DecorrelatedBackoff.from_tag` seeded from the campaign, so
+  even the retry schedule is reproducible).
+- A shard whose **worker process dies** (segfault, OOM kill, injected
+  ``os._exit``) breaks the pool: every in-flight future fails with
+  :class:`BrokenProcessPool`.  The runner rebuilds the pool and
+  re-queues all in-flight shards with an attempt charged — the culprit
+  keeps breaking pools until its attempts are exhausted and it is
+  **quarantined**; innocent bystanders succeed on their next attempt.
+- A shard that exceeds ``shard_timeout`` is charged an attempt and
+  re-queued; its abandoned future is ignored if it ever completes.
+- Quarantined shards never fail the campaign: they are excluded from
+  the merge and listed in the report, and each one is individually
+  replayable from its tag (``python -m repro fleet --replay TAG``)
+  because shard seeds depend only on ``(base_seed, tag)``.
+
+Fault injection (for tests and the CI ``fleet-smoke`` job) is a
+first-class input: :class:`FaultInjection` names shard tags that must
+misbehave, either by raising or by killing their worker process.  In
+serial mode a "kill" downgrades to a raise — the fallback must never
+take down the caller.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.resilience import DecorrelatedBackoff
+from repro.fleet.aggregate import Aggregate
+from repro.fleet.cache import ResultCache
+from repro.fleet.campaign import Campaign, ShardSpec, get_scenario
+
+
+class ShardError(RuntimeError):
+    """A shard attempt failed inside the runner (injected or real)."""
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """Deterministic misbehaviour for named shards.
+
+    ``mode="raise"`` makes the shard raise :class:`ShardError`;
+    ``mode="kill"`` makes it terminate its worker process without
+    cleanup (exercising the broken-pool path).  ``fail_attempts``
+    bounds how many attempts misbehave — ``None`` means every attempt,
+    which drives the shard into quarantine.
+    """
+
+    tags: Tuple[str, ...]
+    mode: str = "raise"              # "raise" | "kill"
+    fail_attempts: Optional[int] = None
+
+    def active(self, tag: str, attempt: int) -> bool:
+        if tag not in self.tags:
+            return False
+        return self.fail_attempts is None or attempt < self.fail_attempts
+
+
+@dataclass
+class ShardOutcome:
+    """What happened to one shard over the whole campaign."""
+
+    tag: str
+    index: int
+    status: str                      # "ok" | "quarantined"
+    attempts: int
+    cached: bool = False
+    error: Optional[str] = None
+
+
+@dataclass
+class FleetResult:
+    """A finished campaign: merged aggregates plus execution accounting."""
+
+    campaign: Campaign
+    aggregate: Aggregate
+    per_point: Dict[str, Aggregate]   # insertion-ordered by grid point
+    outcomes: List[ShardOutcome]
+    cache_hits: int = 0
+    cache_misses: int = 0
+    elapsed: float = 0.0
+    workers: int = 1
+    #: reporting hints copied from the ScenarioDef (keeps report
+    #: rendering free of fleet imports)
+    latency_key: Optional[str] = None
+    rate_key: Optional[str] = None
+    moment_keys: Tuple[str, ...] = ()
+
+    @property
+    def quarantined(self) -> List[str]:
+        return [o.tag for o in self.outcomes if o.status == "quarantined"]
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "ok")
+
+
+# ----------------------------------------------------------------------
+# The worker-side entry point (must be a picklable top-level function)
+# ----------------------------------------------------------------------
+def _execute_shard(payload: dict) -> str:
+    """Run one shard and return its canonical aggregate JSON.
+
+    Runs in a worker process under the pool, and in-process for the
+    serial fallback (``in_worker=False`` downgrades kill-faults so the
+    fallback never exits the caller).
+    """
+    fault_mode = payload.get("fault_mode")
+    if fault_mode:
+        if fault_mode == "kill" and payload.get("in_worker", False):
+            os._exit(86)  # simulate a crashed/OOM-killed worker
+        raise ShardError(
+            f"injected {fault_mode} fault in shard {payload['tag']!r} "
+            f"(attempt {payload['attempt']})")
+    scenario = get_scenario(payload["scenario"])
+    agg = scenario.fn(payload["seed"], dict(payload["params"]))
+    return agg.to_json()
+
+
+def _payload(spec: ShardSpec, attempt: int, in_worker: bool,
+             faults: Optional[FaultInjection]) -> dict:
+    return {
+        "scenario": spec.scenario,
+        "seed": spec.seed,
+        "params": spec.params,
+        "tag": spec.tag,
+        "attempt": attempt,
+        "in_worker": in_worker,
+        "fault_mode": faults.mode
+        if faults is not None and faults.active(spec.tag, attempt) else None,
+    }
+
+
+# ----------------------------------------------------------------------
+# Campaign runner
+# ----------------------------------------------------------------------
+@dataclass
+class _ShardState:
+    spec: ShardSpec
+    attempts: int = 0
+    errors: List[str] = field(default_factory=list)
+
+
+ProgressFn = Callable[[int, int, float], None]
+
+
+def run_campaign(
+    campaign: Campaign,
+    *,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    max_attempts: int = 3,
+    shard_timeout: float = 300.0,
+    backoff_base: float = 0.05,
+    backoff_cap: float = 2.0,
+    faults: Optional[FaultInjection] = None,
+    progress: Optional[ProgressFn] = None,
+) -> FleetResult:
+    """Run every shard of ``campaign`` and merge the results.
+
+    ``workers <= 1`` selects the serial in-process fallback; otherwise a
+    process pool of that size.  ``cache`` (optional) is consulted before
+    any execution and updated after every successful shard.
+    """
+    if max_attempts < 1:
+        raise ValueError("max_attempts must be >= 1")
+    shards = campaign.shards()
+    scenario = get_scenario(campaign.scenario)
+    t0 = time.monotonic()
+    results: Dict[int, Aggregate] = {}
+    outcomes: Dict[int, ShardOutcome] = {}
+    backoff = DecorrelatedBackoff.from_tag(
+        campaign.base_seed, f"fleet-retry:{campaign.name}",
+        base=backoff_base, cap=backoff_cap)
+
+    # -- cache pass ----------------------------------------------------
+    todo: List[ShardSpec] = []
+    cache_hits = cache_misses = 0
+    for spec in shards:
+        agg = cache.get(campaign, spec) if cache is not None else None
+        if agg is not None:
+            results[spec.index] = agg
+            outcomes[spec.index] = ShardOutcome(
+                tag=spec.tag, index=spec.index, status="ok", attempts=0,
+                cached=True)
+            cache_hits += 1
+        else:
+            todo.append(spec)
+            if cache is not None:
+                cache_misses += 1
+
+    def record_ok(spec: ShardSpec, attempts: int, agg_json: str) -> None:
+        agg = Aggregate.from_json(agg_json)
+        results[spec.index] = agg
+        outcomes[spec.index] = ShardOutcome(
+            tag=spec.tag, index=spec.index, status="ok", attempts=attempts)
+        if cache is not None:
+            cache.put(campaign, spec, agg)
+        if progress is not None:
+            progress(len(outcomes), len(shards), time.monotonic() - t0)
+
+    def record_quarantine(state: _ShardState) -> None:
+        outcomes[state.spec.index] = ShardOutcome(
+            tag=state.spec.tag, index=state.spec.index, status="quarantined",
+            attempts=state.attempts, error=state.errors[-1] if state.errors else None)
+        if progress is not None:
+            progress(len(outcomes), len(shards), time.monotonic() - t0)
+
+    if workers <= 1:
+        _run_serial(todo, faults, max_attempts, backoff,
+                    record_ok, record_quarantine)
+    else:
+        _run_pool(todo, faults, workers, max_attempts, shard_timeout,
+                  backoff, record_ok, record_quarantine)
+
+    # -- merge in shard-index order (the determinism contract) ---------
+    overall = Aggregate()
+    per_point: Dict[str, Aggregate] = {}
+    for spec in shards:
+        agg = results.get(spec.index)
+        if agg is None:
+            continue
+        overall.merge(agg)
+        point = per_point.get(spec.point_label)
+        if point is None:
+            per_point[spec.point_label] = Aggregate.merged([agg])
+        else:
+            point.merge(agg)
+
+    return FleetResult(
+        campaign=campaign,
+        aggregate=overall,
+        per_point=per_point,
+        outcomes=[outcomes[s.index] for s in shards],
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        elapsed=time.monotonic() - t0,
+        workers=max(1, workers),
+        latency_key=scenario.latency_key,
+        rate_key=scenario.rate_key,
+        moment_keys=scenario.moment_keys,
+    )
+
+
+def run_shard(campaign: Campaign, tag: str) -> Aggregate:
+    """Replay a single shard (e.g. a quarantined one) in-process."""
+    spec = campaign.shard_by_tag(tag)
+    return Aggregate.from_json(
+        _execute_shard(_payload(spec, attempt=0, in_worker=False, faults=None)))
+
+
+# ----------------------------------------------------------------------
+def _run_serial(todo, faults, max_attempts, backoff,
+                record_ok, record_quarantine) -> None:
+    for spec in todo:
+        state = _ShardState(spec)
+        while state.attempts < max_attempts:
+            payload = _payload(spec, state.attempts, in_worker=False,
+                               faults=faults)
+            state.attempts += 1
+            try:
+                record_ok(spec, state.attempts, _execute_shard(payload))
+                break
+            except Exception as exc:  # noqa: BLE001 - any shard failure retries
+                state.errors.append(f"{type(exc).__name__}: {exc}")
+                if state.attempts < max_attempts:
+                    time.sleep(backoff.next())
+        else:
+            record_quarantine(state)
+
+
+def _run_pool(todo, faults, workers, max_attempts, shard_timeout,
+              backoff, record_ok, record_quarantine) -> None:
+    pending = deque(_ShardState(spec) for spec in todo)
+    pool = ProcessPoolExecutor(max_workers=workers)
+    in_flight: Dict[object, Tuple[_ShardState, float]] = {}
+    abandoned = False
+    try:
+        while pending or in_flight:
+            pool_broken = False
+            # Keep the pool saturated but bounded: 2 queued per slot.
+            while pending and len(in_flight) < 2 * workers:
+                state = pending.popleft()
+                payload = _payload(state.spec, state.attempts, in_worker=True,
+                                   faults=faults)
+                state.attempts += 1
+                try:
+                    fut = pool.submit(_execute_shard, payload)
+                except BrokenProcessPool:
+                    pool_broken = True
+                    state.errors.append("BrokenProcessPool: submit refused")
+                    _requeue(state, pending, max_attempts, record_quarantine)
+                    break
+                in_flight[fut] = (state, time.monotonic() + shard_timeout)
+
+            done, _ = wait(list(in_flight), timeout=0.25,
+                           return_when=FIRST_COMPLETED)
+            casualties: List[_ShardState] = []
+            for fut in done:
+                state, _deadline = in_flight.pop(fut)
+                try:
+                    record_ok(state.spec, state.attempts, fut.result())
+                except BrokenProcessPool:
+                    pool_broken = True
+                    state.errors.append("BrokenProcessPool: worker died")
+                    casualties.append(state)
+                except Exception as exc:  # noqa: BLE001
+                    state.errors.append(f"{type(exc).__name__}: {exc}")
+                    _requeue(state, pending, max_attempts, record_quarantine)
+
+            if pool_broken:
+                # A dead worker poisons every in-flight future, and the
+                # executor API cannot say *which* shard killed it.  Rerun
+                # each suspect alone in a single-worker pool: innocents
+                # complete (no extra attempt charged beyond their requeue),
+                # the culprit breaks its private pool and is charged —
+                # repeatedly, until quarantined — without collateral.
+                suspects = casualties + [state for state, _ in in_flight.values()]
+                in_flight.clear()
+                pool.shutdown(wait=True, cancel_futures=True)
+                time.sleep(backoff.next())
+                _isolate_suspects(suspects, faults, max_attempts,
+                                  shard_timeout, pending,
+                                  record_ok, record_quarantine)
+                pool = ProcessPoolExecutor(max_workers=workers)
+                continue
+
+            now = time.monotonic()
+            for fut, (state, deadline) in list(in_flight.items()):
+                if now >= deadline:
+                    # Can't kill one worker through the executor API —
+                    # abandon the future (its late result, if any, is
+                    # ignored because the entry leaves in_flight) and
+                    # charge the attempt.
+                    del in_flight[fut]
+                    abandoned = True
+                    state.errors.append(f"timeout after {shard_timeout:.1f}s")
+                    _requeue(state, pending, max_attempts, record_quarantine)
+    finally:
+        # wait= joins the workers so nothing races interpreter teardown;
+        # only skip the join when a timed-out shard was abandoned and a
+        # zombie worker may still be chewing on it.
+        pool.shutdown(wait=not abandoned, cancel_futures=True)
+
+
+def _isolate_suspects(suspects, faults, max_attempts, shard_timeout,
+                      pending: deque, record_ok, record_quarantine) -> None:
+    """Identify which broken-pool casualty actually kills workers.
+
+    Each suspect gets one attempt in its own single-worker pool.  An
+    innocent bystander completes and is recorded; the culprit breaks
+    (only) its private pool, is charged the attempt, and is re-queued —
+    or quarantined once its budget is spent.
+    """
+    for state in suspects:
+        if state.attempts >= max_attempts:
+            record_quarantine(state)
+            continue
+        payload = _payload(state.spec, state.attempts, in_worker=True,
+                           faults=faults)
+        state.attempts += 1
+        iso = ProcessPoolExecutor(max_workers=1)
+        try:
+            record_ok(state.spec, state.attempts,
+                      iso.submit(_execute_shard, payload).result(
+                          timeout=shard_timeout))
+        except BrokenProcessPool:
+            state.errors.append("BrokenProcessPool: worker died in isolation")
+            _requeue(state, pending, max_attempts, record_quarantine)
+        except Exception as exc:  # noqa: BLE001 - incl. TimeoutError
+            state.errors.append(f"{type(exc).__name__}: {exc}")
+            _requeue(state, pending, max_attempts, record_quarantine)
+        finally:
+            iso.shutdown(wait=True, cancel_futures=True)
+
+
+def _requeue(state: _ShardState, pending: deque, max_attempts: int,
+             record_quarantine) -> None:
+    if state.attempts >= max_attempts:
+        record_quarantine(state)
+    else:
+        pending.append(state)
+
+
+__all__ = [
+    "FaultInjection",
+    "FleetResult",
+    "ShardError",
+    "ShardOutcome",
+    "run_campaign",
+    "run_shard",
+]

@@ -145,3 +145,70 @@ class TestLinkTable:
         sim.run()
         text = link_table([link], elapsed=1.0)
         assert format_rate(12500 * 8) in text
+
+
+class TestIterableInputs:
+    """Summary helpers accept arbitrary iterables, not just sequences."""
+
+    def test_mean_of_generator(self):
+        assert mean(x for x in [1.0, 2.0, 3.0]) == 2.0
+
+    def test_stddev_of_generator(self):
+        assert stddev(x for x in [5.0, 5.0]) == 0.0
+
+    def test_percentile_of_generator(self):
+        assert percentile((x for x in [0.0, 10.0]), 50) == 5.0
+
+    def test_summarize_generator(self):
+        s = summarize(float(x) for x in range(11))
+        assert s.n == 11 and s.p50 == 5.0
+
+    def test_timeseries_bins_generator(self):
+        bins = timeseries_bins(((t / 10, 1.0) for t in range(20)), 1.0)
+        assert bins == [(0.0, 1.0), (1.0, 1.0)]
+
+
+class TestTimeseriesBinsShardSummaries:
+    """timeseries_bins reduces mergeable shard summaries by merging."""
+
+    def test_moments_merge_per_bin(self):
+        from repro.fleet.aggregate import StreamingMoments
+
+        early = StreamingMoments().extend([1.0, 3.0])
+        late_a = StreamingMoments().extend([10.0])
+        late_b = StreamingMoments().extend([20.0, 30.0])
+        bins = timeseries_bins(
+            [(0.2, early), (1.1, late_a), (1.9, late_b)], 1.0)
+        assert [t for t, _ in bins] == [0.0, 1.0]
+        assert bins[0][1].count == 2 and bins[0][1].mean == 2.0
+        assert bins[1][1].count == 3 and bins[1][1].mean == 20.0
+
+    def test_inputs_not_mutated(self):
+        from repro.fleet.aggregate import StreamingMoments
+
+        a = StreamingMoments().extend([1.0])
+        b = StreamingMoments().extend([2.0])
+        timeseries_bins([(0.0, a), (0.5, b)], 1.0)
+        assert a.count == 1 and b.count == 1
+
+
+class TestPercentileDedupe:
+    """core.metrics._percentile is now the analysis.stats implementation."""
+
+    def test_same_object(self):
+        from repro.core.metrics import _percentile
+
+        assert _percentile is percentile
+
+    def test_bit_identical_outputs(self):
+        from repro.core.metrics import _percentile
+
+        cases = [
+            ([0.0, 10.0], 50.0),
+            ([1.0, 2.0, 3.0, 4.0], 95.0),
+            ([0.25] * 7, 37.5),          # constant data: exact, no drift
+            (sorted([3.7, 1.2, 9.9, 0.4, 5.5]), 99.0),
+        ]
+        for data, q in cases:
+            assert _percentile(list(data), q) == percentile(list(data), q)
+        assert math.isnan(_percentile([], 50.0))

@@ -1,0 +1,153 @@
+"""Property tests for the fleet's mergeable streaming statistics.
+
+The core contract: ``merge(agg(A), agg(B))`` must equal ``agg(A + B)``
+— exactly for counts, min/max and histogram bins; up to float
+reassociation for the Welford mean/M2 accumulators.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.aggregate import (
+    Aggregate,
+    FixedBinHistogram,
+    StreamingMoments,
+    approx_equal_moments,
+)
+
+finite = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+sample_lists = st.lists(finite, max_size=60)
+
+
+class TestStreamingMoments:
+    @given(sample_lists, sample_lists)
+    @settings(max_examples=200)
+    def test_merge_equals_onepass(self, a, b):
+        merged = StreamingMoments().extend(a).merge(StreamingMoments().extend(b))
+        onepass = StreamingMoments().extend(a + b)
+        assert merged.count == onepass.count
+        assert approx_equal_moments(merged, onepass, rel=1e-6, abs_tol=1e-6)
+
+    @given(sample_lists)
+    def test_merge_with_empty_is_identity(self, a):
+        m = StreamingMoments().extend(a)
+        before = m.to_dict()
+        m.merge(StreamingMoments())
+        assert m.to_dict() == before
+        empty = StreamingMoments()
+        empty.merge(StreamingMoments().extend(a))
+        assert empty == StreamingMoments().extend(a)
+
+    @given(sample_lists)
+    def test_roundtrip(self, a):
+        m = StreamingMoments().extend(a)
+        assert StreamingMoments.from_dict(json.loads(json.dumps(m.to_dict()))) == m
+
+    def test_mean_and_std(self):
+        m = StreamingMoments().extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert m.mean == pytest.approx(5.0)
+        assert m.std == pytest.approx(2.138, abs=0.01)
+        assert m.minimum == 2.0 and m.maximum == 9.0
+
+    def test_empty_stats(self):
+        m = StreamingMoments()
+        assert m.count == 0 and m.variance == 0.0
+        assert "min" not in m.to_dict()
+
+
+class TestFixedBinHistogram:
+    @given(sample_lists, sample_lists)
+    @settings(max_examples=200)
+    def test_merge_equals_onepass_exactly(self, a, b):
+        h1 = FixedBinHistogram(-1e6, 1e6, 50).extend(a)
+        h2 = FixedBinHistogram(-1e6, 1e6, 50).extend(b)
+        merged = h1.merge(h2)
+        onepass = FixedBinHistogram(-1e6, 1e6, 50).extend(a + b)
+        assert merged.to_dict() == onepass.to_dict()
+
+    @given(sample_lists)
+    def test_percentiles_monotone_and_in_range(self, a):
+        h = FixedBinHistogram(-1e6, 1e6, 64).extend(a)
+        if not a:
+            assert math.isnan(h.p50)
+            return
+        assert h.lo <= h.p50 <= h.p95 <= h.p99 <= h.hi
+
+    def test_percentile_accuracy_within_bin(self):
+        h = FixedBinHistogram(0.0, 100.0, 100)
+        h.extend(float(i) + 0.5 for i in range(100))
+        assert h.p50 == pytest.approx(50.0, abs=h.bin_width)
+        assert h.p95 == pytest.approx(95.0, abs=h.bin_width)
+        assert h.p99 == pytest.approx(99.0, abs=h.bin_width)
+
+    def test_out_of_range_buckets(self):
+        h = FixedBinHistogram(0.0, 1.0, 10)
+        h.extend([-5.0, 0.5, 99.0])
+        assert h.underflow == 1 and h.overflow == 1 and h.total == 3
+        assert h.percentile(0) == h.lo
+        assert h.percentile(100) == h.hi
+
+    def test_incompatible_merge_rejected(self):
+        with pytest.raises(ValueError):
+            FixedBinHistogram(0, 1, 10).merge(FixedBinHistogram(0, 2, 10))
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            FixedBinHistogram(1.0, 1.0, 10)
+        with pytest.raises(ValueError):
+            FixedBinHistogram(0.0, 1.0, 0)
+
+
+def _fill(agg, latencies, tag_count):
+    agg.count("sessions", tag_count)
+    agg.moment("latency").extend(latencies)
+    agg.histogram("latency", 0.0, 10.0, 20).extend(latencies)
+    return agg
+
+
+class TestAggregate:
+    @given(st.lists(st.floats(min_value=0, max_value=10, allow_nan=False),
+                    max_size=30),
+           st.lists(st.floats(min_value=0, max_value=10, allow_nan=False),
+                    max_size=30))
+    @settings(max_examples=100)
+    def test_merge_equals_onepass(self, a, b):
+        merged = _fill(Aggregate(), a, 1).merge(_fill(Aggregate(), b, 1))
+        onepass = _fill(Aggregate(), a + b, 2)
+        assert merged.counts == onepass.counts
+        assert merged.histograms["latency"] == onepass.histograms["latency"]
+        assert approx_equal_moments(merged.moments["latency"],
+                                    onepass.moments["latency"],
+                                    rel=1e-6, abs_tol=1e-6)
+
+    def test_merge_is_keywise_union(self):
+        a = Aggregate()
+        a.count("only_a")
+        a.moment("shared").add(1.0)
+        b = Aggregate()
+        b.count("only_b", 2)
+        b.moment("shared").add(3.0)
+        b.histogram("h", 0, 1, 4).add(0.5)
+        a.merge(b)
+        assert a.counts == {"only_a": 1, "only_b": 2}
+        assert a.moments["shared"].count == 2
+        assert a.histograms["h"].total == 1
+
+    def test_merge_does_not_alias_other_histogram(self):
+        b = Aggregate()
+        b.histogram("h", 0, 1, 4).add(0.5)
+        a = Aggregate()
+        a.merge(b)
+        a.histograms["h"].add(0.25)
+        assert b.histograms["h"].total == 1  # b unchanged
+
+    def test_canonical_json_roundtrip_byte_stable(self):
+        a = _fill(Aggregate(), [0.1, 2.5, 9.9], 3)
+        text = a.to_json()
+        assert Aggregate.from_json(text).to_json() == text
+        assert " " not in text  # canonical: no whitespace

@@ -1,0 +1,153 @@
+"""Fleet runner: serial/parallel equivalence, fault tolerance, cache."""
+
+import pytest
+
+from repro.analysis.report import fleet_report
+from repro.fleet import (
+    Campaign,
+    FaultInjection,
+    ResultCache,
+    run_campaign,
+    run_shard,
+)
+
+FAST_BACKOFF = dict(backoff_base=0.002, backoff_cap=0.02)
+
+
+def tiny_campaign(seeds=2, name="tiny"):
+    return Campaign(name=name, scenario="table2_offload", seeds=seeds,
+                    base_seed=3, grid={"rtt": [0.01, 0.05]},
+                    params={"n_frames": 4})
+
+
+class TestDeterminism:
+    def test_serial_and_pool_reports_byte_identical(self):
+        c = tiny_campaign(seeds=3)  # 6 shards
+        serial = run_campaign(c, workers=1)
+        pooled = run_campaign(c, workers=2)
+        assert serial.aggregate.to_json() == pooled.aggregate.to_json()
+        assert list(serial.per_point) == list(pooled.per_point)
+        for label in serial.per_point:
+            assert (serial.per_point[label].to_json()
+                    == pooled.per_point[label].to_json())
+        assert fleet_report(serial) == fleet_report(pooled)
+
+    def test_repeat_runs_identical(self):
+        c = tiny_campaign()
+        assert (run_campaign(c, workers=1).aggregate.to_json()
+                == run_campaign(c, workers=1).aggregate.to_json())
+
+
+class TestFaultTolerance:
+    def test_transient_fault_is_retried(self):
+        c = tiny_campaign()
+        tag = c.shards()[1].tag
+        faults = FaultInjection(tags=(tag,), mode="raise", fail_attempts=1)
+        r = run_campaign(c, workers=1, faults=faults, **FAST_BACKOFF)
+        assert r.quarantined == []
+        outcome = next(o for o in r.outcomes if o.tag == tag)
+        assert outcome.attempts == 2
+        # retried shard contributes: aggregate matches a clean run
+        clean = run_campaign(c, workers=1)
+        assert r.aggregate.to_json() == clean.aggregate.to_json()
+
+    def test_persistent_fault_quarantined_serial(self):
+        c = tiny_campaign()
+        tag = c.shards()[0].tag
+        faults = FaultInjection(tags=(tag,), mode="raise")
+        r = run_campaign(c, workers=1, faults=faults, max_attempts=3,
+                         **FAST_BACKOFF)
+        assert r.quarantined == [tag]
+        assert r.completed == len(r.outcomes) - 1
+        outcome = next(o for o in r.outcomes if o.tag == tag)
+        assert outcome.attempts == 3 and "injected" in outcome.error
+
+    def test_killed_worker_quarantined_without_failing_campaign(self):
+        c = tiny_campaign()
+        tag = c.shards()[0].tag
+        faults = FaultInjection(tags=(tag,), mode="kill")
+        r = run_campaign(c, workers=2, faults=faults, max_attempts=3,
+                         **FAST_BACKOFF)
+        assert r.quarantined == [tag]          # only the culprit
+        assert r.completed == len(r.outcomes) - 1
+        # the quarantined shard is individually replayable from its tag
+        replayed = run_shard(c, tag)
+        assert replayed.counts["sessions"] == 1
+
+    def test_kill_downgrades_to_raise_in_serial_fallback(self):
+        """A kill-fault must never take down the serial caller."""
+        c = tiny_campaign()
+        tag = c.shards()[0].tag
+        faults = FaultInjection(tags=(tag,), mode="kill")
+        r = run_campaign(c, workers=1, faults=faults, max_attempts=2,
+                         **FAST_BACKOFF)
+        assert r.quarantined == [tag]
+
+    def test_quarantine_excluded_from_merge(self):
+        c = tiny_campaign()
+        tag = c.shards()[0].tag
+        faults = FaultInjection(tags=(tag,), mode="raise")
+        r = run_campaign(c, workers=1, faults=faults, max_attempts=2,
+                         **FAST_BACKOFF)
+        clean = run_campaign(c, workers=1)
+        assert (r.aggregate.counts["sessions"]
+                == clean.aggregate.counts["sessions"] - 1)
+
+    def test_bad_max_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign(tiny_campaign(), max_attempts=0)
+
+
+class TestCache:
+    def test_rerun_is_full_cache_hit(self, tmp_path):
+        c = tiny_campaign()
+        r1 = run_campaign(c, workers=1, cache=ResultCache(tmp_path))
+        assert r1.cache_hits == 0 and r1.cache_misses == len(r1.outcomes)
+        r2 = run_campaign(c, workers=1, cache=ResultCache(tmp_path))
+        assert r2.cache_misses == 0
+        assert r2.cache_hits / len(r2.outcomes) >= 0.95
+        assert all(o.cached for o in r2.outcomes)
+        assert r1.aggregate.to_json() == r2.aggregate.to_json()
+        assert fleet_report(r1) == fleet_report(r2)
+
+    def test_spec_change_invalidates_cache(self, tmp_path):
+        c = tiny_campaign()
+        run_campaign(c, workers=1, cache=ResultCache(tmp_path))
+        changed = tiny_campaign()
+        changed.base_seed = 4
+        r = run_campaign(changed, workers=1, cache=ResultCache(tmp_path))
+        assert r.cache_hits == 0
+
+    def test_quarantined_shards_not_cached(self, tmp_path):
+        c = tiny_campaign()
+        tag = c.shards()[0].tag
+        faults = FaultInjection(tags=(tag,), mode="raise")
+        run_campaign(c, workers=1, cache=ResultCache(tmp_path),
+                     faults=faults, max_attempts=2, **FAST_BACKOFF)
+        # re-run without the fault: only the quarantined shard executes
+        r2 = run_campaign(c, workers=1, cache=ResultCache(tmp_path))
+        assert r2.cache_hits == len(r2.outcomes) - 1
+        assert r2.cache_misses == 1
+        assert r2.quarantined == []
+
+    def test_corrupt_entry_is_a_miss_and_repaired(self, tmp_path):
+        c = tiny_campaign()
+        cache = ResultCache(tmp_path)
+        run_campaign(c, workers=1, cache=cache)
+        victim = cache.shard_path(c, c.shards()[0])
+        victim.write_text("{not json")
+        r = run_campaign(c, workers=1, cache=ResultCache(tmp_path))
+        assert r.cache_misses == 1
+        # repaired on the way through
+        r2 = run_campaign(c, workers=1, cache=ResultCache(tmp_path))
+        assert r2.cache_misses == 0
+
+
+class TestProgress:
+    def test_progress_callback_sees_every_shard(self):
+        seen = []
+        c = tiny_campaign()
+        run_campaign(c, workers=1,
+                     progress=lambda done, total, el: seen.append((done, total)))
+        assert seen[-1] == (len(c.shards()), len(c.shards()))
+        assert [d for d, _ in seen] == sorted(d for d, _ in seen)
