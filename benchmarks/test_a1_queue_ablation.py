@@ -15,7 +15,6 @@ the thin MARTP flows from the bulk upload almost completely while the
 upload still gets the remaining capacity.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.analysis.report import ascii_table, format_time

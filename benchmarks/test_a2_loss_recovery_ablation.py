@@ -14,7 +14,6 @@ toward none (recoveries arrive dead) while FEC and duplication hold —
 the crossover the paper argues for.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.analysis.report import ascii_table

@@ -13,7 +13,6 @@ classless run spreads the pain uniformly, losing critical data — the
 core argument for property (1) of Section VI.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.analysis.report import ascii_table

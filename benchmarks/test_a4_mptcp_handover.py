@@ -10,7 +10,6 @@ bandwidth needs and (2) enhancing WiFi handover.  Both claims measured:
   MPTCP's post-failure goodput ≈ the LTE path rate, single-path ≈ 0.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.analysis.report import ascii_table, format_rate

@@ -11,7 +11,6 @@ ms and delivery is complete, while the cross traffic still gets the
 unreserved remainder.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.analysis.report import ascii_table, format_rate, format_time

@@ -16,7 +16,6 @@ P_local+externalDB and decide whether the orientation archetype meets
 its deadline on a smartphone.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.analysis.report import ascii_table, format_time

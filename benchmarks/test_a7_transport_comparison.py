@@ -19,7 +19,6 @@ Expected shape: control-message p95 latency orders MARTP ≤ QUIC < TCP,
 with TCP's p95 inflated by multiple RTTs of blocking.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.analysis.report import ascii_table, format_time

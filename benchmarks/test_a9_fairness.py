@@ -18,7 +18,6 @@ This benchmark measures all three sides of that statement:
    share back at the cost of queueing latency.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.analysis.report import ascii_table, format_rate, format_time

@@ -14,7 +14,6 @@ a ~15 px error on a 320-wide frame; 20 ms keeps mean error under ~5 px
 latency produces a visually broken overlay.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.analysis.report import Figure, ascii_table, format_time

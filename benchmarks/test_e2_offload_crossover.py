@@ -10,7 +10,6 @@ shrinks as RTT grows, with the crossover for the gaming archetype
 falling well under 75 ms RTT.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.analysis.report import ascii_table, format_time

@@ -18,7 +18,6 @@ from repro.analysis.stats import summarize
 from repro.simnet.engine import Simulator
 from repro.simnet.flows import CBRSource, PacketSink
 from repro.simnet.network import Network
-from repro.simnet.packet import Packet
 from repro.transport.udp import UdpSocket
 from repro.wireless.profiles import FIVE_G, HSPA_PLUS, LTE, WIFI_AC, WIFI_HOME, WIFI_N
 

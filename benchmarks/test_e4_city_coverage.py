@@ -12,7 +12,6 @@ Expected shape: in-range ~99 %, usable 50-65 %, cellular > 95 %, and
 dozens of handovers per hour.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.analysis.report import ascii_table

@@ -14,7 +14,6 @@ Expected shape: metered-byte fraction orders 1 < 2 < 3; delivery during
 the long outage orders 1 < 2 <= 3; overall MOS orders 1 <= 2 <= 3.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.analysis.report import ascii_table

@@ -10,7 +10,6 @@ monotonically reduces the number of datacenters; tight AR deadlines
 (7 ms class) need several times more sites than relaxed ones.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.analysis.report import ascii_table, format_time

@@ -12,7 +12,6 @@ modest MOS gain; WiFi-preferred stays inside every plan's quota — the
 economics that make it the sensible default.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.analysis.report import ascii_table

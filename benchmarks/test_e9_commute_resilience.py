@@ -14,7 +14,6 @@ into RTO backoff and also recovers — but MARTP kept *serving* (shedding
 video) where TCP served nothing.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.analysis.report import Figure, ascii_table, format_rate

@@ -17,7 +17,6 @@ budget trace steps down like TCP's cwnd but per-class service degrades
 instead of pausing.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.analysis.report import Figure, ascii_table, format_rate

@@ -12,7 +12,6 @@ multipath splits classes by path; LTE-Direct and WiFi-Direct are both
 viable (LTE-Direct slightly faster over distance).
 """
 
-import pytest
 from conftest import run_once
 
 from repro.analysis.report import ascii_table, format_time

@@ -10,6 +10,8 @@ Usage (also via ``python -m repro``):
     python -m repro fleet smoke -w 2     # a named campaign on 2 workers
     python -m repro show T2              # print a saved benchmark report
     python -m repro show cell256         # fleet reports are found too
+    python -m repro lint src             # simlint determinism checks
+    python -m repro selftest             # double-run trace-fingerprint diff
 
 The demos are self-contained, seconds-long simulations over the public
 API; the full experiment suite lives in ``benchmarks/`` (run with
@@ -140,6 +142,11 @@ def cmd_list(_args: argparse.Namespace) -> int:
     else:
         print("  (none — run `pytest benchmarks/ --benchmark-only` "
               "or `python -m repro fleet` first)")
+    print("\ntooling:")
+    print("  lint         simlint determinism & simulation-safety checks "
+          "(docs/LINT.md)")
+    print("  selftest     determinism smoke: double-run one shard, diff "
+          "trace fingerprints")
     return 0
 
 
@@ -232,6 +239,46 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run as lint_run
+
+    return lint_run(args)
+
+
+def cmd_selftest(args: argparse.Namespace) -> int:
+    """Determinism smoke: run one shard twice, diff trace fingerprints.
+
+    This is the check behind simlint's claim that "a clean tree is
+    reproducible": the campaign shard exercises the engine, links,
+    transports and aggregation end to end, and the two runs must hash
+    to the same canonical JSON.  CI runs it next to the lint gate.
+    """
+    import hashlib
+
+    from repro.fleet import demo_campaigns, run_shard
+
+    campaigns = demo_campaigns()
+    campaign = campaigns.get(args.campaign)
+    if campaign is None:
+        print(f"unknown campaign {args.campaign!r}; "
+              f"try: {', '.join(campaigns)}", file=sys.stderr)
+        return 2
+    shard = campaign.shards()[0]
+    digests = []
+    for attempt in (1, 2):
+        payload = run_shard(campaign, shard.tag).to_json()
+        digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        digests.append(digest)
+        print(f"[selftest] run {attempt}: shard {shard.tag} "
+              f"fingerprint {digest[:16]}")
+    if digests[0] != digests[1]:
+        print("[selftest] FAIL: identical (campaign, seed, shard) produced "
+              "different aggregates — determinism is broken", file=sys.stderr)
+        return 1
+    print("[selftest] OK: byte-identical aggregates across two runs")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -269,6 +316,18 @@ def main(argv=None) -> int:
     fleet.add_argument("--quiet", action="store_true",
                        help="suppress the progress/ETA line")
     fleet.set_defaults(func=cmd_fleet)
+    lint = sub.add_parser(
+        "lint", help="simlint: determinism & simulation-safety checks")
+    from repro.lint.cli import configure_parser as _configure_lint
+    _configure_lint(lint)
+    lint.set_defaults(func=cmd_lint)
+    selftest = sub.add_parser(
+        "selftest", help="determinism smoke: run one shard twice and "
+                         "diff trace fingerprints")
+    selftest.add_argument("campaign", nargs="?", default="smoke",
+                          help="campaign whose first shard to double-run "
+                               "(default: smoke)")
+    selftest.set_defaults(func=cmd_selftest)
     args = parser.parse_args(argv)
     try:
         return args.func(args)

@@ -24,10 +24,10 @@ unaltered at all cost".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.core.traffic import Priority, StreamSpec
+from repro.core.traffic import StreamSpec
 
 
 @dataclass

@@ -10,10 +10,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, List, TYPE_CHECKING
 
 from repro.analysis.stats import percentile as _stats_percentile
-from repro.core.traffic import Priority, StreamSpec, TrafficClass
+from repro.core.traffic import Priority, TrafficClass
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.protocol import MartpReceiver, MartpSender

@@ -13,7 +13,7 @@ pipeline would otherwise use).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 from scipy import ndimage

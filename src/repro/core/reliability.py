@@ -16,8 +16,7 @@ second path (handled by the scheduler).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.core.traffic import Message, StreamSpec, TrafficClass
 

@@ -18,8 +18,8 @@ path quality (RTT, usability) is fed by the protocol's feedback loop.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.core.traffic import Message, Priority, StreamSpec, TrafficClass
 

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.congestion import RateController
-from repro.core.metrics import ClassReport, QoeReport, class_report
+from repro.core.metrics import QoeReport, class_report
 from repro.core.protocol import MartpReceiver, MartpSender, PathEndpoint
 from repro.core.scheduler import MultipathPolicy, PathState
 from repro.core.traffic import StreamSpec, mar_baseline_streams

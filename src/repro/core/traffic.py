@@ -25,8 +25,8 @@ video interframes (full best effort/lowest).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List
 
 
 class TrafficClass(enum.Enum):

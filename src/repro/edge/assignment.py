@@ -9,7 +9,7 @@ starves the most constrained users.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from repro.edge.topology import CityTopology

@@ -15,7 +15,7 @@ user RTT) against "more sync" (higher replication cost and staleness).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.simnet.network import Network
 from repro.simnet.packet import Packet

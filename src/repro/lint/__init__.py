@@ -1,0 +1,37 @@
+"""simlint: AST-based determinism & simulation-safety analysis.
+
+The reproduction's headline guarantees — replayable traces,
+byte-identical serial/pool fleet aggregates, content-addressed shard
+caching — all reduce to one invariant: sim-domain code is a pure
+function of ``(scenario, seed)``.  This package enforces that invariant
+mechanically with six rules (SIM001–SIM006) over the package's own
+source, run in CI as a hard gate.  See ``docs/LINT.md`` for the rule
+catalogue and ``python -m repro lint --explain SIM001`` for rationale.
+
+Public surface: :func:`lint_source` / :func:`lint_paths` for
+programmatic use (tests), :class:`Finding`, the :data:`RULES`
+registry, and the baseline helpers.
+"""
+
+from repro.lint.analyzer import PARSE_ERROR_RULE, lint_paths, lint_source
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.domains import Domain, classify
+from repro.lint.findings import Finding
+from repro.lint.rules import RULES, Rule, all_rules
+from repro.lint.suppress import Suppressions
+
+__all__ = [
+    "Domain",
+    "Finding",
+    "PARSE_ERROR_RULE",
+    "RULES",
+    "Rule",
+    "Suppressions",
+    "all_rules",
+    "apply_baseline",
+    "classify",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "write_baseline",
+]

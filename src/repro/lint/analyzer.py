@@ -1,0 +1,107 @@
+"""File walking and per-module rule driving.
+
+:func:`lint_source` is the core (and the unit-test entry point): parse
+one module, classify its domain, run every applicable rule, drop
+suppressed findings.  :func:`lint_paths` maps that over files and
+directories, producing a sorted, stable finding list.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import pathlib
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.lint.domains import Domain, classify
+from repro.lint.findings import Finding
+from repro.lint.rules import RULES, RuleContext
+from repro.lint.suppress import Suppressions
+
+#: Rule code reserved for files the parser rejects.  Parse errors are
+#: never suppressible — a file that does not parse cannot be reasoned
+#: about at all.
+PARSE_ERROR_RULE = "SIM000"
+
+
+def lint_source(source: str, path: str,
+                rules: Optional[Iterable[str]] = None,
+                domain: Optional[Domain] = None) -> List[Finding]:
+    """Lint one module given as a string.
+
+    ``path`` determines the domain (unless ``domain`` overrides it) and
+    is recorded verbatim in findings.  ``rules`` restricts checking to
+    the given codes.
+    """
+    norm = pathlib.PurePath(path).as_posix()
+    try:
+        tree = ast.parse(source, filename=norm)
+    except (SyntaxError, ValueError) as exc:
+        line = getattr(exc, "lineno", 1) or 1
+        col = (getattr(exc, "offset", 1) or 1)
+        return [Finding(path=norm, line=line, col=col, rule=PARSE_ERROR_RULE,
+                        message=f"could not parse: {exc.msg if hasattr(exc, 'msg') else exc}")]
+    if domain is None:
+        domain = classify(norm)
+    suppressions = Suppressions.from_source(source)
+    ctx = RuleContext(norm, domain, tree, source)
+    selected = sorted(rules) if rules is not None else sorted(RULES)
+    findings: List[Finding] = []
+    for code in selected:
+        rule = RULES[code]
+        if not rule.applies(domain):
+            continue
+        for finding in rule.check(ctx):
+            if not suppressions.is_suppressed(finding.rule, finding.line):
+                findings.append(finding)
+    findings.sort()
+    return findings
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[pathlib.Path]:
+    """Expand files and directories into a sorted stream of .py files."""
+    seen = set()
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            candidates = sorted(p for p in path.rglob("*.py")
+                                if "__pycache__" not in p.parts)
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            key = candidate.resolve()
+            if key not in seen:
+                seen.add(key)
+                yield candidate
+
+
+def display_path(path: pathlib.Path, root: Optional[pathlib.Path] = None) -> str:
+    """Repo-relative posix path for findings and baselines."""
+    root = root or pathlib.Path.cwd()
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = pathlib.Path(os.path.relpath(path, root))
+    return rel.as_posix()
+
+
+def lint_paths(paths: Sequence[str],
+               rules: Optional[Iterable[str]] = None,
+               root: Optional[pathlib.Path] = None,
+               ) -> Tuple[List[Finding], int]:
+    """Lint every python file under ``paths``.
+
+    Returns ``(findings, files_checked)``; findings are sorted by
+    ``(path, line, col, rule)`` so output and baselines are stable.
+    """
+    findings: List[Finding] = []
+    checked = 0
+    for file_path in iter_python_files(paths):
+        checked += 1
+        source = file_path.read_text(encoding="utf-8")
+        rel = display_path(file_path, root)
+        findings.extend(lint_source(source, rel, rules=rules))
+    findings.sort()
+    return findings, checked

@@ -1,0 +1,74 @@
+"""Baseline files: grandfather existing findings without weakening the gate.
+
+A baseline is a checked-in JSON list of finding keys
+``(path, rule, line)``.  ``--baseline FILE`` subtracts exactly those
+entries from the run's findings — nothing more: an entry matches one
+concrete finding or it is reported as *unused* (so stale entries are
+visible and can be pruned, and a baseline cannot quietly suppress new
+violations that merely look similar).
+
+The intended lifecycle: ``--write-baseline`` once when adopting the
+tool on a dirty tree, then shrink the file to empty as violations are
+fixed.  The shipped tree's baseline is empty; CI fails on any
+non-baselined finding.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+Key = Tuple[str, str, int]
+
+
+def write_baseline(path: pathlib.Path, findings: Sequence[Finding]) -> None:
+    entries = [
+        {"path": f.path, "rule": f.rule, "line": f.line, "message": f.message}
+        for f in sorted(findings)
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+def load_baseline(path: pathlib.Path) -> List[Key]:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: not a simlint baseline (expected "
+            f"version {BASELINE_VERSION})")
+    keys: List[Key] = []
+    for entry in data.get("entries", []):
+        keys.append((str(entry["path"]), str(entry["rule"]),
+                     int(entry["line"])))
+    return keys
+
+
+def apply_baseline(findings: Sequence[Finding], baseline: Sequence[Key],
+                   ) -> Tuple[List[Finding], List[Finding], List[Key]]:
+    """Partition findings into (new, baselined) and report unused keys.
+
+    Each baseline entry consumes at most one finding, so duplicated
+    entries do not mask multiple violations on the same line.
+    """
+    budget: Dict[Key, int] = {}
+    for key in baseline:
+        budget[key] = budget.get(key, 0) + 1
+    new: List[Finding] = []
+    matched: List[Finding] = []
+    for finding in findings:
+        key = finding.key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            matched.append(finding)
+        else:
+            new.append(finding)
+    unused: List[Key] = []
+    for key, remaining in sorted(budget.items()):
+        unused.extend([key] * remaining)
+    return new, matched, unused

@@ -1,0 +1,130 @@
+"""The ``repro lint`` command.
+
+Exit codes: 0 clean (or explain/list/write-baseline), 1 findings,
+2 usage errors.  ``--format=json`` emits a machine-readable report for
+CI; text output is one GCC-style line per finding plus a summary on
+stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.lint.analyzer import PARSE_ERROR_RULE, lint_paths
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.findings import Finding
+from repro.lint.rules import RULES, all_rules
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options; shared by `repro lint` and standalone use."""
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="subtract the findings recorded in FILE "
+                             "(exactly those; unused entries are reported)")
+    parser.add_argument("--write-baseline", metavar="FILE", default=None,
+                        help="record the current findings into FILE and "
+                             "exit 0 (adoption aid — shrink it over time)")
+    parser.add_argument("--select", metavar="RULES", default=None,
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--explain", metavar="RULE", default=None,
+                        help="print one rule's rationale and examples")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list rule codes and titles")
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.explain:
+        code = args.explain.upper()
+        rule = RULES.get(code)
+        if rule is None:
+            print(f"unknown rule {args.explain!r}; known: "
+                  f"{', '.join(sorted(RULES))}", file=sys.stderr)
+            return 2
+        print(rule.explain(), end="")
+        return 0
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.title}")
+        return 0
+
+    selected = None
+    if args.select:
+        selected = [code.strip().upper() for code in args.select.split(",")
+                    if code.strip()]
+        unknown = [code for code in selected if code not in RULES]
+        if unknown:
+            print(f"unknown rule(s): {', '.join(unknown)}; known: "
+                  f"{', '.join(sorted(RULES))}", file=sys.stderr)
+            return 2
+
+    findings, checked = lint_paths(args.paths, rules=selected)
+    if checked == 0:
+        print(f"no python files under: {', '.join(args.paths)}",
+              file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        write_baseline(pathlib.Path(args.write_baseline), findings)
+        print(f"[simlint] wrote {len(findings)} finding(s) to "
+              f"{args.write_baseline}", file=sys.stderr)
+        return 0
+
+    baselined: List[Finding] = []
+    unused = []
+    if args.baseline:
+        try:
+            keys = load_baseline(pathlib.Path(args.baseline))
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        findings, baselined, unused = apply_baseline(findings, keys)
+
+    parse_errors = any(f.rule == PARSE_ERROR_RULE for f in findings)
+
+    if args.format == "json":
+        payload = {
+            "files_checked": checked,
+            "findings": [f.to_dict() for f in findings],
+            "baselined": len(baselined),
+            "unused_baseline": [
+                {"path": p, "rule": r, "line": line} for p, r, line in unused
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in findings:
+            print(finding.render())
+        for path, rule, line in unused:
+            print(f"[simlint] unused baseline entry: {path}:{line} {rule}",
+                  file=sys.stderr)
+        summary = (f"[simlint] {checked} file(s), {len(findings)} finding(s)"
+                   + (f", {len(baselined)} baselined" if args.baseline else ""))
+        print(summary, file=sys.stderr)
+
+    if parse_errors:
+        return 2
+    return 1 if findings else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="simlint: determinism & simulation-safety checks "
+                    "(see docs/LINT.md)")
+    configure_parser(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

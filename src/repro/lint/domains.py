@@ -1,0 +1,52 @@
+"""Sim-domain vs harness classification.
+
+The determinism rules only make sense inside the *simulation domain*:
+code whose behaviour must be a pure function of ``(scenario, seed)``.
+Harness code — the CLI, the fleet process-pool runner, benchmarks,
+tests — legitimately reads wall clocks (progress/ETA lines) and may use
+OS-level entropy, so SIM001/SIM002 exempt it.
+
+The split is by path, mirroring the package layout:
+
+- ``fleet/`` — multi-process campaign harness (wall-clock ETA, worker
+  timeouts);
+- ``cli.py`` / ``__main__.py`` — user-facing entry points;
+- ``benchmarks/``, ``tests/``, ``examples/`` — measurement and test
+  harnesses outside the package;
+- ``lint/`` — this tool itself.
+
+Everything else under ``src/repro`` (simnet, wireless, transport, core,
+mar, vision, edge, analysis) is sim-domain.
+"""
+
+from __future__ import annotations
+
+import enum
+import pathlib
+from typing import Union
+
+
+class Domain(enum.Enum):
+    SIM = "sim"
+    HARNESS = "harness"
+
+
+#: Any path containing one of these directory components is harness.
+HARNESS_DIR_PARTS = frozenset({
+    "fleet", "lint", "benchmarks", "tests", "examples", "scripts", "docs",
+})
+
+#: Files that are harness regardless of location.
+HARNESS_FILENAMES = frozenset({
+    "cli.py", "__main__.py", "conftest.py", "setup.py",
+})
+
+
+def classify(path: Union[str, pathlib.PurePath]) -> Domain:
+    """Classify a (repo-relative or absolute) path into a domain."""
+    pure = pathlib.PurePosixPath(str(path).replace("\\", "/"))
+    if pure.name in HARNESS_FILENAMES:
+        return Domain.HARNESS
+    if any(part in HARNESS_DIR_PARTS for part in pure.parts):
+        return Domain.HARNESS
+    return Domain.SIM

@@ -1,0 +1,57 @@
+"""The :class:`Finding` record shared by every simlint rule.
+
+A finding is a frozen value object so rules can emit them freely and
+the driver can sort, deduplicate, serialize and compare them against a
+baseline without worrying about identity.  The *baseline key* is
+``(path, rule, line)`` — column and message are advisory (messages may
+be reworded between versions without invalidating a checked-in
+baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``path`` is stored repo-relative with forward slashes so findings
+    (and therefore baselines) are stable across machines and operating
+    systems.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def key(self) -> Tuple[str, str, int]:
+        """Identity used for baseline matching: ``(path, rule, line)``."""
+        return (self.path, self.rule, self.line)
+
+    def render(self) -> str:
+        """GCC-style one-liner: ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Finding":
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),            # type: ignore[arg-type]
+            col=int(data.get("col", 0)),       # type: ignore[arg-type]
+            rule=str(data["rule"]),
+            message=str(data.get("message", "")),
+        )

@@ -1,0 +1,89 @@
+"""Suppression comments: ``# simlint: disable=SIM001``.
+
+Two scopes:
+
+- **line**: a trailing (or standalone) comment on the physical line a
+  finding points at suppresses the named rules on that line only::
+
+      t = time.monotonic()  # simlint: disable=SIM002 -- harness timer
+
+  ``# simlint: disable`` with no rule list suppresses every rule on
+  that line.
+
+- **file**: a standalone comment anywhere in the file (conventionally
+  near the top) suppresses the named rules for the whole file::
+
+      # simlint: disable-file=SIM004
+
+  File-level suppression *requires* an explicit rule list; there is no
+  blanket ``disable-file`` — a file that needs every rule off should be
+  moved to the harness allowlist instead (see :mod:`repro.lint.domains`).
+
+Anything after the rule list is ignored, so a ``-- reason`` note is
+encouraged.  Suppressions are parsed with :mod:`tokenize`, so comments
+inside strings do not count.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Optional
+
+#: Sentinel meaning "all rules" for a line-level blanket disable.
+ALL_RULES = "*"
+
+_LINE_RE = re.compile(
+    r"#\s*simlint:\s*disable(?:=(?P<rules>[A-Za-z0-9_,\s]+?))?\s*(?:--.*)?$"
+)
+_FILE_RE = re.compile(
+    r"#\s*simlint:\s*disable-file=(?P<rules>[A-Za-z0-9_,\s]+?)\s*(?:--.*)?$"
+)
+
+
+def _parse_rules(raw: Optional[str]) -> FrozenSet[str]:
+    if raw is None:
+        return frozenset({ALL_RULES})
+    rules = frozenset(r.strip().upper() for r in raw.split(",") if r.strip())
+    return rules or frozenset({ALL_RULES})
+
+
+class Suppressions:
+    """Parsed suppression state for one source file."""
+
+    def __init__(self) -> None:
+        self.file_rules: FrozenSet[str] = frozenset()
+        self.line_rules: Dict[int, FrozenSet[str]] = {}
+
+    @classmethod
+    def from_source(cls, source: str) -> "Suppressions":
+        sup = cls()
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for tok in tokens:
+                if tok.type != tokenize.COMMENT:
+                    continue
+                file_m = _FILE_RE.search(tok.string)
+                if file_m:
+                    sup.file_rules |= _parse_rules(file_m.group("rules"))
+                    continue
+                line_m = _LINE_RE.search(tok.string)
+                if line_m:
+                    line = tok.start[0]
+                    existing = sup.line_rules.get(line, frozenset())
+                    sup.line_rules[line] = existing | _parse_rules(
+                        line_m.group("rules"))
+        except tokenize.TokenError:
+            # The AST parse will report the real problem; suppressions
+            # found before the tokenizer gave up still apply.
+            pass
+        return sup
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if rule in self.file_rules:
+            return True
+        rules = self.line_rules.get(line)
+        if rules is None:
+            return False
+        return ALL_RULES in rules or rule in rules

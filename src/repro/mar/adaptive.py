@@ -20,13 +20,13 @@ Two pieces the static strategies in :mod:`repro.mar.offload` lack:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.mar.application import MarApplication
 from repro.mar.decision import DecisionEngine
-from repro.mar.devices import CLOUD, Device
+from repro.mar.devices import Device
 from repro.mar.offload import (
     ENCODE_FRACTION,
     TRACKING_FRACTION,
@@ -156,7 +156,7 @@ class AdaptiveExecutor(OffloadExecutor):
     def _decide_loop(self) -> None:
         self.engine.decide(now=self.sim.now)
         self.strategy_timeline.append((self.sim.now, self.engine.current.name))
-        if self._frame_index < getattr(self, "n_frames", 0) or self.sim.now == 0.0:
+        if self._frame_index < getattr(self, "n_frames", 0) or self.sim.now <= 0.0:
             self.sim.schedule(self.decide_interval, self._decide_loop)
 
     def _on_packet(self, packet) -> None:

@@ -18,8 +18,8 @@ consistent with the paper's discussion.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 
 @dataclass(frozen=True)

@@ -10,7 +10,7 @@ P_local+externalDB".
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import Iterable, Tuple
 
 
 class ObjectCache:

@@ -21,8 +21,8 @@ that loop:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.mar.application import MarApplication
 from repro.mar.compute import ExecutionBudget, local_delay, offloading_delay

@@ -10,7 +10,7 @@ energy model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 GHZ = 1e9

@@ -9,7 +9,7 @@ discarded... until degradation demands it).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, Tuple
 
 
 @dataclass(frozen=True)

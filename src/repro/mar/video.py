@@ -20,7 +20,7 @@ the reference frames form the loss-protected class.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, Tuple
 
 #: Estimated optic-nerve payload for the foveal region (Section III-B).
 RETINA_RATE_RANGE_BPS = (6e6, 10e6)

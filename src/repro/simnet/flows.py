@@ -8,9 +8,8 @@ bulk source that keeps a target backlog of packets in flight.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Optional
 
-from repro.simnet.engine import Simulator
 from repro.simnet.node import Host
 from repro.simnet.packet import Packet
 from repro.simnet.trace import FlowStats

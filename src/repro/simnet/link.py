@@ -11,8 +11,7 @@ real wireless access networks (Section IV-A) via an AR(1) rate process.
 
 from __future__ import annotations
 
-import random
-from typing import Callable, Optional, TYPE_CHECKING
+from typing import Optional, TYPE_CHECKING
 
 from repro.simnet.engine import Simulator
 from repro.simnet.packet import Packet

@@ -13,8 +13,7 @@ the inside of the network on a fixed tick:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.simnet.engine import Simulator
 from repro.simnet.link import Link

@@ -8,7 +8,7 @@ by benchmarks (minimum RTT, bottleneck rate).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import networkx as nx
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from collections import OrderedDict, deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, Optional, Tuple
 
 from repro.simnet.packet import Packet
 

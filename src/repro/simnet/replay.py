@@ -15,7 +15,6 @@ from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.simnet.engine import Simulator
 from repro.simnet.link import Link
-from repro.simnet.queues import QueueDiscipline
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simnet.node import Node

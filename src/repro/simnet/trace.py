@@ -9,8 +9,8 @@ events for debugging and fine-grained assertions in tests.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.simnet.packet import Packet
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Callable, Optional
 
 from repro.simnet.node import Host
 from repro.simnet.packet import Packet

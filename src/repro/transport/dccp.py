@@ -12,8 +12,7 @@ ablation benchmarks.
 from __future__ import annotations
 
 import math
-from typing import Callable, Deque, List, Optional, Tuple
-from collections import deque
+from typing import Callable, List, Optional, Tuple
 
 from repro.simnet.node import Host
 from repro.simnet.packet import IP_UDP_HEADER, Packet

@@ -17,7 +17,7 @@ are implemented here on 188-byte transport-stream packets:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 TS_PACKET_BYTES = 188

@@ -9,7 +9,7 @@ directly trading latency (buffer depth) for frame-loss (late frames).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.simnet.node import Host
 from repro.simnet.packet import Packet

@@ -18,15 +18,15 @@ works).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.vision.features import Keypoint, describe, descriptor_size_bytes, detect_corners
-from repro.vision.homography import RansacResult, ransac_homography
+from repro.vision.homography import ransac_homography
 from repro.vision.matching import Match, match_descriptors, match_points
-from repro.vision.tracking import Tracker, TrackResult
+from repro.vision.tracking import Tracker
 
 # Cycle-cost constants (cycles per unit of work).
 CYCLES_PER_PIXEL_DETECT = 450.0       # gradients + 3 gaussian filters + NMS

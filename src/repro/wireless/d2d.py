@@ -15,7 +15,6 @@ encodes the energy cross-over reported in [40].
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
 
 from repro.simnet.link import Link
 from repro.simnet.network import Network

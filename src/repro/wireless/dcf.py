@@ -22,7 +22,7 @@ anomaly emerges here too, now with collision losses on top.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.simnet.engine import Simulator
 

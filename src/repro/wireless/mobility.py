@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import List
 
 
 @dataclass(frozen=True)

@@ -26,7 +26,7 @@ WiFi-Direct 500 (D2D, ~200 m)          symmetric                <10
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.simnet.link import VariableRateLink

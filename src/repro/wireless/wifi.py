@@ -17,7 +17,7 @@ validation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.simnet.engine import Simulator
 

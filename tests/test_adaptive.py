@@ -5,7 +5,6 @@ import pytest
 
 from repro.mar.adaptive import AdaptiveExecutor, AdaptiveTrackingOffload
 from repro.mar.application import APP_ARCHETYPES
-from repro.mar.decision import DecisionEngine
 from repro.mar.devices import SMART_GLASSES, SMARTPHONE
 from repro.simnet.engine import Simulator
 from repro.simnet.network import Network

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.mar.application import APP_ARCHETYPES, MarApplication
+from repro.mar.application import APP_ARCHETYPES
 from repro.mar.devices import (
     CLOUD,
     DESKTOP,

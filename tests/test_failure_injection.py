@@ -10,9 +10,7 @@ plans with snapshot/restore semantics) rather than by mutating
 ``link.loss`` in scheduled lambdas.
 """
 
-import pytest
 
-from repro.core.metrics import mos_score
 from repro.core.scheduler import MultipathPolicy
 from repro.core.session import OffloadSession, ScenarioBuilder
 from repro.simnet.engine import Simulator

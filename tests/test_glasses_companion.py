@@ -11,7 +11,6 @@ the bandwidth bottleneck (full-frame offload can't fit; feature offload
 can), while the latency overhead of the extra hop is modest.
 """
 
-import pytest
 
 from repro.mar.application import APP_ARCHETYPES
 from repro.mar.devices import CLOUD, SMART_GLASSES

@@ -7,15 +7,8 @@ QoE feeding economics — the way a downstream user would actually
 compose the library.
 """
 
-import numpy as np
-import pytest
 
-from repro.core import (
-    MultipathPolicy,
-    OffloadSession,
-    ScenarioBuilder,
-    mos_score,
-)
+from repro.core import OffloadSession, ScenarioBuilder, mos_score
 from repro.edge import (
     CityTopology,
     PlacementProblem,
@@ -30,7 +23,6 @@ from repro.mar import (
     SMARTPHONE,
     AdaptiveTrackingOffload,
     DecisionEngine,
-    FeatureOffload,
     FullOffload,
     LocalOnly,
     OffloadExecutor,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.simnet.engine import Simulator
 from repro.simnet.link import DuplexLink, Link, VariableRateLink
-from repro.simnet.node import Host
 from repro.simnet.packet import Packet
 from repro.simnet.queues import DropTailQueue
 

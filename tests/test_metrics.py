@@ -1,6 +1,5 @@
 """Unit tests for QoS/QoE metrics."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Targeted tests for corners the main suites touch only in passing."""
 
-import pytest
 
 from repro.simnet.engine import Simulator
 from repro.simnet.flows import CBRSource, PacketSink

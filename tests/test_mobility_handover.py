@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.wireless.handover import AccessPoint, ConnectivityTrace, CoverageMap, TickState
+from repro.wireless.handover import AccessPoint, ConnectivityTrace, CoverageMap
 from repro.wireless.mobility import RandomWaypoint, Waypoint
 
 

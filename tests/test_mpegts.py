@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.transport.mpegts import TS_PAYLOAD_BYTES, TsDemux, TsMux, TsPacket
+from repro.transport.mpegts import TS_PAYLOAD_BYTES, TsDemux, TsMux
 
 
 def mux_stream(rows=4, cols=4, pids=(1,), bytes_per_pid=None):

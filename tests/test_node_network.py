@@ -4,7 +4,7 @@ import pytest
 
 from repro.simnet.engine import Simulator
 from repro.simnet.network import Network
-from repro.simnet.node import Host, Router
+from repro.simnet.node import Host
 from repro.simnet.packet import Packet
 
 

@@ -9,7 +9,6 @@ from repro.simnet.monitor import LinkMonitor, QueueMonitor
 from repro.simnet.network import Network
 from repro.simnet.queues import DropTailQueue
 from repro.vision.pose import (
-    Pose,
     decompose_homography,
     default_intrinsics,
     homography_from_pose,

@@ -10,8 +10,6 @@ from repro.wireless.profiles import (
     HSPA_PLUS,
     LTE,
     LTE_DIRECT,
-    MAR_MAX_RTT,
-    MAR_MIN_UPLINK_BPS,
     WIFI_AC,
     WIFI_DIRECT,
     WIFI_HOME,

@@ -3,10 +3,9 @@
 import math
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.analysis.stats import mean, percentile, summarize
+from repro.analysis.stats import percentile, summarize
 from repro.core.degradation import DegradationController
 from repro.core.reliability import FecDecoder, FecEncoder
 from repro.core.traffic import Message, Priority, StreamSpec, TrafficClass

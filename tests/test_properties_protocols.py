@@ -1,6 +1,5 @@
 """Property-based tests on protocol-level invariants (hypothesis)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.protocol import MartpReceiver, MartpSender, PathEndpoint

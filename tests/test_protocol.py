@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.congestion import RateController
 from repro.core.protocol import MartpReceiver, MartpSender, PathEndpoint
 from repro.core.scheduler import MultipathPolicy, PathState
 from repro.core.traffic import Priority, StreamSpec, TrafficClass, mar_baseline_streams

@@ -5,7 +5,6 @@ import pytest
 from repro.core.metrics import mos_score
 from repro.core.scheduler import MultipathPolicy
 from repro.core.session import OffloadSession, ScenarioBuilder
-from repro.core.traffic import TrafficClass
 
 
 class TestScenarioBuilder:

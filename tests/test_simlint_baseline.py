@@ -1,0 +1,101 @@
+"""Baseline round-trip and subtraction-exactness tests.
+
+The contract under test: ``--baseline`` suppresses *exactly* its
+entries — each entry matches at most one concrete finding, stale
+entries surface as unused, and new findings (even on the same line as
+a baselined one, for a different rule) still fail the gate.
+"""
+
+import json
+import pathlib
+
+from repro.lint import (
+    Finding,
+    apply_baseline,
+    lint_source,
+    load_baseline,
+    write_baseline,
+)
+
+SIM_PATH = "src/repro/simnet/fake_module.py"
+
+DIRTY = (
+    "import time\n"
+    "import random\n"
+    "t = time.time()\n"
+    "x = random.random()\n"
+)
+
+
+def findings_for(src: str):
+    return lint_source(src, SIM_PATH)
+
+
+def test_write_then_load_round_trips(tmp_path):
+    findings = findings_for(DIRTY)
+    assert findings, "fixture must produce findings"
+    path = tmp_path / "baseline.json"
+    write_baseline(path, findings)
+    keys = load_baseline(path)
+    assert keys == [f.key() for f in sorted(findings)]
+
+
+def test_baseline_suppresses_exactly_its_entries(tmp_path):
+    findings = findings_for(DIRTY)
+    path = tmp_path / "baseline.json"
+    write_baseline(path, findings)
+    new, matched, unused = apply_baseline(findings, load_baseline(path))
+    assert new == []
+    assert sorted(matched) == sorted(findings)
+    assert unused == []
+
+
+def test_new_finding_not_masked_by_baseline(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, findings_for(DIRTY))
+    dirtier = DIRTY + "y = random.randint(0, 9)\n"
+    new, matched, unused = apply_baseline(
+        findings_for(dirtier), load_baseline(path))
+    assert len(new) == 1
+    assert new[0].rule == "SIM001" and new[0].line == 5
+    assert unused == []
+
+
+def test_stale_entries_reported_unused(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, findings_for(DIRTY))
+    clean = "def f(sim):\n    return sim.now\n"
+    new, matched, unused = apply_baseline(
+        findings_for(clean), load_baseline(path))
+    assert new == [] and matched == []
+    assert len(unused) == len(findings_for(DIRTY))
+
+
+def test_each_entry_consumes_one_finding():
+    finding = Finding(path=SIM_PATH, line=3, col=1, rule="SIM002",
+                      message="m")
+    twice = [finding, Finding(path=SIM_PATH, line=3, col=9, rule="SIM002",
+                              message="m2")]
+    # One baseline entry, two findings on the same (path, rule, line):
+    # only one may be absorbed.
+    new, matched, unused = apply_baseline(twice, [finding.key()])
+    assert len(matched) == 1 and len(new) == 1 and unused == []
+
+
+def test_rejects_foreign_json(tmp_path):
+    path = tmp_path / "nope.json"
+    path.write_text(json.dumps({"something": "else"}))
+    try:
+        load_baseline(path)
+    except ValueError as exc:
+        assert "baseline" in str(exc)
+    else:  # pragma: no cover - failure path
+        raise AssertionError("expected ValueError")
+
+
+def test_shipped_baseline_is_empty_and_valid():
+    repo_root = pathlib.Path(__file__).resolve().parents[1]
+    keys = load_baseline(repo_root / "simlint-baseline.json")
+    assert keys == [], (
+        "the shipped tree must be simlint-clean; grandfathered findings "
+        "need a justification in docs/LINT.md")

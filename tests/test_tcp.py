@@ -5,7 +5,7 @@ import pytest
 from repro.simnet.engine import Simulator
 from repro.simnet.network import Network
 from repro.simnet.queues import DropTailQueue
-from repro.transport.tcp import CONG_AVOID, FAST_RECOVERY, SLOW_START, TcpConnection, TcpListener
+from repro.transport.tcp import TcpConnection, TcpListener
 
 
 def make_path(down=10e6, up=10e6, delay=0.01, loss=0.0, queue_up=None, queue_down=None):

@@ -5,7 +5,6 @@ import pytest
 from repro.simnet.engine import Simulator
 from repro.wireless.wifi import (
     FRAME_OVERHEAD,
-    FRAME_PAYLOAD,
     WifiCell,
     WifiStation,
     anomaly_throughput,
