@@ -1,0 +1,220 @@
+#!/usr/bin/env python
+"""Observability overhead benchmark: emits ``BENCH_PR5.json``.
+
+Measures what attaching the :mod:`repro.obs` layer costs a simulation,
+as a gate CI can hold:
+
+- ``disabled`` — the instrumented offload loop with no observer
+  attached.  The hooks compile down to a ``self.obs is not None``
+  attribute check per event, so this is the cost every un-instrumented
+  run pays for the subsystem's existence.
+- ``enabled`` — the same loop with the full stack attached: span
+  tracer + frame observer, metrics registry, queue and link monitors.
+  The end-of-run export (collectors + Chrome-trace JSON) is timed and
+  reported separately — it runs once, off the simulation's clock.
+- ``span_ops`` — a tracer micro-benchmark (start/finish pairs per
+  second), the unit cost behind the ratio above.
+
+The gate: ``enabled`` may cost at most ``--max-overhead`` (default 5%)
+over ``disabled``, measured best-of-``--repeats`` (min wall time — the
+least noisy estimator on shared CI runners).  Both runs also assert the
+frame outcomes are identical, so instrumentation provably does not
+perturb the simulation.
+
+Usage::
+
+    python benchmarks/perf/obs_overhead.py                # full load
+    python benchmarks/perf/obs_overhead.py --quick        # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import pathlib
+import platform
+import sys
+import time
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+FULL = {"frames": 400, "span_pairs": 200_000, "repeats": 5}
+QUICK = {"frames": 120, "span_pairs": 50_000, "repeats": 3}
+
+
+def mar_session(frames: int, instrument: bool):
+    """One full MAR session; returns (wall, export_wall, fingerprint).
+
+    The workload is the paper's actual traffic mix, not a bare frame
+    loop: a MARTP session (video, sensor and metadata streams with
+    congestion control — the continuous background of every MAR user)
+    sharing one access path with a traced ``gaming`` full-frame offload
+    loop (32 kB uploads → 27 uplink fragments per frame).  Tracing
+    instruments the frame pipeline; the overhead ratio is measured
+    against everything a session simulates.  Only the simulation loop
+    is timed against the gate; the end-of-run export is reported
+    separately (cold path, runs once).
+    """
+    from repro.core import OffloadSession, ScenarioBuilder, mos_score
+    from repro.mar.application import APP_ARCHETYPES
+    from repro.mar.devices import CLOUD, SMARTPHONE
+    from repro.mar.offload import FullOffload, OffloadExecutor
+    from repro.obs import (MetricsRegistry, Tracer, attach_frame_observer,
+                           chrome_trace_json, collect_links, collect_martp)
+    from repro.simnet.monitor import LinkMonitor, QueueMonitor
+
+    app = APP_ARCHETYPES["gaming"]
+    scenario = ScenarioBuilder(seed=11).single_path(rtt=0.036, up_bps=40e6,
+                                                    down_bps=80e6)
+    session = OffloadSession(scenario)
+    sim, net = scenario.sim, scenario.net
+    executor = OffloadExecutor(net, "client", "server", app,
+                               FullOffload(), SMARTPHONE,
+                               server_device=CLOUD)
+    duration = frames * app.frame_budget
+    tracer = registry = None
+    if instrument:
+        tracer = Tracer(sim)
+        registry = MetricsRegistry()
+        attach_frame_observer(executor, tracer)
+        # Monitors sample at their default intervals (50 ms queue,
+        # 500 ms link) — the configuration every obs scenario ships.
+        uplink = net.path_links("client", "server")[0]
+        QueueMonitor(sim, uplink.queue, horizon=duration + 1.0,
+                     registry=registry, name="uplink")
+        LinkMonitor(sim, uplink, horizon=duration + 1.0,
+                    registry=registry)
+
+    t0 = time.perf_counter()
+    executor.start(n_frames=frames)
+    report = session.run(duration)
+    elapsed = time.perf_counter() - t0
+
+    export = 0.0
+    if instrument:
+        t0 = time.perf_counter()
+        collect_martp(registry, session.sender, session.receiver)
+        collect_links(registry, net, elapsed=sim.now)
+        chrome_trace_json(tracer)
+        export = time.perf_counter() - t0
+
+    result = executor.result
+    fingerprint = (result.frames_completed,
+                   round(result.mean_offloaded_latency, 9),
+                   round(result.deadline_hit_rate, 9),
+                   round(mos_score(report), 9))
+    return elapsed, export, fingerprint
+
+
+def span_ops(pairs: int) -> float:
+    """Start/finish throughput of the tracer itself (ops/second)."""
+    from repro.obs import Tracer
+    from repro.simnet.engine import Simulator
+
+    tracer = Tracer(Simulator(seed=1))
+    t0 = time.perf_counter()
+    for _ in range(pairs):
+        tracer.finish(tracer.start_span("op"))
+    elapsed = time.perf_counter() - t0
+    tracer.spans.clear()
+    return pairs / elapsed if elapsed > 0 else float("inf")
+
+
+def best_of(fn, repeats, *args):
+    best = None
+    for _ in range(repeats):
+        gc.collect()
+        out = fn(*args)
+        key = out[0] if isinstance(out, tuple) else -out
+        if best is None or key < best[0]:
+            best = (key, out)
+    return best[1]
+
+
+def interleaved_best(frames: int, repeats: int):
+    """Best disabled/enabled session times, measured interleaved.
+
+    Alternating the two variants within each repeat (instead of timing
+    all of one then all of the other) decorrelates the ratio from
+    allocator and CPU-frequency drift — the dominant noise source on
+    shared CI runners.  One untimed warm-up pair primes imports and
+    code caches before anything counts.
+    """
+    mar_session(frames, False)
+    mar_session(frames, True)
+    best = {False: None, True: None}
+    for _ in range(repeats):
+        for instrument in (False, True):
+            gc.collect()
+            out = mar_session(frames, instrument)
+            if best[instrument] is None or out[0] < best[instrument][0]:
+                best[instrument] = out
+    return best[False], best[True]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced load for CI smoke runs")
+    parser.add_argument("--out", default=str(REPO / "BENCH_PR5.json"),
+                        help="output JSON path")
+    parser.add_argument("--max-overhead", type=float, default=0.05,
+                        help="fail if enabled/disabled - 1 exceeds this "
+                             "(default: 0.05)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="override best-of repeat count")
+    args = parser.parse_args(argv)
+    cfg = QUICK if args.quick else FULL
+    repeats = args.repeats if args.repeats is not None else cfg["repeats"]
+    frames = cfg["frames"]
+
+    print(f"== obs overhead ({frames} frames, best of {repeats}, "
+          f"interleaved) ==", flush=True)
+    (off_t, _, off_fp), (on_t, export_t, on_fp) = \
+        interleaved_best(frames, repeats)
+    overhead = on_t / off_t - 1.0 if off_t > 0 else 0.0
+    print(f"   disabled {off_t * 1e3:7.1f} ms   enabled {on_t * 1e3:7.1f} ms"
+          f"   overhead {overhead:+.1%}   export {export_t * 1e3:.1f} ms")
+
+    if on_fp != off_fp:
+        print(f"ERROR: instrumentation changed the simulation outcome: "
+              f"{off_fp} vs {on_fp}", file=sys.stderr)
+        return 1
+    print("   frame outcomes identical with and without instrumentation")
+
+    ops = best_of(span_ops, repeats, cfg["span_pairs"])
+    print(f"== span_ops ==\n   {ops / 1e6:.2f} M start/finish pairs per "
+          f"second")
+
+    payload = {
+        "bench": "PR5-obs-overhead",
+        "config": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benchmarks": {
+            "mar_session": {
+                "frames": frames,
+                "disabled_seconds": off_t,
+                "enabled_seconds": on_t,
+                "export_seconds": export_t,
+                "overhead": overhead,
+            },
+            "span_ops": {"pairs_per_second": ops},
+        },
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+    if overhead > args.max_overhead:
+        print(f"ERROR: tracer overhead {overhead:.1%} exceeds the "
+              f"{args.max_overhead:.0%} budget", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

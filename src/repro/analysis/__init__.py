@@ -1,6 +1,8 @@
 """Statistics and reporting helpers used by benchmarks and examples."""
 
 from repro.analysis.stats import (
+    FixedBinHistogram,
+    StreamingMoments,
     jain_index,
     mean,
     percentile,
@@ -9,9 +11,17 @@ from repro.analysis.stats import (
     Summary,
     timeseries_bins,
 )
-from repro.analysis.report import ascii_table, format_rate, format_time, Figure
+from repro.analysis.report import (
+    ascii_table,
+    format_rate,
+    format_time,
+    obs_breakdown_table,
+    Figure,
+)
 
 __all__ = [
+    "FixedBinHistogram",
+    "StreamingMoments",
     "jain_index",
     "mean",
     "percentile",
@@ -22,5 +32,6 @@ __all__ = [
     "ascii_table",
     "format_rate",
     "format_time",
+    "obs_breakdown_table",
     "Figure",
 ]

@@ -9,6 +9,8 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
 
+from repro.analysis.stats import mean
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.metrics import ResilienceReport
     from repro.simnet.link import Link
@@ -201,6 +203,34 @@ def fleet_report(result) -> str:
                 lines.append(f"  {outcome.tag}  "
                              f"[{outcome.attempts} attempts: {outcome.error}]")
     return "\n".join(lines)
+
+
+def obs_breakdown_table(breakdowns, title: str = "Frame critical path") -> str:
+    """Render per-frame critical-path breakdowns from :mod:`repro.obs`.
+
+    ``breakdowns`` is the list produced by
+    :meth:`repro.obs.instrument.FrameObserver.breakdowns` — one dict per
+    completed frame with ``total``, per-stage durations and the
+    compute/serialization/propagation/queueing/render split.  The table
+    shows the mean over frames plus the worst frame, which is what an
+    operator scans first ("where does the time go, and how bad is the
+    tail?").
+    """
+    if not breakdowns:
+        return ascii_table(["bucket", "mean", "max"], [], title=title)
+
+    def column(getter) -> List[float]:
+        return [getter(b) for b in breakdowns]
+
+    buckets = sorted({k for b in breakdowns for k in b["critical_path"]})
+    rows = []
+    for bucket in buckets:
+        vals = column(lambda b: b["critical_path"].get(bucket, 0.0))
+        rows.append([bucket, format_time(mean(vals)), format_time(max(vals))])
+    totals = column(lambda b: b["total"])
+    rows.append(["total", format_time(mean(totals)), format_time(max(totals))])
+    return ascii_table(["bucket", "mean", "max"], rows,
+                       title=f"{title} ({len(breakdowns)} frames)")
 
 
 class Figure:

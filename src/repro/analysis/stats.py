@@ -5,8 +5,17 @@ generators, or streams of per-shard summary objects — not just
 materialized lists, so fleet reports can feed shard summaries straight
 through.  :func:`timeseries_bins` additionally understands *mergeable*
 values (anything with a ``merge`` method, e.g.
-:class:`repro.fleet.aggregate.StreamingMoments`): buckets of mergeable
-summaries reduce by merging instead of averaging.
+:class:`StreamingMoments`): buckets of mergeable summaries reduce by
+merging instead of averaging.
+
+The two mergeable streaming primitives — :class:`StreamingMoments`
+(Welford/Chan-Golub-LeVeque moments) and :class:`FixedBinHistogram`
+(fixed-bin counts with exact elementwise merging) — live here, in the
+sim domain, so both the fleet aggregation layer
+(:mod:`repro.fleet.aggregate`, which re-exports them) and the
+observability metrics registry (:mod:`repro.obs.registry`) share one
+canonical implementation and shard registries stay byte-identically
+merge-compatible.
 """
 
 from __future__ import annotations
@@ -111,6 +120,205 @@ def timeseries_bins(
         else:
             out.append((k * bin_size, reducer(vals)))
     return out
+
+
+# ----------------------------------------------------------------------
+# Mergeable streaming primitives (shared by fleet shards and the obs
+# metrics registry)
+# ----------------------------------------------------------------------
+class StreamingMoments:
+    """Welford-style streaming count/mean/M2 with min/max, mergeable."""
+
+    __slots__ = ("count", "mean", "m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (x - self.mean)
+        if x < self.minimum:
+            self.minimum = x
+        if x > self.maximum:
+            self.maximum = x
+
+    def extend(self, xs: Iterable[float]) -> "StreamingMoments":
+        for x in xs:
+            self.add(x)
+        return self
+
+    def merge(self, other: "StreamingMoments") -> "StreamingMoments":
+        """Fold ``other`` into this accumulator (Chan et al. merge)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self.m2 = other.m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return self
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.mean += delta * other.count / total
+        self.m2 += other.m2 + delta * delta * self.count * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        return self
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator); 0.0 below two samples."""
+        return self.m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def to_dict(self) -> dict:
+        d = {"count": self.count, "mean": self.mean, "m2": self.m2}
+        if self.count:  # inf sentinels are not JSON-portable
+            d["min"] = self.minimum
+            d["max"] = self.maximum
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "StreamingMoments":
+        m = cls()
+        m.count = int(d["count"])
+        m.mean = float(d["mean"])
+        m.m2 = float(d["m2"])
+        if m.count:
+            m.minimum = float(d["min"])
+            m.maximum = float(d["max"])
+        return m
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StreamingMoments) and self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Moments n={self.count} mean={self.mean:.6g} "
+                f"std={self.std:.6g}>")
+
+
+class FixedBinHistogram:
+    """Equal-width histogram over ``[lo, hi)`` with exact merging.
+
+    Out-of-range samples land in the underflow/overflow buckets and are
+    treated as sitting at the range edge for percentile purposes, so
+    percentiles stay defined (and conservative) even when the range
+    guess was too tight.
+    """
+
+    __slots__ = ("lo", "hi", "bins", "underflow", "overflow")
+
+    def __init__(self, lo: float, hi: float, n_bins: int = 100) -> None:
+        if not (hi > lo) or n_bins <= 0:
+            raise ValueError("need hi > lo and n_bins > 0")
+        self.lo = lo
+        self.hi = hi
+        self.bins = [0] * n_bins
+        self.underflow = 0
+        self.overflow = 0
+
+    @property
+    def bin_width(self) -> float:
+        return (self.hi - self.lo) / len(self.bins)
+
+    @property
+    def total(self) -> int:
+        return sum(self.bins) + self.underflow + self.overflow
+
+    def add(self, x: float) -> None:
+        if x < self.lo:
+            self.underflow += 1
+        elif x >= self.hi:
+            self.overflow += 1
+        else:
+            idx = int((x - self.lo) / (self.hi - self.lo) * len(self.bins))
+            # float rounding at the top edge can yield len(bins)
+            self.bins[min(idx, len(self.bins) - 1)] += 1
+
+    def extend(self, xs: Iterable[float]) -> "FixedBinHistogram":
+        for x in xs:
+            self.add(x)
+        return self
+
+    def compatible(self, other: "FixedBinHistogram") -> bool:
+        return (self.lo == other.lo and self.hi == other.hi
+                and len(self.bins) == len(other.bins))
+
+    def merge(self, other: "FixedBinHistogram") -> "FixedBinHistogram":
+        if not self.compatible(other):
+            raise ValueError(
+                f"histogram configs differ: [{self.lo},{self.hi})x{len(self.bins)}"
+                f" vs [{other.lo},{other.hi})x{len(other.bins)}")
+        for i, c in enumerate(other.bins):
+            self.bins[i] += c
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+        return self
+
+    def percentile(self, q: float) -> float:
+        """Linear-in-bin percentile, ``q`` in [0, 100]; NaN when empty."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        total = self.total
+        if total == 0:
+            return float("nan")
+        rank = (q / 100.0) * total
+        cum = self.underflow
+        if rank <= cum:
+            return self.lo
+        for i, c in enumerate(self.bins):
+            if c and rank <= cum + c:
+                frac = (rank - cum) / c
+                return self.lo + (i + frac) * self.bin_width
+            cum += c
+        return self.hi
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "bins": list(self.bins),
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FixedBinHistogram":
+        h = cls(float(d["lo"]), float(d["hi"]), len(d["bins"]))
+        h.bins = [int(c) for c in d["bins"]]
+        h.underflow = int(d["underflow"])
+        h.overflow = int(d["overflow"])
+        return h
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FixedBinHistogram) and self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Histogram [{self.lo},{self.hi}) n={self.total} "
+                f"p50={self.p50:.4g} p95={self.p95:.4g}>")
 
 
 def jain_index(allocations: Iterable[float]) -> float:

@@ -12,6 +12,7 @@ Usage (also via ``python -m repro``):
     python -m repro show cell256         # fleet reports are found too
     python -m repro lint src             # simlint determinism checks
     python -m repro selftest             # double-run trace-fingerprint diff
+    python -m repro obs                  # traced run -> Perfetto/qlog artifacts
 
 The demos are self-contained, seconds-long simulations over the public
 API; the full experiment suite lives in ``benchmarks/`` (run with
@@ -245,17 +246,86 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return lint_run(args)
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Run an instrumented scenario and export its observability artifacts.
+
+    Emits three files under ``benchmarks/results/obs/`` (or ``--out``):
+    a Perfetto-loadable Chrome trace, a qlog-schema JSON-lines stream,
+    and a canonical metrics-registry dump — then prints the critical-
+    path breakdown table and headline summary.  ``--check`` validates
+    the trace schema and the stage-sum reconciliation invariant and
+    exits non-zero on any problem (the CI obs-smoke gate).
+    """
+    from repro.analysis.report import obs_breakdown_table
+    from repro.obs import (OBS_SCENARIOS, chrome_trace_json, qlog_lines,
+                           reconcile_frame_spans, run_obs_scenario, snapshot,
+                           validate_chrome_trace)
+
+    if args.scenario not in OBS_SCENARIOS:
+        print(f"unknown obs scenario {args.scenario!r}; "
+              f"try: {', '.join(OBS_SCENARIOS)}", file=sys.stderr)
+        return 2
+
+    run = run_obs_scenario(args.scenario, seed=args.seed, frames=args.frames)
+    trace = chrome_trace_json(run.tracer)
+    qlog = qlog_lines(tracer=run.tracer, log=run.event_log,
+                      registry=run.registry)
+    metrics = run.registry.to_json()
+
+    out_dir = pathlib.Path(args.out) if args.out else RESULTS_DIR / "obs"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"{args.scenario}-seed{args.seed}"
+    (out_dir / f"{stem}.trace.json").write_text(trace + "\n")
+    (out_dir / f"{stem}.qlog.jsonl").write_text(qlog + "\n")
+    (out_dir / f"{stem}.metrics.json").write_text(metrics + "\n")
+
+    if run.breakdowns:
+        print(obs_breakdown_table(
+            run.breakdowns,
+            title=f"{args.scenario} (seed {args.seed}) critical path"))
+        print()
+    snap = snapshot(run.registry, run.tracer)
+    frames = snap.get("frames", {})
+    print("summary: " + ", ".join(
+        f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+        for k, v in sorted(run.summary.items())))
+    if frames:
+        print(f"spans: {frames['spans']} total, {frames['traced']} frame "
+              f"trees, {frames['unfinished']} unfinished")
+    print(f"[obs] artifacts: {out_dir / stem}.{{trace.json,qlog.jsonl,"
+          f"metrics.json}}", file=sys.stderr)
+
+    if args.check:
+        problems = validate_chrome_trace(trace)
+        reconciled = bool(run.breakdowns)
+        if reconciled:
+            problems += reconcile_frame_spans(run.tracer)
+        if problems:
+            for p in problems:
+                print(f"[obs] CHECK FAIL: {p}", file=sys.stderr)
+            return 1
+        print("[obs] check OK: trace schema valid" + (
+            ", stage sums reconcile with frame latency (±1 µs)"
+            if reconciled else ""))
+    return 0
+
+
 def cmd_selftest(args: argparse.Namespace) -> int:
     """Determinism smoke: run one shard twice, diff trace fingerprints.
 
     This is the check behind simlint's claim that "a clean tree is
     reproducible": the campaign shard exercises the engine, links,
     transports and aggregation end to end, and the two runs must hash
-    to the same canonical JSON.  CI runs it next to the lint gate.
+    to the same canonical JSON.  The fingerprint also covers the
+    observability layer: each run re-traces an instrumented offload
+    scenario and hashes its Chrome-trace export plus metrics registry,
+    so a wall-clock leak into spans or counters fails here too.  CI
+    runs it next to the lint gate.
     """
     import hashlib
 
     from repro.fleet import demo_campaigns, run_shard
+    from repro.obs import chrome_trace_json, run_obs_scenario
 
     campaigns = demo_campaigns()
     campaign = campaigns.get(args.campaign)
@@ -267,15 +337,20 @@ def cmd_selftest(args: argparse.Namespace) -> int:
     digests = []
     for attempt in (1, 2):
         payload = run_shard(campaign, shard.tag).to_json()
+        obs_run = run_obs_scenario("cell_offload", seed=11, frames=20)
+        payload += chrome_trace_json(obs_run.tracer)
+        payload += obs_run.registry.to_json()
         digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
         digests.append(digest)
-        print(f"[selftest] run {attempt}: shard {shard.tag} "
+        print(f"[selftest] run {attempt}: shard {shard.tag} + obs trace "
               f"fingerprint {digest[:16]}")
     if digests[0] != digests[1]:
         print("[selftest] FAIL: identical (campaign, seed, shard) produced "
-              "different aggregates — determinism is broken", file=sys.stderr)
+              "different aggregates or traces — determinism is broken",
+              file=sys.stderr)
         return 1
-    print("[selftest] OK: byte-identical aggregates across two runs")
+    print("[selftest] OK: byte-identical aggregates and trace exports "
+          "across two runs")
     return 0
 
 
@@ -321,6 +396,23 @@ def main(argv=None) -> int:
     from repro.lint.cli import configure_parser as _configure_lint
     _configure_lint(lint)
     lint.set_defaults(func=cmd_lint)
+    obs = sub.add_parser(
+        "obs", help="run an instrumented scenario; export Perfetto trace, "
+                    "qlog lines and metrics")
+    obs.add_argument("--scenario", default="cell_offload",
+                     help="obs scenario name (default: cell_offload; "
+                          "also: martp_session)")
+    obs.add_argument("--seed", type=int, default=11,
+                     help="simulation seed (default: 11)")
+    obs.add_argument("--frames", type=int, default=60,
+                     help="frames to trace (default: 60)")
+    obs.add_argument("--out", default=None,
+                     help="output directory (default: "
+                          "benchmarks/results/obs/)")
+    obs.add_argument("--check", action="store_true",
+                     help="validate trace schema + stage-sum reconciliation; "
+                          "exit non-zero on problems")
+    obs.set_defaults(func=cmd_obs)
     selftest = sub.add_parser(
         "selftest", help="determinism smoke: run one shard twice and "
                          "diff trace fingerprints")

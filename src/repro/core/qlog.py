@@ -23,6 +23,9 @@ CATEGORIES = (
     "shedding",        # messages dropped at the sender
     "recovery",        # ARQ retransmissions / abandonments
     "path",            # multipath usability / RTT changes
+    "frame",           # per-frame span completions (repro.obs tracing)
+    "metric",          # registry snapshots (repro.obs exporters)
+    "meta",            # about the log itself (summaries, drop counts)
 )
 
 
@@ -70,7 +73,37 @@ class EventLog:
         return [e for e in self.events if t0 <= e.time < t1]
 
     def to_jsonl(self) -> str:
+        """Event lines only (no trailer) — the raw record stream."""
         return "\n".join(e.to_json() for e in self.events)
+
+    def summary(self) -> Dict[str, Any]:
+        """Totals an operator needs before trusting the log.
+
+        ``dropped > 0`` means the stream is *incomplete* — events past
+        ``max_events`` were discarded — which silent exports would
+        otherwise hide.
+        """
+        by_category: Dict[str, int] = {}
+        for event in self.events:
+            by_category[event.category] = by_category.get(event.category, 0) + 1
+        return {
+            "events": len(self.events),
+            "dropped": self.dropped,
+            "complete": self.dropped == 0,
+            "by_category": dict(sorted(by_category.items())),
+        }
+
+    def to_json_lines(self) -> str:
+        """Event lines plus a final ``meta``/``log-summary`` record.
+
+        Unlike :meth:`to_jsonl`, the trailer surfaces the drop counter,
+        so a truncated log is visibly truncated in its own export.
+        """
+        last_time = self.events[-1].time if self.events else 0.0
+        trailer = Event(last_time, "meta", "log-summary", self.summary())
+        lines = [e.to_json() for e in self.events]
+        lines.append(trailer.to_json())
+        return "\n".join(lines)
 
     def __len__(self) -> int:
         return len(self.events)

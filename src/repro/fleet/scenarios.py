@@ -37,14 +37,18 @@ _RATE_BINS = 240
 
 
 # ----------------------------------------------------------------------
+# version 2: shards also carry an obs.* metrics-registry aggregate
+# (protocol + link counters); the bump invalidates v1 cache entries.
 @register_scenario(
-    "cell_offload", version=1,
+    "cell_offload", version=2,
     latency_key="frame_latency",
     moment_keys=("mos", "video_quality", "delivery_ratio"),
 )
 def run_cell_offload(seed: int, params: Dict[str, object]) -> Aggregate:
     """One MAR offload session over a single access path (one cell user)."""
     from repro.core import OffloadSession, ScenarioBuilder, mos_score
+    from repro.fleet.aggregate import aggregate_from_registry
+    from repro.obs import MetricsRegistry, collect_links, collect_martp
 
     rtt = float(params.get("rtt", 0.036))
     up_bps = float(params.get("up_bps", 12e6))
@@ -70,6 +74,11 @@ def run_cell_offload(seed: int, params: Dict[str, object]) -> Aggregate:
             session.receiver.stream_stats(sid).latencies)
         latency.extend(session.receiver.stream_stats(sid).latencies)
     agg.count("critical_intact", int(report.critical_intact))
+
+    registry = MetricsRegistry()
+    collect_martp(registry, session.sender, session.receiver)
+    collect_links(registry, scenario.net, elapsed=scenario.net.sim.now)
+    agg.merge(aggregate_from_registry(registry))
     return agg
 
 

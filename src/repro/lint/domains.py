@@ -16,7 +16,12 @@ The split is by path, mirroring the package layout:
 - ``lint/`` — this tool itself.
 
 Everything else under ``src/repro`` (simnet, wireless, transport, core,
-mar, vision, edge, analysis) is sim-domain.
+mar, vision, edge, analysis, obs) is sim-domain.  Note that **obs** —
+the observability layer — is deliberately sim-domain even though it
+produces operator-facing artifacts: traces and metrics must be a pure
+function of ``(scenario, seed)`` (byte-identical double-run exports are
+a hard CI gate), so its timestamps come from ``sim.now``, never a wall
+clock.
 """
 
 from __future__ import annotations
@@ -34,6 +39,15 @@ class Domain(enum.Enum):
 #: Any path containing one of these directory components is harness.
 HARNESS_DIR_PARTS = frozenset({
     "fleet", "lint", "benchmarks", "tests", "examples", "scripts", "docs",
+})
+
+#: Sim-domain packages, listed explicitly so adding a subsystem is a
+#: deliberate classification decision (``classify`` still treats any
+#: unlisted, non-harness path as sim — fail closed toward the stricter
+#: domain).
+SIM_DIR_PARTS = frozenset({
+    "simnet", "wireless", "transport", "core", "mar", "vision", "edge",
+    "analysis", "obs",
 })
 
 #: Files that are harness regardless of location.

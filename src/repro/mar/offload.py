@@ -215,6 +215,8 @@ class _ServerSide:
         self.device = server_device
         self.socket = UdpSocket(net[host], port, on_receive=self._on_packet)
         self._partial: Dict[int, Dict[str, int]] = {}
+        #: Optional observability hooks (see repro.obs.instrument).
+        self.obs = None
 
     def _on_packet(self, packet: Packet) -> None:
         if packet.kind == "ping":
@@ -232,6 +234,9 @@ class _ServerSide:
         if state["got"] < state["need"]:
             return
         del self._partial[frame_id]
+        if self.obs is not None:
+            self.obs.on_upload_complete(frame_id,
+                                        packet.payload["remote_megacycles"])
         compute = self.device.execution_time(packet.payload["remote_megacycles"])
         self.sim.schedule(
             compute,
@@ -243,6 +248,8 @@ class _ServerSide:
         )
 
     def _respond(self, dst: str, dst_port: int, frame_id: int, download_bytes: int) -> None:
+        if self.obs is not None:
+            self.obs.on_download_start(frame_id, download_bytes)
         n_fragments = max(1, -(-download_bytes // FRAGMENT_BYTES))
         remaining = download_bytes
         for i in range(n_fragments):
@@ -295,6 +302,10 @@ class OffloadExecutor:
         self.server = _ServerSide(net, server, server_port, server_device)
         self._pending: Dict[int, Dict[str, float]] = {}
         self._frame_index = 0
+        #: Optional observability hooks (attach_frame_observer sets it;
+        #: every call site is None-guarded, so tracing off costs one
+        #: attribute test and allocates nothing).
+        self.obs = None
 
     # ------------------------------------------------------------------
     def start(self, n_frames: int) -> None:
@@ -312,6 +323,8 @@ class OffloadExecutor:
     def _generate_frame(self, index: int) -> None:
         self._frame_index = index
         plan = self.strategy.plan_frame(self.app, index)
+        if self.obs is not None:
+            self.obs.on_frame_start(index, plan)
         self.result.frames_sent += 1
         self.result.energy.on_compute(plan.local_megacycles)
         local_time = self.device.execution_time(plan.local_megacycles)
@@ -321,6 +334,8 @@ class OffloadExecutor:
             self.sim.schedule(local_time, self._complete_frame, index, self.sim.now)
 
     def _send_upload(self, index: int, plan: FramePlan) -> None:
+        if self.obs is not None:
+            self.obs.on_upload_start(index, plan)
         generated_at = self.sim.now - self.device.execution_time(plan.local_megacycles)
         self._pending[index] = {"generated": generated_at, "got": 0, "need": 0}
         n_fragments = max(1, -(-plan.upload_bytes // FRAGMENT_BYTES))
@@ -343,7 +358,8 @@ class OffloadExecutor:
         self.sim.schedule(self.frame_timeout, self._expire_frame, index)
 
     def _expire_frame(self, index: int) -> None:
-        self._pending.pop(index, None)
+        if self._pending.pop(index, None) is not None and self.obs is not None:
+            self.obs.on_frame_expired(index)
 
     def _on_packet(self, packet: Packet) -> None:
         if packet.kind == "pong":
@@ -369,6 +385,9 @@ class OffloadExecutor:
         if offloaded:
             self.result.offloaded_latencies.append(latency)
         self.result.frames_completed += 1
+        if self.obs is not None:
+            self.obs.on_frame_complete(index,
+                                       "offloaded" if offloaded else "local")
 
     # ------------------------------------------------------------------
     def run(self, n_frames: int = 300, settle: float = 2.0) -> SessionResult:
@@ -554,6 +573,8 @@ class ResilientOffloadExecutor(OffloadExecutor):
         if not self.breaker.allow_request():
             # Tripped: serve the frame on-device, degraded but alive.
             plan = self._local_plan()
+            if self.obs is not None:
+                self.obs.on_frame_start(index, plan)
             self.result.frames_sent += 1
             self.result.energy.on_compute(plan.local_megacycles)
             local_time = self.device.execution_time(plan.local_megacycles)
@@ -563,6 +584,8 @@ class ResilientOffloadExecutor(OffloadExecutor):
         if probe:
             self._set_mode(ServiceMode.PROBING)
         plan = self.strategy.plan_frame(self.app, index)
+        if self.obs is not None:
+            self.obs.on_frame_start(index, plan)
         self.result.frames_sent += 1
         self.result.energy.on_compute(plan.local_megacycles)
         local_time = self.device.execution_time(plan.local_megacycles)
@@ -572,6 +595,8 @@ class ResilientOffloadExecutor(OffloadExecutor):
             self.sim.schedule(local_time, self._complete_frame, index, self.sim.now)
 
     def _send_upload(self, index: int, plan: FramePlan, probe: bool = False) -> None:
+        if self.obs is not None:
+            self.obs.on_upload_start(index, plan)
         generated_at = self.sim.now - self.device.execution_time(plan.local_megacycles)
         self._pending[index] = {"generated": generated_at, "got": 0, "need": 0}
         self._attempts[index] = {
@@ -647,6 +672,8 @@ class ResilientOffloadExecutor(OffloadExecutor):
         self.result.frames_completed += 1
         self.metrics.frames_degraded += 1
         self.frame_log.append((self.sim.now, index, "degraded"))
+        if self.obs is not None:
+            self.obs.on_frame_complete(index, "degraded")
 
     def _complete_frame(self, index: int, generated_at: float, offloaded: bool = False) -> None:
         meta = self._attempts.pop(index, None)

@@ -1,0 +1,242 @@
+"""Hooks that wire the tracer and registry into existing subsystems.
+
+Two integration styles, chosen per subsystem by cost:
+
+- **Frame pipeline** (hot, per-event): :class:`FrameObserver` plugs
+  into the ``obs`` attachment points of
+  :class:`~repro.mar.offload.OffloadExecutor` — every hook site is
+  guarded by ``if self.obs is not None``, so the disabled path costs
+  one attribute test and allocates nothing.
+- **Link / queue / MARTP counters** (cold, end-of-run): the
+  ``collect_*`` helpers snapshot already-maintained counters into a
+  :class:`~repro.obs.registry.MetricsRegistry` after the run, adding
+  zero hot-path work.
+
+:func:`path_costs` computes the analytic wire cost of moving a payload
+across the routed path — serialization (bits over each link's rate,
+with per-fragment UDP/IP header overhead) and propagation (summed link
+delays).  The frame observer stamps these on uplink/downlink stage
+spans; whatever measured stage time they don't explain is queueing —
+the bufferbloat the paper's Section IV worries about, read straight
+off a trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.mar.offload import FRAGMENT_BYTES, OffloadExecutor
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import (
+    PROPAGATION_ATTR,
+    SERIALIZATION_ATTR,
+    FrameTrace,
+    Tracer,
+    breakdown,
+)
+from repro.simnet.network import Network
+from repro.simnet.packet import IP_UDP_HEADER
+
+#: Histogram ranges (fixed, so registries always merge-compatible).
+LATENCY_HI = 2.0
+LATENCY_BINS = 200
+
+
+def path_costs(net: Network, src: str, dst: str, nbytes: int,
+               fragment_bytes: int = FRAGMENT_BYTES,
+               header_bytes: int = IP_UDP_HEADER) -> Tuple[float, float]:
+    """Analytic (serialization, propagation) seconds for one payload.
+
+    Mirrors the executor's fragmentation (``fragment_bytes`` chunks, a
+    1-byte tail for empty remainders, ``header_bytes`` per fragment)
+    and charges serialization on every link of the current route —
+    exact for the single-hop access paths of the Table II scenarios, an
+    upper bound when a multi-hop path pipelines fragments.
+    """
+    n_fragments = max(1, -(-nbytes // fragment_bytes))
+    wire_bytes = max(nbytes, n_fragments) + n_fragments * header_bytes
+    serialization = 0.0
+    propagation = 0.0
+    for link in net.path_links(src, dst):
+        serialization += wire_bytes * 8 / link.rate_bps
+        propagation += link.delay
+    return serialization, propagation
+
+
+class FrameObserver:
+    """Threads one trace id through the offload frame pipeline.
+
+    Attach with :func:`attach_frame_observer`; the executor (and its
+    server side) then report stage boundaries as they happen:
+
+    ``frame start`` → ``local`` compute → ``uplink`` (send → last
+    fragment reassembled) → ``server`` compute → ``downlink`` (respond
+    → last result fragment) → ``render`` marker → frame end.
+
+    Stage spans are contiguous, so their durations sum exactly to the
+    frame's end-to-end latency; network stages carry analytic
+    serialization/propagation attributes for the critical-path split.
+    """
+
+    __slots__ = ("tracer", "net", "client", "server", "app", "traces",
+                 "_path_cache", "_server_attr_cache")
+
+    def __init__(self, tracer: Tracer, net: Network, client: str,
+                 server: str, app=None) -> None:
+        self.tracer = tracer
+        self.net = net
+        self.client = client
+        self.server = server
+        self.app = app
+        #: Frame index → its (possibly still open) trace.
+        self.traces: Dict[int, FrameTrace] = {}
+        # Per-frame hooks must stay a few µs: payload sizes and compute
+        # budgets repeat every frame, so the analytic wire costs (a
+        # shortest-path walk) and the vision stage split are memoized.
+        # Both assume a static topology; call invalidate_cache() after
+        # a reroute.
+        self._path_cache: Dict[Tuple[str, str, int], Tuple[float, float]] = {}
+        self._server_attr_cache: Dict[float, dict] = {}
+
+    def invalidate_cache(self) -> None:
+        """Drop memoized path costs (after a topology/route change)."""
+        self._path_cache.clear()
+
+    def _path_costs(self, src: str, dst: str, nbytes: int) -> Tuple[float, float]:
+        key = (src, dst, nbytes)
+        costs = self._path_cache.get(key)
+        if costs is None:
+            costs = self._path_cache[key] = path_costs(
+                self.net, src, dst, nbytes)
+        return costs
+
+    # -- client-side hooks ---------------------------------------------
+    def on_frame_start(self, index: int, plan) -> None:
+        trace = FrameTrace(self.tracer, index)
+        self.traces[index] = trace
+        trace.begin("local", megacycles=plan.local_megacycles)
+
+    def on_upload_start(self, index: int, plan) -> None:
+        trace = self.traces.get(index)
+        if trace is None:
+            return
+        ser, prop = self._path_costs(self.client, self.server,
+                                     plan.upload_bytes)
+        trace.begin("uplink", attrs_dict={
+            "bytes": plan.upload_bytes,
+            SERIALIZATION_ATTR: ser,
+            PROPAGATION_ATTR: prop,
+        })
+
+    def on_frame_complete(self, index: int, outcome: str = "offloaded") -> None:
+        trace = self.traces.pop(index, None)
+        if trace is None:
+            return
+        trace.mark("render")
+        trace.complete(outcome=outcome)
+
+    def on_frame_expired(self, index: int) -> None:
+        trace = self.traces.pop(index, None)
+        if trace is None:
+            return
+        trace.complete(outcome="expired")
+
+    # -- server-side hooks ---------------------------------------------
+    def on_upload_complete(self, index: int, remote_megacycles: float) -> None:
+        trace = self.traces.get(index)
+        if trace is None:
+            return
+        attrs = self._server_attr_cache.get(remote_megacycles)
+        if attrs is None:
+            attrs = {"megacycles": remote_megacycles}
+            if self.app is not None:
+                from repro.vision.pipeline import estimate_stage_costs
+
+                w, h = self.app.resolution
+                costs = estimate_stage_costs(w * h).scaled_to(remote_megacycles)
+                for stage, mc in costs.as_dict().items():
+                    if mc > 0.0:
+                        attrs[f"mc_{stage}"] = round(mc, 6)
+            self._server_attr_cache[remote_megacycles] = attrs
+        trace.begin("server", attrs_dict=dict(attrs))
+
+    def on_download_start(self, index: int, download_bytes: int) -> None:
+        trace = self.traces.get(index)
+        if trace is None:
+            return
+        ser, prop = self._path_costs(self.server, self.client,
+                                     download_bytes)
+        trace.begin("downlink", attrs_dict={
+            "bytes": download_bytes,
+            SERIALIZATION_ATTR: ser,
+            PROPAGATION_ATTR: prop,
+        })
+
+    # ------------------------------------------------------------------
+    def breakdowns(self):
+        """Breakdown dicts of every completed frame, in frame order."""
+        return [breakdown(root) for root in self.tracer.frame_roots()]
+
+
+def attach_frame_observer(executor: OffloadExecutor, tracer: Tracer,
+                          app=None) -> FrameObserver:
+    """Create a :class:`FrameObserver` and plug it into ``executor``.
+
+    Sets the executor's and its primary server side's ``obs`` hook
+    attribute (both default to ``None`` — tracing off).  Returns the
+    observer so callers can query ``observer.breakdowns()`` afterwards.
+    """
+    observer = FrameObserver(
+        tracer, executor.net, executor.socket.host.name,
+        executor.server_name, app if app is not None else executor.app)
+    executor.obs = observer
+    executor.server.obs = observer
+    return observer
+
+
+# ----------------------------------------------------------------------
+# Cold-path collectors: snapshot existing counters into a registry
+# ----------------------------------------------------------------------
+def collect_links(registry: MetricsRegistry, net: Network,
+                  elapsed: Optional[float] = None) -> None:
+    """Snapshot every link's counters (``link.<name>.*``)."""
+    for link in net.links:
+        prefix = f"link.{link.name}"
+        registry.counter(f"{prefix}.bytes_sent").inc(link.bytes_sent)
+        registry.counter(f"{prefix}.bytes_delivered").inc(link.bytes_delivered)
+        registry.counter(f"{prefix}.bytes_lost").inc(link.bytes_lost)
+        registry.counter(f"{prefix}.packets_delivered").inc(link.packets_delivered)
+        registry.counter(f"{prefix}.packets_lost").inc(link.packets_lost)
+        registry.counter(f"{prefix}.queue_drops").inc(link.queue_drops)
+        if elapsed is not None and elapsed > 0:
+            registry.gauge(f"{prefix}.utilization").set(link.utilization(elapsed))
+
+
+def collect_martp(registry: MetricsRegistry, sender, receiver,
+                  prefix: str = "martp") -> None:
+    """Snapshot a MARTP sender/receiver pair (``martp.*``).
+
+    Reads only public protocol state — per-stream send/shed counters,
+    receiver delivery/in-time counters and latency samples, the
+    sender's combined budget and congestion-event count — after the
+    run; the protocol hot path is untouched.
+    """
+    registry.gauge(f"{prefix}.budget_bps").set(sender.budget_bps)
+    registry.counter(f"{prefix}.congestion_events").inc(
+        sender.congestion_events)
+    for stream_id in sorted(sender._tx):
+        tx = sender.stream_stats(stream_id)
+        sprefix = f"{prefix}.stream.{tx.spec.name}"
+        registry.counter(f"{sprefix}.sent").inc(tx.sent)
+        registry.counter(f"{sprefix}.shed").inc(tx.dropped)
+        registry.counter(f"{sprefix}.bytes_sent").inc(tx.bytes_sent)
+    for stream_id in sorted(receiver._rx):
+        rx = receiver.stream_stats(stream_id)
+        sprefix = f"{prefix}.stream.{rx.spec.name}"
+        registry.counter(f"{sprefix}.received").inc(rx.received)
+        registry.counter(f"{sprefix}.in_time").inc(rx.in_time)
+        registry.counter(f"{sprefix}.recovered").inc(rx.recovered)
+        hist = registry.histogram(f"{sprefix}.latency", 0.0,
+                                  LATENCY_HI, LATENCY_BINS)
+        for latency in rx.latencies:
+            hist.observe(latency)

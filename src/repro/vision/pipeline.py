@@ -64,6 +64,25 @@ class StageCosts:
         local = sum(getattr(self, name) for name in local_stages)
         return {"local": local, "remote": self.total - local}
 
+    def as_dict(self) -> Dict[str, float]:
+        """Stage-name → megacycles, in declaration order."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def scaled_to(self, total_megacycles: float) -> "StageCosts":
+        """Rescale proportionally so the stages sum to a given total.
+
+        Lets an estimated stage *shape* (from :func:`estimate_stage_costs`)
+        be fitted to a known aggregate budget — e.g. annotating a server
+        compute span whose total p(a) comes from the application model.
+        """
+        current = self.total
+        if current <= 0.0:
+            return StageCosts()
+        factor = total_megacycles / current
+        return StageCosts(
+            **{f.name: getattr(self, f.name) * factor for f in fields(self)}
+        )
+
 
 @dataclass
 class FrameResult:
@@ -185,3 +204,24 @@ class ArPipeline:
     def encode_cost(frame_pixels: int) -> StageCosts:
         """Cost of software-encoding a frame for network upload."""
         return StageCosts(encode=frame_pixels * CYCLES_PER_PIXEL_ENCODE / 1e6)
+
+
+def estimate_stage_costs(n_pixels: int, n_keypoints: int = 300,
+                         n_ref_keypoints: int = 300,
+                         ransac_iters: int = 400) -> StageCosts:
+    """Analytic per-stage cost of full recognition, without running it.
+
+    Applies the module's cycle constants to nominal workload sizes —
+    the same arithmetic :meth:`ArPipeline.process_frame` performs on
+    measured quantities, usable where no pixels exist (observability
+    annotations, capacity planning).  Combine with
+    :meth:`StageCosts.scaled_to` to fit the stage *shape* to a known
+    total p(a).
+    """
+    return StageCosts(
+        detect=n_pixels * CYCLES_PER_PIXEL_DETECT / 1e6,
+        describe=n_keypoints * CYCLES_PER_KEYPOINT_DESCRIBE / 1e6,
+        match=n_keypoints * n_ref_keypoints * CYCLES_PER_MATCH_PAIR / 1e6,
+        ransac=ransac_iters * CYCLES_PER_RANSAC_ITER / 1e6,
+        render=n_pixels * CYCLES_PER_PIXEL_RENDER / 1e6,
+    )

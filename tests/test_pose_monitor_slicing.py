@@ -139,6 +139,46 @@ class TestMonitors:
         with pytest.raises(ValueError):
             QueueMonitor(sim, DropTailQueue(), interval=0.0)
 
+    def test_stop_halts_sampling(self):
+        sim, link = self.loaded_link()
+        monitor = QueueMonitor(sim, link.queue, interval=0.05)
+        sim.run(until=1.0)
+        n = len(monitor.samples)
+        monitor.stop()
+        sim.run(until=2.0)
+        assert len(monitor.samples) == n
+
+    def test_horizon_bounds_monitor_and_drains_heap(self):
+        """With a horizon the monitor stops rescheduling itself, so a
+        bare ``sim.run()`` (no ``until``) terminates."""
+        sim, link = self.loaded_link()
+        qmon = QueueMonitor(sim, link.queue, interval=0.05, horizon=1.0)
+        lmon = LinkMonitor(sim, link, interval=0.25, horizon=1.0)
+        sim.run(until=3.0)
+        assert all(t <= 1.0 for t, _, _ in qmon.samples)
+        assert all(t <= 1.0 for t, _, _ in lmon.samples)
+        # ~1.0/interval ticks; float accumulation may shave the last one.
+        assert 19 <= len(qmon.samples) <= 21
+        assert 3 <= len(lmon.samples) <= 4
+
+    def test_monitors_feed_registry(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        sim, link = self.loaded_link()
+        QueueMonitor(sim, link.queue, interval=0.05, horizon=2.0,
+                     registry=registry, name="uplink")
+        LinkMonitor(sim, link, interval=0.25, horizon=2.0,
+                    registry=registry)
+        sim.run(until=3.0)
+        depth = registry.histogram("queue.uplink.packets")
+        assert 39 <= depth.count <= 41
+        assert depth.percentile(95) > 50    # overloaded link builds a queue
+        util = registry.histogram(f"link.{link.name}.utilization")
+        assert 7 <= util.count <= 8
+        assert util.mean > 0.9
+        assert registry.gauge("queue.uplink.bytes").moments.count == depth.count
+
 
 class TestSlicing:
     def sliced_net(self, mar_guarantee=10e6):

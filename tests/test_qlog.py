@@ -42,6 +42,43 @@ class TestEventLog:
         assert parsed["data"]["seq"] == 7
         assert parsed["category"] == "recovery"
 
+    def test_summary_counts_by_category(self):
+        log = EventLog()
+        log.emit(0.0, "path", "tick")
+        log.emit(1.0, "path", "tick")
+        log.emit(2.0, "shedding", "message-shed")
+        s = log.summary()
+        assert s["events"] == 3
+        assert s["dropped"] == 0
+        assert s["complete"] is True
+        assert s["by_category"] == {"path": 2, "shedding": 1}
+
+    def test_summary_surfaces_drops(self):
+        log = EventLog(max_events=1)
+        log.emit(0.0, "path", "tick")
+        log.emit(1.0, "path", "tick")
+        s = log.summary()
+        assert s["dropped"] == 1
+        assert s["complete"] is False
+
+    def test_json_lines_trailer_carries_summary(self):
+        log = EventLog(max_events=2)
+        for t in (0.5, 1.5, 2.5):
+            log.emit(t, "path", "tick")
+        lines = log.to_json_lines().splitlines()
+        assert len(lines) == 3          # two events + trailer
+        trailer = json.loads(lines[-1])
+        assert trailer["category"] == "meta"
+        assert trailer["name"] == "log-summary"
+        assert trailer["data"]["dropped"] == 1
+        assert trailer["data"]["complete"] is False
+        assert trailer["time"] == 1.5   # last kept event's time
+
+    def test_json_lines_empty_log_still_has_trailer(self):
+        trailer = json.loads(EventLog().to_json_lines())
+        assert trailer["name"] == "log-summary"
+        assert trailer["data"]["events"] == 0
+
 
 class TestInstrumentedSession:
     def run_session(self, up_bps, loss=0.0, duration=10.0):
