@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""repro.check exploration throughput benchmark.
+
+Measures the two costs that size a model-checking budget:
+
+- ``explore`` — end-to-end states/second per harness (one harness
+  step + invariants + fingerprint per state, checkpoints amortized
+  across siblings);
+- ``checkpoint`` — the µs cost of ``Simulator.checkpoint`` and
+  ``Checkpoint.restore`` on each harness's freshly built world — the
+  deepcopy price the explorer pays per *node* (not per state), and the
+  reason the DFS hands a node's live world to its first branch.
+
+Both runs double as a determinism check: exploring the same
+``(harness, seed, budget)`` twice must produce identical
+``ExploreResult`` dicts — the purity that makes counterexample replay
+byte-exact.
+
+Usage::
+
+    python benchmarks/perf/check_throughput.py            # full load
+    python benchmarks/perf/check_throughput.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import pathlib
+import platform
+import sys
+import time
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+FULL = {"states": {"breaker": 4_500, "degradation": 1_500, "mptcp": 800},
+        "snapshots": 60, "repeats": 3}
+QUICK = {"states": {"breaker": 300, "degradation": 120, "mptcp": 60},
+         "snapshots": 15, "repeats": 2}
+
+DEPTHS = {"breaker": 14, "degradation": 9, "mptcp": 8}
+
+
+def explore_run(name: str, max_states: int):
+    """One timed exploration; returns (wall, result_dict)."""
+    from repro.check.explorer import Budget, explore
+    from repro.check.harnesses import HARNESSES
+
+    harness = HARNESSES[name]()
+    budget = Budget(max_states=max_states, max_depth=DEPTHS[name])
+    t0 = time.perf_counter()
+    result = explore(harness, seed=0, budget=budget)
+    elapsed = time.perf_counter() - t0
+    return elapsed, result.to_dict()
+
+
+def snapshot_cost(name: str, rounds: int):
+    """Mean checkpoint/restore µs on the harness's initial world."""
+    from repro.check.harnesses import HARNESSES
+
+    harness = HARNESSES[name]()
+    world = harness.make_world(seed=0)
+    gc.collect()
+    t0 = time.perf_counter()
+    checkpoints = [world.sim.checkpoint(world) for _ in range(rounds)]
+    checkpoint_s = (time.perf_counter() - t0) / rounds
+    t0 = time.perf_counter()
+    for cp in checkpoints:
+        cp.restore()
+    restore_s = (time.perf_counter() - t0) / rounds
+    return checkpoint_s * 1e6, restore_s * 1e6
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced load for CI smoke runs")
+    parser.add_argument("--out", default=str(REPO / "BENCH_PR6.json"),
+                        help="output JSON path")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="override best-of repeat count")
+    args = parser.parse_args(argv)
+    cfg = QUICK if args.quick else FULL
+    repeats = args.repeats if args.repeats is not None else cfg["repeats"]
+
+    payload = {
+        "bench": "PR6-check-throughput",
+        "config": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benchmarks": {},
+    }
+
+    print(f"== explore throughput (best of {repeats}) ==", flush=True)
+    for name, max_states in sorted(cfg["states"].items()):
+        best, reference = None, None
+        for _ in range(repeats):
+            gc.collect()
+            elapsed, result = explore_run(name, max_states)
+            if reference is None:
+                reference = result
+            elif result != reference:
+                print(f"ERROR: {name} explorations diverged across "
+                      f"identical runs", file=sys.stderr)
+                return 1
+            if best is None or elapsed < best:
+                best = elapsed
+        rate = reference["states"] / best if best > 0 else 0.0
+        print(f"   {name:<12} {reference['states']:>6} states in "
+              f"{best * 1e3:7.1f} ms  ({rate:8,.0f} states/s, "
+              f"{reference['unique_states']} unique)")
+        payload["benchmarks"][name] = {
+            "states": reference["states"],
+            "unique_states": reference["unique_states"],
+            "best_seconds": best,
+            "states_per_second": rate,
+            "deterministic": True,
+        }
+
+    print(f"== checkpoint/restore cost ({cfg['snapshots']} rounds) ==")
+    for name in sorted(cfg["states"]):
+        cp_us, rs_us = snapshot_cost(name, cfg["snapshots"])
+        print(f"   {name:<12} checkpoint {cp_us:8.1f} us   "
+              f"restore {rs_us:8.1f} us")
+        payload["benchmarks"][name]["checkpoint_us"] = cp_us
+        payload["benchmarks"][name]["restore_us"] = rs_us
+
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"-> {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""repro.check — bounded state-space exploration for protocol machines.
+
+ROADMAP item 5: the determinism gate (PR 4) makes every interleaving of
+the simulation replayable from ``(scenario, seed)``; this package
+exploits that to *enumerate* interleavings instead of sampling them.
+An explorer forks execution at declared decision points (same-timestamp
+event orderings, fault placements, loss/timeout outcomes), checks
+safety invariants at every explored state, and exports any violation as
+a replayable counterexample — a choice trace plus ``FaultPlan`` + seed
+that reproduces the failure in the normal engine, with a Perfetto/qlog
+obs trace for triage.
+
+See ``docs/CHECKING.md`` for the exploration model and
+``python -m repro check --help`` for the CLI.
+"""
+
+from repro.check.choices import (
+    ChoiceError,
+    Chooser,
+    ReplayController,
+    ReplayDivergence,
+    ScriptController,
+)
+from repro.check.explorer import Budget, ExploreResult, explore
+from repro.check.harnesses import HARNESSES, World
+from repro.check.invariants import Counterexample, ReplayResult, replay_counterexample
+
+__all__ = [
+    "Budget",
+    "ChoiceError",
+    "Chooser",
+    "Counterexample",
+    "ExploreResult",
+    "HARNESSES",
+    "ReplayController",
+    "ReplayDivergence",
+    "ReplayResult",
+    "ScriptController",
+    "World",
+    "explore",
+    "replay_counterexample",
+]

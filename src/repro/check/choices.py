@@ -1,0 +1,146 @@
+"""Choice oracles: how the explorer steers a simulation run.
+
+A harness world carries one :class:`Chooser`.  Wherever the harness (or
+instrumented model code) faces a nondeterministic decision — which of
+several same-timestamp events fires first, whether a fault lands now,
+which delivery outcome a packet gets — it calls
+``chooser.choose(tag, arity)`` and branches on the returned index.
+
+The chooser itself holds no policy.  It delegates to a pluggable
+*controller*:
+
+- ``None`` (default): always pick 0 — the engine's native order.  A
+  world running outside the explorer behaves exactly like the normal
+  simulator.
+- :class:`ScriptController`: replay a scripted prefix of picks, default
+  to 0 beyond it, and *record* every decision (tag, arity, picked).
+  The explorer uses the recording to enumerate sibling branches.
+- :class:`ReplayController`: strictly follow a recorded script during
+  counterexample replay, flagging divergence instead of guessing.
+
+Deepcopy contract: checkpointing deep-copies the whole world, chooser
+included.  The controller is deliberately *excluded* from the copy
+(``Chooser.__deepcopy__``) — a restored world starts neutral and the
+explorer installs the controller for the branch it is about to run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+#: One recorded decision: (tag, arity, picked).
+ChoiceRecord = Tuple[str, int, int]
+
+
+class ChoiceError(ValueError):
+    """A script pick that does not fit the arity offered at runtime."""
+
+
+class ReplayDivergence(RuntimeError):
+    """A counterexample replay made different choices than recorded."""
+
+
+class Chooser:
+    """The world's decision point, steered by a pluggable controller."""
+
+    def __init__(self) -> None:
+        self.controller = None
+
+    def choose(self, tag: str, arity: int) -> int:
+        """Pick one of ``arity`` alternatives for decision ``tag``.
+
+        ``arity <= 1`` is not a decision and is never recorded — guard
+        arms that collapse to a single alternative stay invisible to
+        the explorer instead of bloating every script.
+        """
+        if arity <= 1:
+            return 0
+        if self.controller is None:
+            return 0
+        return self.controller.choose(tag, arity)
+
+    def __deepcopy__(self, memo):
+        clone = Chooser()
+        memo[id(self)] = clone
+        return clone
+
+
+class ScriptController:
+    """Replay a scripted pick prefix, defaulting to 0 beyond it.
+
+    Every decision is logged; :meth:`sibling_scripts` turns the
+    defaulted tail into the scripts of the unexplored sibling branches
+    (``picks[:i] + [v]`` for each defaulted position ``i`` and each
+    alternative ``v >= 1``).
+    """
+
+    def __init__(self, script: List[int]) -> None:
+        self.script = list(script)
+        self.log: List[ChoiceRecord] = []
+
+    def choose(self, tag: str, arity: int) -> int:
+        position = len(self.log)
+        if position < len(self.script):
+            picked = self.script[position]
+            if not 0 <= picked < arity:
+                raise ChoiceError(
+                    f"script pick {picked} at position {position} ({tag}) "
+                    f"out of range for arity {arity}")
+        else:
+            picked = 0
+        self.log.append((tag, arity, picked))
+        return picked
+
+    @property
+    def picks(self) -> List[int]:
+        return [picked for _, _, picked in self.log]
+
+    def sibling_scripts(self) -> List[List[int]]:
+        picks = self.picks
+        out: List[List[int]] = []
+        for i in range(len(self.script), len(self.log)):
+            _tag, arity, _picked = self.log[i]
+            for alternative in range(1, arity):
+                out.append(picks[:i] + [alternative])
+        return out
+
+
+class ReplayController:
+    """Strictly follow a recorded script; raise on any mismatch.
+
+    Counterexample replay must reproduce the recorded run exactly — a
+    silent fallback to defaults would mask a broken artifact, so
+    exhausting the script mid-step or meeting a different arity raises
+    :class:`ReplayDivergence`.
+    """
+
+    def __init__(self, script: List[int],
+                 expected_log: Optional[List[ChoiceRecord]] = None) -> None:
+        self.script = list(script)
+        self.expected_log = list(expected_log) if expected_log else None
+        self.log: List[ChoiceRecord] = []
+
+    def choose(self, tag: str, arity: int) -> int:
+        position = len(self.log)
+        if position >= len(self.script):
+            raise ReplayDivergence(
+                f"replay made more choices than recorded: extra decision "
+                f"{tag!r} (arity {arity}) at position {position}")
+        picked = self.script[position]
+        if not 0 <= picked < arity:
+            raise ReplayDivergence(
+                f"recorded pick {picked} at position {position} ({tag}) "
+                f"does not fit replayed arity {arity}")
+        if self.expected_log is not None:
+            exp_tag, exp_arity, exp_picked = self.expected_log[position]
+            if (exp_tag, exp_arity, exp_picked) != (tag, arity, picked):
+                raise ReplayDivergence(
+                    f"decision #{position} diverged: recorded "
+                    f"({exp_tag!r}, {exp_arity}, {exp_picked}), replayed "
+                    f"({tag!r}, {arity}, {picked})")
+        self.log.append((tag, arity, picked))
+        return picked
+
+    @property
+    def exhausted(self) -> bool:
+        return len(self.log) == len(self.script)

@@ -1,0 +1,167 @@
+"""``python -m repro check`` — run the bounded explorer from the CLI.
+
+Exit codes:
+
+- 0: all requested harnesses explored clean (and ``--min-states`` met);
+  with ``--selfcheck``, the seeded violation was found AND its
+  normal-engine replay reproduced it byte-identically with valid
+  Perfetto/qlog exports;
+- 1: an invariant violation was found (counterexample artifacts are
+  written to ``--out``), or a self-check expectation failed;
+- 3: the exploration came in under ``--min-states`` (coverage
+  regression) — the CI gate for "the small budget still explores
+  >= 10^4 states".
+
+This file is deliberately harness-domain (wall-clock states/sec); the
+explorer itself is sim-domain and never reads a clock.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Dict, List
+
+from repro.check.explorer import Budget, ExploreResult, explore
+from repro.check.harnesses import DEFAULT_HARNESSES, HARNESSES
+from repro.check.invariants import replay_counterexample
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parents[3] / \
+    "benchmarks" / "results" / "check"
+
+#: Per-harness budgets.  "small" is the CI gate: together the three
+#: default harnesses must clear 10^4 explored states in a couple of
+#: minutes.  "full" digs deeper for local soak runs.
+BUDGETS: Dict[str, Dict[str, Budget]] = {
+    "small": {
+        "breaker": Budget(max_states=4_500, max_depth=14, max_branch=48),
+        "degradation": Budget(max_states=6_000, max_depth=9, max_branch=32),
+        "mptcp": Budget(max_states=5_000, max_depth=8, max_branch=32),
+        "selfcheck": Budget(max_states=4_500, max_depth=14, max_branch=48),
+    },
+    "full": {
+        "breaker": Budget(max_states=20_000, max_depth=20, max_branch=64),
+        "degradation": Budget(max_states=25_000, max_depth=12, max_branch=48),
+        "mptcp": Budget(max_states=20_000, max_depth=10, max_branch=48),
+        "selfcheck": Budget(max_states=20_000, max_depth=20, max_branch=64),
+    },
+}
+
+
+def configure_parser(parser) -> None:
+    parser.add_argument(
+        "--harness", default="all",
+        choices=["all", *sorted(HARNESSES)],
+        help="harness to explore (default: all three checked harnesses; "
+             "'selfcheck' is the seeded-violation pipeline test)")
+    parser.add_argument(
+        "--budget", default="small", choices=sorted(BUDGETS),
+        help="exploration budget preset (default: small — the CI gate)")
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed for harness worlds (default: 0)")
+    parser.add_argument(
+        "--out", default=None,
+        help=f"artifact directory (default: {RESULTS_DIR})")
+    parser.add_argument(
+        "--min-states", type=int, default=0,
+        help="fail (exit 3) when fewer total states were explored")
+    parser.add_argument(
+        "--selfcheck", action="store_true",
+        help="run the seeded-violation harness and verify the full "
+             "find -> export -> replay -> obs-trace pipeline")
+
+
+def _write_artifacts(out_dir: pathlib.Path, harness, result: ExploreResult):
+    """Write counterexample + replay artifacts; return replay results."""
+    replays = []
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for index, cex in enumerate(result.violations):
+        stem = f"counterexample-{result.harness}-{index}"
+        (out_dir / f"{stem}.json").write_text(cex.to_json() + "\n")
+        replay = replay_counterexample(cex, harness)
+        replays.append(replay)
+        chrome = replay.chrome_trace()
+        (out_dir / f"{stem}.trace.json").write_text(
+            json.dumps(chrome, indent=2, sort_keys=True) + "\n")
+        (out_dir / f"{stem}.qlog").write_text(replay.qlog() + "\n")
+    return replays
+
+
+def _print_result(result: ExploreResult, elapsed: float) -> None:
+    rate = result.states / elapsed if elapsed > 0 else 0.0
+    status = "FAIL" if result.violations else "ok"
+    print(f"  {result.harness:<12} {status:<5} states={result.states:<6} "
+          f"unique={result.unique_states:<6} pruned={result.pruned_visited:<5} "
+          f"depth-hits={result.depth_limit_hits:<5} "
+          f"truncated={result.truncated_branches:<4} "
+          f"drained={result.finalized_leaves:<3} "
+          f"({rate:,.0f} states/s)")
+    for cex in result.violations:
+        for message in cex.violations:
+            print(f"      violation: {message}")
+
+
+def run(args) -> int:
+    out_dir = pathlib.Path(args.out) if args.out else RESULTS_DIR
+    if args.selfcheck:
+        names = ["selfcheck"]
+    elif args.harness == "all":
+        names = list(DEFAULT_HARNESSES)
+    else:
+        names = [args.harness]
+
+    total_states = 0
+    failed = False
+    summaries: List[dict] = []
+    print(f"repro check: budget={args.budget} seed={args.seed}")
+    for name in names:
+        harness = HARNESSES[name]()
+        budget = BUDGETS[args.budget][name]
+        t0 = time.perf_counter()
+        result = explore(harness, args.seed, budget)
+        elapsed = time.perf_counter() - t0
+        total_states += result.states
+        _print_result(result, elapsed)
+        replays = _write_artifacts(out_dir, harness, result) \
+            if result.violations else []
+        summaries.append({
+            **result.to_dict(),
+            "elapsed_s": elapsed,
+            "replays_reproduced": [r.reproduced for r in replays],
+        })
+        if name == "selfcheck" or args.selfcheck:
+            if not result.violations:
+                print("  selfcheck FAILED: seeded violation was not found")
+                failed = True
+            elif not all(r.reproduced for r in replays):
+                print("  selfcheck FAILED: replay did not reproduce the "
+                      "violation byte-identically")
+                failed = True
+            else:
+                print(f"  selfcheck: counterexample found, replay "
+                      f"reproduced byte-identically "
+                      f"(digest {result.violations[0].digest[:16]}...), "
+                      f"obs trace valid -> {out_dir}")
+        elif result.violations:
+            failed = True
+            reproduced = all(r.reproduced for r in replays)
+            print(f"      counterexample(s) written to {out_dir} "
+                  f"(replay reproduced: {reproduced})")
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / "summary.json").write_text(
+        json.dumps({"budget": args.budget, "seed": args.seed,
+                    "total_states": total_states,
+                    "harnesses": summaries}, indent=2, sort_keys=True) + "\n")
+    print(f"  total: {total_states} states explored "
+          f"-> {out_dir / 'summary.json'}")
+
+    if failed:
+        return 1
+    if args.min_states and total_states < args.min_states:
+        print(f"repro check: coverage regression — {total_states} states "
+              f"< --min-states {args.min_states}")
+        return 3
+    return 0

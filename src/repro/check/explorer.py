@@ -1,0 +1,188 @@
+"""Bounded DFS over a harness's choice tree.
+
+The unit of exploration is one harness *step*: a bounded burst of
+simulated activity that consults the world's :class:`Chooser` zero or
+more times.  Each distinct sequence of picks inside a step is one edge
+out of the current state; the explorer enumerates them by running the
+step once with a scripted prefix, reading which decisions defaulted,
+and queueing the sibling scripts (see
+:meth:`ScriptController.sibling_scripts`).
+
+States are forked with :meth:`Simulator.checkpoint` (a deepcopy of the
+whole world), so exploration composes with any model code — TCP timers,
+fault expiries, feedback loops — without those subsystems knowing they
+are being checked.  A fingerprint-based visited set prunes converging
+branches; depth/branch/state budgets bound the search.  All budgets are
+event counts, never wall time: an explorer run is itself a pure
+function of ``(harness, seed, budget)``.
+
+Truncation is never silent: branches dropped by ``max_branch``, leaves
+cut by ``max_depth``, and visited-set hits are all counted in the
+:class:`ExploreResult` so "no violations" can be read alongside how
+much of the tree was actually covered.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+from repro.check.choices import ScriptController
+from repro.check.invariants import Counterexample, state_digest
+from repro.simnet.engine import Checkpoint
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Bounds for one exploration run (all counts, no wall time)."""
+
+    max_states: int = 10_000      # harness steps executed
+    max_depth: int = 10           # steps along any one path
+    max_branch: int = 64          # queued sibling scripts per state
+    max_violations: int = 1       # stop after this many counterexamples
+
+
+@dataclass
+class ExploreResult:
+    """What one bounded exploration covered, and what it found."""
+
+    harness: str
+    seed: int
+    budget: Budget
+    states: int = 0               # steps executed (edges walked)
+    unique_states: int = 0        # distinct fingerprints seen
+    pruned_visited: int = 0       # branches cut at an already-seen state
+    depth_limit_hits: int = 0     # paths cut by max_depth
+    truncated_branches: int = 0   # sibling scripts dropped by max_branch
+    finalized_leaves: int = 0     # leaves given a harness.finalize() check
+    violations: List[Counterexample] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "harness": self.harness,
+            "seed": self.seed,
+            "states": self.states,
+            "unique_states": self.unique_states,
+            "pruned_visited": self.pruned_visited,
+            "depth_limit_hits": self.depth_limit_hits,
+            "truncated_branches": self.truncated_branches,
+            "finalized_leaves": self.finalized_leaves,
+            "violations": [c.to_dict() for c in self.violations],
+        }
+
+
+class _Frame:
+    """One node of the DFS: a checkpoint plus its unexplored scripts."""
+
+    __slots__ = ("checkpoint", "live", "scripts", "depth", "trace")
+
+    def __init__(self, checkpoint: Checkpoint, live, depth: int,
+                 trace: Tuple[Tuple[int, ...], ...]) -> None:
+        self.checkpoint = checkpoint
+        #: The in-memory world this node was materialized from; consumed
+        #: by the node's first branch so a linear chain costs one
+        #: deepcopy (the checkpoint), not two.
+        self.live = live
+        self.scripts: Deque[List[int]] = deque([[]])
+        self.depth = depth
+        self.trace = trace
+
+
+def _record_violation(result: ExploreResult, harness, world, trace,
+                      messages: List[str]) -> None:
+    fingerprint = harness.fingerprint(world)
+    plan = harness.fault_plan(world)
+    result.violations.append(Counterexample(
+        harness=harness.name,
+        seed=result.seed,
+        trace=[list(step) for step in trace],
+        violations=list(messages),
+        state=repr(fingerprint),
+        digest=state_digest(fingerprint),
+        fault_plan=plan.to_dict() if plan is not None else None,
+    ))
+
+
+def explore(harness, seed: int, budget: Optional[Budget] = None) -> ExploreResult:
+    """Bounded DFS over ``harness``'s choice tree from ``seed``."""
+    budget = budget or Budget()
+    result = ExploreResult(harness=harness.name, seed=seed, budget=budget)
+
+    world = harness.make_world(seed)
+    visited = set()
+
+    root_violations = harness.invariants(world)
+    if root_violations:
+        _record_violation(result, harness, world, (), root_violations)
+        return result
+    root_fp = harness.fingerprint(world)
+    visited.add(root_fp)
+    result.unique_states = 1
+
+    stack: List[_Frame] = [
+        _Frame(world.sim.checkpoint(world), world, depth=0, trace=())
+    ]
+    while stack:
+        if result.states >= budget.max_states:
+            break
+        if len(result.violations) >= budget.max_violations:
+            break
+        frame = stack[-1]
+        if not frame.scripts:
+            stack.pop()
+            continue
+        script = frame.scripts.popleft()
+        if frame.live is not None:
+            world = frame.live
+            frame.live = None
+        else:
+            _, world = frame.checkpoint.restore()
+
+        controller = ScriptController(script)
+        world.chooser.controller = controller
+        harness.step(world)
+        world.chooser.controller = None
+        result.states += 1
+
+        siblings = controller.sibling_scripts()
+        room = budget.max_branch - len(frame.scripts)
+        if len(siblings) > room:
+            result.truncated_branches += len(siblings) - max(0, room)
+            siblings = siblings[:max(0, room)]
+        frame.scripts.extend(siblings)
+
+        trace = frame.trace + (tuple(controller.picks),)
+        violations = harness.invariants(world)
+        if violations:
+            _record_violation(result, harness, world, trace, violations)
+            continue
+
+        fingerprint = harness.fingerprint(world)
+        if fingerprint in visited:
+            result.pruned_visited += 1
+            continue
+        visited.add(fingerprint)
+        result.unique_states += 1
+
+        depth = frame.depth + 1
+        if depth >= budget.max_depth:
+            result.depth_limit_hits += 1
+            # ``finalize`` returns None when it declines to drain this
+            # leaf (budget cap, no live path); a list — possibly empty —
+            # when it ran its end-of-trace checks.
+            leaf_violations = harness.finalize(world)
+            if leaf_violations is not None:
+                result.finalized_leaves += 1
+                if leaf_violations:
+                    _record_violation(result, harness, world, trace,
+                                      leaf_violations)
+            continue
+
+        stack.append(_Frame(world.sim.checkpoint(world), world,
+                            depth=depth, trace=trace))
+    return result

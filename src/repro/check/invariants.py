@@ -1,0 +1,170 @@
+"""Counterexamples: serialization, replay, and obs-trace export.
+
+A violation found by the explorer is only useful if it can be
+reproduced *outside* the explorer.  A :class:`Counterexample` therefore
+carries everything a fresh process needs: the harness name, the seed,
+the per-step choice scripts, and the materialized :class:`FaultPlan`
+(for harnesses that place faults).  :func:`replay_counterexample`
+rebuilds the world from the seed in the normal engine, replays the
+scripts linearly with a strict :class:`ReplayController` (no
+checkpoints, no search), and compares the resulting canonical state
+byte-for-byte against the recorded one — the determinism gate's
+``(scenario, seed)``-purity is what makes this equality meaningful.
+
+Replay also emits one obs span per step (choice picks as attributes)
+so the failure can be opened in Perfetto or a qlog viewer for triage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.check.choices import ReplayController
+from repro.obs.export import chrome_trace_json, qlog_lines, validate_chrome_trace
+from repro.obs.spans import Tracer
+
+#: Format marker for counterexample artifacts.
+COUNTEREXAMPLE_VERSION = 1
+
+
+def state_digest(fingerprint: Any) -> str:
+    """Stable content hash of a harness's canonical state tuple."""
+    return hashlib.sha256(repr(fingerprint).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class Counterexample:
+    """A replayable witness of an invariant violation."""
+
+    harness: str
+    seed: int
+    #: Per-step pick scripts: ``trace[k]`` steers every decision inside
+    #: harness step ``k``.
+    trace: List[List[int]]
+    violations: List[str]
+    #: ``repr`` of the violating state's canonical fingerprint — the
+    #: byte string replay must reproduce exactly.
+    state: str
+    digest: str
+    #: Materialized fault schedule (``FaultPlan.to_dict()``), when the
+    #: harness places faults; replayable on its own in the normal engine.
+    fault_plan: Optional[dict] = None
+    version: int = COUNTEREXAMPLE_VERSION
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "harness": self.harness,
+            "seed": self.seed,
+            "trace": [list(step) for step in self.trace],
+            "violations": list(self.violations),
+            "state": self.state,
+            "digest": self.digest,
+            "fault_plan": self.fault_plan,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Counterexample":
+        return cls(
+            harness=data["harness"],
+            seed=data["seed"],
+            trace=[list(step) for step in data["trace"]],
+            violations=list(data["violations"]),
+            state=data["state"],
+            digest=data["digest"],
+            fault_plan=data.get("fault_plan"),
+            version=data.get("version", COUNTEREXAMPLE_VERSION),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Counterexample":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of re-running a counterexample in the normal engine."""
+
+    counterexample: Counterexample
+    violations: List[str]
+    state: str
+    digest: str
+    #: Annotated decision log per step: (tag, arity, picked).
+    choice_log: List[List[tuple]] = field(default_factory=list)
+    tracer: Optional[Tracer] = None
+
+    @property
+    def reproduced(self) -> bool:
+        """Replay reached the same violation in the same state,
+        byte-identically."""
+        return bool(self.violations) and self.state == self.counterexample.state
+
+    def chrome_trace(self) -> dict:
+        text = chrome_trace_json(self.tracer)
+        problems = validate_chrome_trace(text)
+        if problems:
+            raise ValueError("invalid chrome trace: " + "; ".join(problems))
+        return json.loads(text)
+
+    def qlog(self) -> str:
+        """Newline-delimited qlog records, one JSON object per line."""
+        return qlog_lines(tracer=self.tracer)
+
+
+def replay_counterexample(counterexample: Counterexample,
+                          harness) -> ReplayResult:
+    """Deterministically re-run a counterexample, linearly.
+
+    No checkpoints, no branching: the world is rebuilt from the seed
+    and each recorded step script is replayed with a strict controller
+    that raises :class:`~repro.check.choices.ReplayDivergence` on any
+    mismatch.  Returns the final invariant verdict, the canonical state
+    (compare to ``counterexample.state`` for byte-identity), and an obs
+    tracer holding one span per replayed step.
+    """
+    if harness.name != counterexample.harness:
+        raise ValueError(
+            f"counterexample is for harness {counterexample.harness!r}, "
+            f"got {harness.name!r}")
+    world = harness.make_world(counterexample.seed)
+    tracer = Tracer(world.sim)
+    root_span = tracer.start_span(
+        f"check:{harness.name}", cat="check",
+        seed=counterexample.seed, steps=len(counterexample.trace))
+    choice_log: List[List[tuple]] = []
+    violations = harness.invariants(world)
+    if not violations:
+        for step_index, picks in enumerate(counterexample.trace):
+            controller = ReplayController(picks)
+            world.chooser.controller = controller
+            span = tracer.start_span(
+                f"step:{step_index}", cat="check", parent=root_span,
+                picks=",".join(str(p) for p in picks))
+            harness.step(world)
+            tracer.finish(
+                span,
+                choices=";".join(f"{tag}[{arity}]={picked}"
+                                 for tag, arity, picked in controller.log))
+            world.chooser.controller = None
+            choice_log.append(list(controller.log))
+        violations = harness.invariants(world)
+        if not violations:
+            leaf = harness.finalize(world)
+            if leaf:
+                violations = leaf
+    fingerprint = harness.fingerprint(world)
+    tracer.finish(root_span, violations="; ".join(violations))
+    return ReplayResult(
+        counterexample=counterexample,
+        violations=violations,
+        state=repr(fingerprint),
+        digest=state_digest(fingerprint),
+        choice_log=choice_log,
+        tracer=tracer,
+    )

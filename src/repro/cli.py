@@ -246,6 +246,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return lint_run(args)
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.check.cli import run as check_run
+
+    return check_run(args)
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     """Run an instrumented scenario and export its observability artifacts.
 
@@ -413,6 +419,13 @@ def main(argv=None) -> int:
                      help="validate trace schema + stage-sum reconciliation; "
                           "exit non-zero on problems")
     obs.set_defaults(func=cmd_obs)
+    check = sub.add_parser(
+        "check", help="bounded state-space explorer: enumerate event "
+                      "orderings and fault placements, assert protocol "
+                      "invariants, export replayable counterexamples")
+    from repro.check.cli import configure_parser as _configure_check
+    _configure_check(check)
+    check.set_defaults(func=cmd_check)
     selftest = sub.add_parser(
         "selftest", help="determinism smoke: run one shard twice and "
                          "diff trace fingerprints")

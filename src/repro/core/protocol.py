@@ -430,6 +430,10 @@ class _StreamRx:
     fb_received: int = 0
     prev_missing: set = field(default_factory=set)
     counted_lost: set = field(default_factory=set)
+    #: seqs below this were pruned from ``received_seqs``; anything
+    #: arriving under it is stale (already delivered or written off) and
+    #: must not be delivered again.
+    prune_floor: int = 0
 
 
 class MartpReceiver:
@@ -483,7 +487,13 @@ class MartpReceiver:
             return
 
         seq = packet.payload["seq"]
-        if seq in rx.received_seqs:
+        if seq in rx.received_seqs or seq < rx.prune_floor or seq <= rx.cum_ack:
+            # ``received_seqs`` is pruned below the NACK window to bound
+            # memory, so membership alone cannot reject a sufficiently
+            # stale duplicate — without the floor check, a duplicate
+            # older than the prune window would be re-counted as a fresh
+            # receipt and delivered to the application a second time
+            # (found by repro.check's degradation harness).
             rx.duplicates += 1
             return
         rx.received_seqs.add(seq)
@@ -567,10 +577,13 @@ class MartpReceiver:
             expected += max(0, rx.highest - rx.fb_highest)
             rx.fb_highest = rx.highest
             rx.fb_received = rx.received
-            # Prune the receive set below the NACK window to bound memory.
+            # Prune the receive set below the NACK window to bound memory,
+            # remembering the floor so late stragglers under it still
+            # dedupe (see ``_on_packet``).
             floor = rx.highest - 2 * NACK_WINDOW
             if floor > 0 and len(rx.received_seqs) > 4 * NACK_WINDOW:
                 rx.received_seqs = {s for s in rx.received_seqs if s >= floor}
+                rx.prune_floor = max(rx.prune_floor, floor)
         loss_fraction = min(1.0, confirmed_lost / expected) if expected > 0 else 0.0
         # Send feedback back along every path that recently delivered,
         # so per-path RTTs stay fresh.

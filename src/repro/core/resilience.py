@@ -312,7 +312,7 @@ class CircuitBreaker:
 
 
 class ServiceMode(enum.Enum):
-    """The executor-level state machine (docs/PROTOCOL.md §9)."""
+    """The executor-level state machine (docs/PROTOCOL.md §8.3)."""
 
     HEALTHY = "healthy"
     SUSPECT = "suspect"

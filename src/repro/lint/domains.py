@@ -16,7 +16,11 @@ The split is by path, mirroring the package layout:
 - ``lint/`` — this tool itself.
 
 Everything else under ``src/repro`` (simnet, wireless, transport, core,
-mar, vision, edge, analysis, obs) is sim-domain.  Note that **obs** —
+mar, vision, edge, analysis, obs, check) is sim-domain.  **check** —
+the state-space explorer — must be sim-domain: an exploration run is a
+pure function of ``(harness, seed, budget)``, so its budgets are event
+counts, never wall time (the CLI, ``check/cli.py``, is harness by
+filename and may time states/sec).  Note that **obs** —
 the observability layer — is deliberately sim-domain even though it
 produces operator-facing artifacts: traces and metrics must be a pure
 function of ``(scenario, seed)`` (byte-identical double-run exports are
@@ -47,7 +51,7 @@ HARNESS_DIR_PARTS = frozenset({
 #: domain).
 SIM_DIR_PARTS = frozenset({
     "simnet", "wireless", "transport", "core", "mar", "vision", "edge",
-    "analysis", "obs",
+    "analysis", "obs", "check",
 })
 
 #: Files that are harness regardless of location.

@@ -43,10 +43,11 @@ Clock semantics of :meth:`Simulator.run` (all three exit paths):
 
 from __future__ import annotations
 
+import copy
 import heapq
 import itertools
 import random
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 # Event lifecycle states (int enum kept flat for hot-path speed).
 _PENDING = 0
@@ -110,6 +111,53 @@ class Event:
         state = ("pending", "cancelled", "fired")[self._state]
         name = getattr(self.fn, "__qualname__", repr(self.fn))
         return f"<Event t={self.time:.6f} {name} {state}>"
+
+
+class Checkpoint:
+    """A frozen deep snapshot of a simulator and its attached model roots.
+
+    This generalises the per-link snapshot machinery of
+    :mod:`repro.simnet.faults` to the *whole world*: the simulator (its
+    clock, heap, counters and RNG) is deep-copied **together** with the
+    caller-supplied ``roots`` object in one :func:`copy.deepcopy` call,
+    so every shared reference — events whose callbacks are bound methods
+    of model objects, model objects holding the simulator — lands in one
+    consistent copied object graph.
+
+    :meth:`restore` materialises a live ``(sim, roots)`` pair from the
+    frozen snapshot.  Each call yields an *independent* world, so one
+    checkpoint supports arbitrarily many restores — the primitive the
+    :mod:`repro.check` bounded explorer forks execution with.  Pass
+    ``consume=True`` on the final restore to hand back the frozen copy
+    itself and skip one deepcopy (the checkpoint must not be restored
+    again afterwards).
+
+    Caveat: deepcopy treats plain functions and lambdas as atomic, so a
+    callback that *closes over* model state keeps pointing at the
+    original objects across a restore.  Schedule bound methods (or
+    callables on copyable objects) in any world that will be
+    checkpointed; the stock simnet/transport/core components already do.
+    """
+
+    __slots__ = ("_frozen", "_consumed")
+
+    def __init__(self, sim: "Simulator", roots: Any = None) -> None:
+        self._frozen: Optional[Tuple["Simulator", Any]] = copy.deepcopy((sim, roots))
+        self._consumed = False
+
+    def restore(self, consume: bool = False) -> Tuple["Simulator", Any]:
+        """Return a live ``(sim, roots)`` copy of the frozen world."""
+        if self._frozen is None:
+            raise RuntimeError("checkpoint already consumed")
+        if consume:
+            frozen = self._frozen
+            self._frozen = None
+            return frozen
+        return copy.deepcopy(self._frozen)
+
+    @property
+    def consumed(self) -> bool:
+        return self._frozen is None
 
 
 class Simulator:
@@ -327,6 +375,66 @@ class Simulator:
                 if head is None or head[0] > until:
                     self.now = until
         return fired
+
+    # ------------------------------------------------------------------
+    # Exploration hooks (repro.check)
+    # ------------------------------------------------------------------
+    def checkpoint(self, roots: Any = None) -> Checkpoint:
+        """Deep-snapshot this simulator plus the given model roots.
+
+        ``roots`` is any object (typically a dict or a harness "world")
+        reachable alongside the simulator; it is copied in the same
+        deepcopy pass so shared references stay consistent.  See
+        :class:`Checkpoint`.
+        """
+        return Checkpoint(self, roots)
+
+    def pending_ties(self) -> List[Event]:
+        """All live events sharing the earliest deadline.
+
+        These are exactly the firing candidates of the next :meth:`step`:
+        the engine always picks the lowest sequence number, but any
+        permutation of same-timestamp events is a legal execution of the
+        modelled system — the bounded explorer enumerates them via
+        :meth:`fire_event`.  Sorted by ``(time, seq)``, so index 0 is
+        the event the default engine order would fire.
+        """
+        head = self._next_entry()
+        if head is None:
+            return []
+        t = head[0]
+        ties = [
+            event
+            for (entry_time, _seq, event) in self._heap
+            if entry_time == t and event._state == _PENDING and event.time == t
+        ]
+        ties.sort(key=lambda e: e.seq)
+        return ties
+
+    def fire_event(self, event: Event) -> None:
+        """Fire a specific pending event *now* (explorer hook).
+
+        The event must be due — its deadline may not precede other
+        pending work only in the sense the caller guarantees by choosing
+        from :meth:`pending_ties`; the engine enforces that the clock
+        never runs backwards.  Its heap entry is removed eagerly (O(n),
+        fine at explorer scale) so the normal pop path never sees a
+        fired event.
+        """
+        if event._state != _PENDING:
+            raise ValueError(f"cannot fire non-pending event {event!r}")
+        if event.time < self.now:
+            raise ValueError(
+                f"cannot fire event in the past: {event.time} < {self.now}")
+        heap = self._heap
+        for i, entry in enumerate(heap):
+            if entry[2] is event:
+                del heap[i]
+                break
+        else:  # pragma: no cover - corrupted bookkeeping
+            raise ValueError("event not owned by this simulator")
+        heapq.heapify(heap)
+        self._fire(event)
 
     # ------------------------------------------------------------------
     # Introspection

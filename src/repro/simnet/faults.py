@@ -34,6 +34,7 @@ they would against a dead edge server.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
@@ -47,6 +48,10 @@ BLACKOUT_LOSS = 1.0
 
 LinkRef = Union[str, Link]
 NodeRef = Union[str, Node]
+
+
+class FaultPlanError(ValueError):
+    """A fault plan that would silently misfire mid-run."""
 
 
 @dataclass(frozen=True)
@@ -74,20 +79,63 @@ class FaultEvent:
     extra_jitter: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.start < 0:
-            raise ValueError("fault start must be >= 0")
-        if self.duration is not None and self.duration <= 0:
-            raise ValueError("fault duration must be positive (or None)")
+        # Reject malformed events at construction: a NaN start would
+        # pass a plain ``< 0`` test and then scramble the plan's sort
+        # order, an infinite duration would schedule an expiry that
+        # never fires, and a negative extra_delay could drive the
+        # composed link delay negative — all of which previously
+        # misfired silently mid-run instead of failing here.
+        if not math.isfinite(self.start) or self.start < 0:
+            raise ValueError("fault start must be finite and >= 0")
+        if self.duration is not None and (
+                not math.isfinite(self.duration) or self.duration <= 0):
+            raise ValueError(
+                "fault duration must be finite and positive (or None for "
+                "a permanent fault)")
         if not 0.0 <= self.loss <= 1.0:
             raise ValueError("loss must be in [0, 1]")
-        if self.rate_factor <= 0:
-            raise ValueError("rate_factor must be positive")
+        if not math.isfinite(self.rate_factor) or self.rate_factor <= 0:
+            raise ValueError("rate_factor must be finite and positive")
+        if not math.isfinite(self.extra_delay) or self.extra_delay < 0:
+            raise ValueError("extra_delay must be finite and >= 0")
+        if not math.isfinite(self.extra_jitter) or self.extra_jitter < 0:
+            raise ValueError("extra_jitter must be finite and >= 0")
         if not self.links and not self.nodes:
             raise ValueError("a fault needs at least one link or node target")
 
     @property
     def end(self) -> Optional[float]:
         return None if self.duration is None else self.start + self.duration
+
+    # ------------------------------------------------------------------
+    # Serialization (counterexample artifacts, repro.check)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "start": self.start,
+            "duration": self.duration,
+            "links": list(self.links),
+            "nodes": list(self.nodes),
+            "loss": self.loss,
+            "rate_factor": self.rate_factor,
+            "extra_delay": self.extra_delay,
+            "extra_jitter": self.extra_jitter,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        return cls(
+            kind=data["kind"],
+            start=data["start"],
+            duration=data["duration"],
+            links=tuple(data.get("links", ())),
+            nodes=tuple(data.get("nodes", ())),
+            loss=data.get("loss", 0.0),
+            rate_factor=data.get("rate_factor", 1.0),
+            extra_delay=data.get("extra_delay", 0.0),
+            extra_jitter=data.get("extra_jitter", 0.0),
+        )
 
     # ------------------------------------------------------------------
     # Builders — the fault vocabulary of the robustness scenarios.
@@ -181,6 +229,58 @@ class FaultPlan:
         ends = [e.end for e in self.events if e.end is not None]
         return max(ends) if ends else 0.0
 
+    def validate(self) -> "FaultPlan":
+        """Reject plans that would silently misfire mid-run.
+
+        Raises :class:`FaultPlanError` when the plan contains the same
+        event twice — either the identical object added twice or two
+        equal events.  A doubled event activates twice, composing its
+        severity with itself (two 50% loss bursts become 75%), and its
+        two expiries race over one ``active`` list entry, so the plan's
+        effect silently diverges from what was declared.
+
+        *Distinct* overlapping events are legal by design: overlapping
+        faults compose (loss independently, rate multiplicatively,
+        delay/jitter additively) and overlapping crash windows refcount
+        — see the module docstring.  Per-event shape problems
+        (negative or non-finite times, zero-width windows, out-of-range
+        severities) are rejected earlier, at :class:`FaultEvent`
+        construction.
+
+        Returns the plan itself so call sites can chain
+        ``injector.apply(plan.validate())``.
+        """
+        problems: List[str] = []
+        seen_ids: Dict[int, int] = {}
+        for index, event in enumerate(self.events):
+            if id(event) in seen_ids:
+                problems.append(
+                    f"event #{index} ({event.kind} @ {event.start}) is the "
+                    f"same object as event #{seen_ids[id(event)]} — it would "
+                    "activate twice and compose with itself")
+            seen_ids[id(event)] = index
+        for i, a in enumerate(self.events):
+            for j in range(i + 1, len(self.events)):
+                b = self.events[j]
+                if a is not b and a == b:
+                    problems.append(
+                        f"events #{i} and #{j} are equal "
+                        f"({a.kind} @ {a.start} on {a.links or a.nodes}) — "
+                        "duplicate windows compose with themselves")
+        if problems:
+            raise FaultPlanError("; ".join(problems))
+        return self
+
+    # ------------------------------------------------------------------
+    # Serialization (counterexample artifacts, repro.check)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"events": [e.to_dict() for e in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(events=[FaultEvent.from_dict(e) for e in data.get("events", [])])
+
     # Convenience pass-throughs mirroring the FaultEvent builders.
     def blackout(self, start: float, duration: Optional[float],
                  links: Iterable[LinkRef]) -> "FaultPlan":
@@ -266,8 +366,16 @@ class FaultInjector:
         self.expired = 0
 
     # ------------------------------------------------------------------
-    def apply(self, plan: FaultPlan) -> None:
-        """Schedule every event of the plan (idempotent per event)."""
+    def apply(self, plan: FaultPlan, validate: bool = True) -> None:
+        """Schedule every event of the plan.
+
+        The plan is validated first (see :meth:`FaultPlan.validate`) so
+        a doubled event fails loudly here instead of silently composing
+        with itself mid-run; pass ``validate=False`` only when the plan
+        was already validated.
+        """
+        if validate:
+            plan.validate()
         for event in plan:
             self.schedule(event)
 

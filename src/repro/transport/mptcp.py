@@ -10,10 +10,18 @@ those claims rest on:
   plain per-subflow NewReno, adequate for the experiments here);
 - a connection-level byte stream sprayed over subflows by a
   lowest-RTT-first scheduler with per-subflow window limits;
-- connection-level in-order reassembly at the receiver (data sequence
-  numbers ride in the segment payload);
-- subflow failure handling: when a subflow's path dies, its outstanding
-  data is re-injected on the survivors (the handover mechanism).
+- connection-level data-sequence (DSN) reassembly at the receiver:
+  the sender records which DSN interval rides on which subflow (the
+  stand-in for DSN headers, since segment payloads are not
+  materialized), and the receiver maps each subflow's in-order TCP
+  delivery back to DSN space, deduplicating against the set of
+  already-delivered intervals;
+- subflow failure handling: when a subflow's path dies, every byte the
+  subflow has not cumulatively acked — in flight *and* sitting in its
+  send backlog — is re-injected on the survivors (the handover
+  mechanism).  Spurious failovers therefore deliver some bytes twice;
+  the receiver counts those as ``duplicate_bytes`` rather than new
+  data.
 
 Setup uses the same simplified handshake as the TCP module.  A real
 MPTCP couples congestion windows (LIA/OLIA) for bottleneck fairness;
@@ -24,10 +32,49 @@ such.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+import functools
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.simnet.node import Host
 from repro.transport.tcp import TcpConnection, TcpListener
+
+
+class _IntervalSet:
+    """Sorted disjoint half-open byte intervals with overlap accounting."""
+
+    def __init__(self) -> None:
+        self._spans: List[List[int]] = []    # sorted, disjoint [start, end)
+        self.total = 0                       # bytes covered
+
+    def add(self, start: int, end: int) -> int:
+        """Insert ``[start, end)``; return the number of NEW bytes covered."""
+        if end <= start:
+            return 0
+        spans = self._spans
+        # Find insertion window by linear scan from a bisected start; the
+        # sets here stay small (merged contiguous transfer prefixes).
+        lo = 0
+        while lo < len(spans) and spans[lo][1] < start:
+            lo += 1
+        hi = lo
+        new_start, new_end = start, end
+        overlap = 0
+        while hi < len(spans) and spans[hi][0] <= end:
+            overlap += min(spans[hi][1], end) - max(spans[hi][0], start)
+            new_start = min(new_start, spans[hi][0])
+            new_end = max(new_end, spans[hi][1])
+            hi += 1
+        spans[lo:hi] = [[new_start, new_end]]
+        fresh = (end - start) - overlap
+        self.total += fresh
+        return fresh
+
+    def contiguous_from_zero(self) -> int:
+        """Length of the delivered prefix starting at DSN 0."""
+        if self._spans and self._spans[0][0] == 0:
+            return self._spans[0][1]
+        return 0
 
 
 class MptcpSender:
@@ -49,11 +96,21 @@ class MptcpSender:
         self._alive: Dict[int, bool] = {i: True for i in range(len(subflows))}
         self._connected = 0
         self._pending_bytes = 0
-        self._dsn = 0                     # next data-sequence byte to assign
-        self._assigned: Dict[int, int] = {}  # subflow -> unacked conn bytes
+        self._dsn = 0                     # next fresh data-sequence byte
+        self._assigned: Dict[int, int] = {}  # subflow -> total conn bytes assigned
+        #: DSN intervals awaiting subflow assignment, in send order.
+        #: Re-injected intervals go to the front (retransmit priority).
+        self._send_queue: Deque[Tuple[int, int]] = deque()
+        #: Per-subflow append-only assignment log: the DSN interval each
+        #: subflow-level chunk carries.  This is the simulation stand-in
+        #: for the DSN header riding in segment payloads; the receiver
+        #: reads it to reassemble connection-level delivery.
+        self.dsn_log: List[List[Tuple[int, int]]] = []
+        self.reinjected_bytes = 0
         self.on_established: Optional[Callable[[], None]] = None
         for i, subflow in enumerate(subflows):
             self._assigned[i] = 0
+            self.dsn_log.append([])
             subflow.on_established = self._make_established(i)
 
     # ------------------------------------------------------------------
@@ -62,35 +119,60 @@ class MptcpSender:
             subflow.connect()
 
     def _make_established(self, index: int):
-        def _on_established() -> None:
-            self._connected += 1
-            if self._connected == 1 and self.on_established is not None:
-                self.on_established()
-            self._pump()
-        return _on_established
+        return functools.partial(self._subflow_established, index)
+
+    def _subflow_established(self, index: int) -> None:
+        self._connected += 1
+        if self._connected == 1 and self.on_established is not None:
+            self.on_established()
+        self._pump()
 
     # ------------------------------------------------------------------
     def send(self, nbytes: int) -> None:
         """Queue connection-level bytes for transmission."""
         if nbytes <= 0:
             raise ValueError("nbytes must be positive")
+        self._send_queue.append((self._dsn, self._dsn + nbytes))
+        self._dsn += nbytes
         self._pending_bytes += nbytes
         self._pump()
 
     def set_alive(self, index: int, alive: bool) -> None:
         """Mark a subflow's path up/down (handover signalling).
 
-        On failure, bytes in flight on the dead subflow are re-injected
-        on the surviving ones.
+        On failure, every byte the subflow has not cumulatively acked is
+        re-injected on the survivors: bytes in flight AND bytes parked
+        in the subflow's send backlog (``app_bytes - snd_nxt``) — the
+        backlog is equally stranded when the path dies, and dropping it
+        silently loses data (found by repro.check's handover harness).
         """
         was_alive = self._alive[index]
         self._alive[index] = alive
         if was_alive and not alive:
             subflow = self.subflows[index]
-            stranded = subflow.bytes_in_flight
-            if stranded > 0:
-                self._pending_bytes += stranded
+            stranded = self._stranded_intervals(index, subflow.snd_una,
+                                                subflow.app_bytes)
+            for start, end in reversed(stranded):
+                self._send_queue.appendleft((start, end))
+                self._pending_bytes += end - start
+                self.reinjected_bytes += end - start
         self._pump()
+
+    def _stranded_intervals(self, index: int, acked_offset: int,
+                            sent_offset: int) -> List[Tuple[int, int]]:
+        """DSN intervals mapping to subflow bytes ``[acked, sent)``."""
+        out: List[Tuple[int, int]] = []
+        offset = 0
+        for start, end in self.dsn_log[index]:
+            length = end - start
+            lo = max(acked_offset, offset)
+            hi = min(sent_offset, offset + length)
+            if lo < hi:
+                out.append((start + (lo - offset), start + (hi - offset)))
+            offset += length
+            if offset >= sent_offset:
+                break
+        return out
 
     # ------------------------------------------------------------------
     def _usable(self) -> List[Tuple[int, TcpConnection]]:
@@ -125,9 +207,26 @@ class MptcpSender:
                 self._pending_bytes,
                 max(int(subflow.cwnd - subflow.bytes_in_flight), subflow.mss),
             )
+            self.dsn_log[index].extend(self._take(chunk))
             subflow.send(chunk)
             self._assigned[index] += chunk
             self._pending_bytes -= chunk
+
+    def _take(self, nbytes: int) -> List[Tuple[int, int]]:
+        """Pop ``nbytes`` worth of DSN intervals off the send queue."""
+        out: List[Tuple[int, int]] = []
+        remaining = nbytes
+        while remaining > 0:
+            start, end = self._send_queue.popleft()
+            length = end - start
+            if length <= remaining:
+                out.append((start, end))
+                remaining -= length
+            else:
+                out.append((start, start + remaining))
+                self._send_queue.appendleft((start + remaining, end))
+                remaining = 0
+        return out
 
     # ------------------------------------------------------------------
     @property
@@ -140,30 +239,82 @@ class MptcpSender:
 
 
 class MptcpReceiver:
-    """Connection-level receive accounting over per-subflow listeners.
+    """Connection-level DSN reassembly over per-subflow listeners.
 
-    For the throughput/handover experiments we only need the aggregate
-    delivered byte count and its time series; segment payloads are not
-    materialized, so reassembly reduces to summing per-subflow in-order
-    deliveries (each subflow is itself in-order, and connection-level
-    ordering is not observable without payloads).
+    Each TCP subflow delivers exactly-once and in order at the subflow
+    level; this class maps those deliveries back to connection DSN space
+    using the sender's assignment log (the stand-in for DSN headers) and
+    splits the aggregate into unique versus duplicate bytes.  Attach the
+    sender with :meth:`attach_sender` to enable DSN accounting; without
+    it the receiver degrades to raw byte counting (``bytes_received``),
+    the original behaviour.
     """
 
-    def __init__(self, host: Host, ports: List[int]) -> None:
+    def __init__(self, host: Host, ports: List[int],
+                 sender: Optional[MptcpSender] = None) -> None:
         self.host = host
         self.sim = host.sim
         self.bytes_received = 0
+        self.bytes_delivered_unique = 0
+        self.duplicate_bytes = 0
         self.delivery_log: List[Tuple[float, int]] = []
+        self._sender: Optional[MptcpSender] = None
+        self._delivered = _IntervalSet()
+        self._consumed: List[int] = []       # per-subflow delivered bytes
+        self._log_pos: List[Tuple[int, int]] = []  # (entry idx, offset) cursor
         self.listeners = [
-            TcpListener(host, port, on_accept=self._on_accept) for port in ports
+            TcpListener(host, port,
+                        on_accept=functools.partial(self._on_accept, i))
+            for i, port in enumerate(ports)
         ]
+        if sender is not None:
+            self.attach_sender(sender)
 
-    def _on_accept(self, conn: TcpConnection) -> None:
-        conn.on_data = self._on_data
+    def attach_sender(self, sender: MptcpSender) -> None:
+        """Wire the sender whose ``dsn_log`` describes subflow payloads."""
+        if len(sender.subflows) != len(self.listeners):
+            raise ValueError("sender subflow count != receiver port count")
+        self._sender = sender
+        self._consumed = [0] * len(self.listeners)
+        self._log_pos = [(0, 0)] * len(self.listeners)
 
-    def _on_data(self, nbytes: int) -> None:
+    def _on_accept(self, index: int, conn: TcpConnection) -> None:
+        conn.on_data = functools.partial(self._on_data, index)
+
+    def _on_data(self, index: int, nbytes: int) -> None:
         self.bytes_received += nbytes
         self.delivery_log.append((self.sim.now, nbytes))
+        if self._sender is None:
+            return
+        for start, end in self._dsn_intervals(index, nbytes):
+            fresh = self._delivered.add(start, end)
+            self.bytes_delivered_unique += fresh
+            self.duplicate_bytes += (end - start) - fresh
+        self._consumed[index] += nbytes
+
+    def _dsn_intervals(self, index: int, nbytes: int) -> List[Tuple[int, int]]:
+        """Advance subflow ``index``'s log cursor by ``nbytes``."""
+        log = self._sender.dsn_log[index]
+        entry, offset = self._log_pos[index]
+        out: List[Tuple[int, int]] = []
+        remaining = nbytes
+        while remaining > 0:
+            start, end = log[entry]
+            avail = (end - start) - offset
+            step = min(avail, remaining)
+            out.append((start + offset, start + offset + step))
+            remaining -= step
+            offset += step
+            if offset == end - start:
+                entry, offset = entry + 1, 0
+        self._log_pos[index] = (entry, offset)
+        return out
+
+    # ------------------------------------------------------------------
+    @property
+    def bytes_contiguous(self) -> int:
+        """In-order app-deliverable prefix: contiguous DSN bytes from 0."""
+        return self._delivered.contiguous_from_zero()
 
     def throughput_bps(self, t0: float, t1: float) -> float:
         if t1 <= t0:

@@ -129,3 +129,145 @@ def test_spec_lookup():
     assert ctl.spec(2).name == "video-reference-frames"
     with pytest.raises(KeyError):
         ctl.spec(99)
+
+
+# ======================================================================
+# Exact float-threshold boundaries (repro.check satellite coverage).
+#
+# The allocator compares the remaining budget against floors and
+# demands with plain float arithmetic; these tests pin its behaviour
+# *at* the thresholds, one ulp below, and one ulp above.  All rates are
+# binary-representable so == assertions are exact, and math.nextafter
+# generates true one-ulp neighbours rather than arbitrary epsilons.
+# ======================================================================
+
+import math  # noqa: E402
+
+
+def _boundary_streams():
+    return [
+        spec(0, Priority.HIGHEST, 1_000_000.0, floor=250_000.0),
+        spec(1, Priority.MEDIUM_NO_DISCARD, 2_000_000.0, floor=500_000.0),
+        spec(2, Priority.LOWEST, 1_000_000.0, floor=125_000.0),
+    ]
+
+
+def test_priority_major_at_the_sum_of_floors_boundary():
+    # Allocation is strictly priority-major: at budget == sum of all
+    # floors the HIGHEST level still tops up toward nominal before any
+    # budget reaches the next level, so the MEDIUM_NO_DISCARD floor is
+    # kept only via the overcommit guarantee and the droppable starves.
+    ctl = DegradationController(_boundary_streams())
+    floors = 250_000.0 + 500_000.0 + 125_000.0
+    alloc = ctl.allocate(floors)
+    assert alloc.rate(0) == floors - 500_000.0 - 125_000.0 + 625_000.0
+    assert alloc.rate(1) == 500_000.0
+    assert alloc.dropped == [2]
+    assert alloc.overcommitted
+
+
+def test_same_level_floors_funded_exactly_at_boundary():
+    streams = [
+        spec(0, Priority.MEDIUM_NO_DISCARD, 1_000_000.0, floor=250_000.0),
+        spec(1, Priority.MEDIUM_NO_DISCARD, 2_000_000.0, floor=500_000.0),
+    ]
+    ctl = DegradationController(streams)
+    alloc = ctl.allocate(750_000.0)
+    assert alloc.rate(0) == 250_000.0
+    assert alloc.rate(1) == 500_000.0
+    assert alloc.dropped == []
+    assert not alloc.overcommitted
+
+
+def test_one_ulp_below_same_level_floors_overcommits_the_guarantee():
+    streams = [
+        spec(0, Priority.MEDIUM_NO_DISCARD, 1_000_000.0, floor=250_000.0),
+        spec(1, Priority.MEDIUM_NO_DISCARD, 2_000_000.0, floor=500_000.0),
+    ]
+    ctl = DegradationController(streams)
+    alloc = ctl.allocate(math.nextafter(750_000.0, 0.0))
+    # One ulp of shortfall: the second guarantee no longer fits, but a
+    # non-discardable floor is funded anyway and the round is flagged.
+    assert alloc.rate(0) == 250_000.0
+    assert alloc.rate(1) == 500_000.0
+    assert alloc.overcommitted
+
+
+def test_one_ulp_below_same_level_floors_drops_the_droppable():
+    streams = [
+        spec(0, Priority.LOWEST, 1_000_000.0, floor=250_000.0),
+        spec(1, Priority.LOWEST, 1_000_000.0, floor=125_000.0),
+    ]
+    ctl = DegradationController(streams)
+    alloc = ctl.allocate(math.nextafter(375_000.0, 0.0))
+    # Floors are funded in stream-id order; the ulp shortfall lands on
+    # stream 1, which is droppable and therefore dropped outright.
+    assert alloc.dropped == [1]
+    assert alloc.rate(1) == 0.0
+    assert alloc.rate(0) >= 250_000.0
+    assert not alloc.overcommitted
+
+
+def test_budget_one_ulp_below_a_guaranteed_floor_overcommits():
+    ctl = DegradationController([
+        spec(0, Priority.HIGHEST, 1_000_000.0, floor=250_000.0),
+    ])
+    alloc = ctl.allocate(math.nextafter(250_000.0, 0.0))
+    # The guarantee is kept anyway — the paper's "unaltered at all
+    # cost" — and the round is flagged, not silently scaled.
+    assert alloc.rate(0) == 250_000.0
+    assert alloc.overcommitted
+
+
+def test_budget_exactly_sum_of_nominals_restores_full_quality():
+    ctl = DegradationController(_boundary_streams())
+    nominal = 4_000_000.0
+    # A congested round first: re-promotion must not depend on history.
+    congested = ctl.allocate(500_000.0)
+    assert any(q < 1.0 for q in congested.quality.values())
+    alloc = ctl.allocate(nominal)
+    assert alloc.quality == {0: 1.0, 1: 1.0, 2: 1.0}
+    assert alloc.total_bps == nominal
+
+
+def test_budget_one_ulp_below_nominals_degrades_only_the_lowest():
+    ctl = DegradationController(_boundary_streams())
+    alloc = ctl.allocate(math.nextafter(4_000_000.0, 0.0))
+    # The shortfall is strictly below one bit of budget, but quality
+    # must still reflect it — and only on the lowest priority level.
+    assert alloc.quality[0] == 1.0
+    assert alloc.quality[1] == 1.0
+    assert alloc.quality[2] < 1.0
+
+
+def test_budget_one_ulp_above_nominals_changes_nothing():
+    ctl = DegradationController(_boundary_streams())
+    alloc = ctl.allocate(math.nextafter(4_000_000.0, math.inf))
+    assert alloc.quality == {0: 1.0, 1: 1.0, 2: 1.0}
+    assert alloc.total_bps == 4_000_000.0
+
+
+def test_proportional_topup_splits_exactly_at_the_boundary():
+    # Two streams share one priority level; the budget covers floors
+    # plus exactly half the total remaining demand.  The water-fill
+    # must split that half proportionally to demand, exactly.
+    streams = [
+        spec(0, Priority.MEDIUM_NO_DISCARD, 1_000_000.0, floor=500_000.0),
+        spec(1, Priority.MEDIUM_NO_DISCARD, 2_000_000.0, floor=1_000_000.0),
+    ]
+    ctl = DegradationController(streams)
+    # Demands above floors: 500k and 1000k; half the total is 750k.
+    alloc = ctl.allocate(1_500_000.0 + 750_000.0)
+    assert alloc.rate(0) == 500_000.0 + 250_000.0
+    assert alloc.rate(1) == 1_000_000.0 + 500_000.0
+    assert alloc.total_bps == 2_250_000.0
+
+
+def test_leftover_at_the_waterfill_epsilon_terminates():
+    # A leftover budget exactly at the loop's 1e-9 cutoff must neither
+    # spin nor grant phantom rate.
+    streams = [spec(0, Priority.HIGHEST, 1_000_000.0, floor=0.0)]
+    ctl = DegradationController(streams)
+    alloc = ctl.allocate(1_000_000.0 + 1e-9)
+    assert alloc.rate(0) == 1_000_000.0
+    assert alloc.quality[0] == 1.0

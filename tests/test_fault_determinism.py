@@ -53,8 +53,17 @@ fault_events = st.one_of(
     node_fault(),
 )
 
+def _dedupe(events):
+    """Drop equal duplicates: ``FaultPlan.validate()`` rejects them."""
+    out = []
+    for event in events:
+        if not any(event == kept for kept in out):
+            out.append(event)
+    return out
+
+
 fault_plans = st.lists(fault_events, min_size=0, max_size=6).map(
-    lambda events: FaultPlan(list(events))
+    lambda events: FaultPlan(_dedupe(events))
 )
 
 
@@ -98,7 +107,7 @@ def run_resilient_trace(plan, seed):
         "links": [l.name for l in scenario.net.links if "client" in l.name],
         "nodes": scenario.all_servers,
     }
-    remapped = FaultPlan([
+    remapped = FaultPlan(_dedupe([
         FaultEvent(
             kind=e.kind, start=e.start, duration=e.duration,
             links=tuple(targets["links"]) if e.links else (),
@@ -107,7 +116,7 @@ def run_resilient_trace(plan, seed):
             extra_delay=e.extra_delay, extra_jitter=e.extra_jitter,
         )
         for e in plan
-    ])
+    ]))
     FaultInjector(scenario.net).apply(remapped)
     executor = ResilientOffloadExecutor(
         scenario.net, "client", scenario.all_servers,

@@ -9,7 +9,9 @@ that leaked jitter/rate mutations past its window.
 import pytest
 
 from repro.simnet.engine import Simulator
-from repro.simnet.faults import FaultEvent, FaultInjector, FaultPlan, path_links
+from repro.simnet.faults import (
+    FaultEvent, FaultInjector, FaultPlan, FaultPlanError, path_links,
+)
 from repro.simnet.network import Network
 
 
@@ -162,6 +164,76 @@ class TestNodeFaults:
         assert net["b"].down is True
         sim.run(until=4.5)
         assert net["b"].down is False
+
+
+class TestEventConstruction:
+    """Malformed events must fail at construction, not misfire mid-run."""
+
+    def test_non_finite_times_rejected(self):
+        nan, inf = float("nan"), float("inf")
+        with pytest.raises(ValueError):
+            FaultEvent(kind="x", start=nan, duration=1, links=("l",))
+        with pytest.raises(ValueError):
+            FaultEvent(kind="x", start=inf, duration=1, links=("l",))
+        with pytest.raises(ValueError):
+            FaultEvent(kind="x", start=0, duration=nan, links=("l",))
+        with pytest.raises(ValueError):
+            FaultEvent(kind="x", start=0, duration=inf, links=("l",))
+
+    def test_negative_delay_and_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(kind="x", start=0, duration=1, links=("l",),
+                       extra_delay=-0.01)
+        with pytest.raises(ValueError):
+            FaultEvent(kind="x", start=0, duration=1, links=("l",),
+                       extra_jitter=-0.01)
+        with pytest.raises(ValueError):
+            FaultEvent(kind="x", start=0, duration=1, links=("l",),
+                       extra_delay=float("nan"))
+
+    def test_roundtrips_through_dict(self):
+        event = FaultEvent.delay_spike(1.0, 2.0, ["l1", "l2"],
+                                       extra_delay=0.2, extra_jitter=0.05)
+        assert FaultEvent.from_dict(event.to_dict()) == event
+        plan = FaultPlan().blackout(1.0, 2.0, ["l1"]).server_crash(0.5, None, ["s"])
+        rebuilt = FaultPlan.from_dict(plan.to_dict())
+        assert rebuilt.events == plan.events
+
+
+class TestPlanValidation:
+    """``FaultPlan.validate()`` rejects doubled events; distinct overlaps
+    stay legal because overlapping faults compose by design."""
+
+    def test_same_object_twice_rejected(self):
+        event = FaultEvent.blackout(1.0, 1.0, ["l1"])
+        plan = FaultPlan([event, event])
+        with pytest.raises(FaultPlanError):
+            plan.validate()
+
+    def test_equal_events_rejected(self):
+        plan = (FaultPlan()
+                .loss_burst(1.0, 1.0, ["l1"], loss=0.5)
+                .loss_burst(1.0, 1.0, ["l1"], loss=0.5))
+        with pytest.raises(FaultPlanError):
+            plan.validate()
+
+    def test_distinct_overlapping_events_are_legal(self):
+        plan = (FaultPlan()
+                .loss_burst(1.0, 3.0, ["l1"], loss=0.5)
+                .loss_burst(2.0, 3.0, ["l1"], loss=0.5)
+                .server_crash(1.0, 2.0, ["b"])
+                .server_crash(2.0, 2.0, ["b"]))
+        assert plan.validate() is plan
+
+    def test_apply_validates_by_default(self):
+        sim, net = two_host_net()
+        link = net.path_links("a", "b")[0]
+        event = FaultEvent.blackout(1.0, 1.0, [link])
+        plan = FaultPlan([event, event])
+        with pytest.raises(FaultPlanError):
+            FaultInjector(net).apply(plan)
+        # An explicit opt-out still exists for callers that pre-validated.
+        FaultInjector(net).apply(FaultPlan([event]), validate=False)
 
 
 class TestIntrospection:

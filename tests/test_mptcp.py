@@ -30,6 +30,7 @@ def make_connection(net, ports=(80, 81)):
         TcpConnection(net["client-lte"], 5001, "server", ports[1]),
     ]
     sender = MptcpSender(subflows)
+    receiver.attach_sender(sender)
     return sender, receiver
 
 
@@ -110,3 +111,80 @@ def test_throughput_timeseries():
     sim.run(until=30.0)
     assert receiver.throughput_bps(0.0, 30.0) > 0
     assert receiver.throughput_bps(5.0, 5.0) == 0.0
+
+
+def test_clean_transfer_has_no_duplicates_and_is_in_order():
+    sim, net = two_path_net()
+    sender, receiver = make_connection(net)
+    sender.on_established = lambda: sender.send(3_000_000)
+    sender.connect()
+    sim.run(until=60.0)
+    assert receiver.bytes_delivered_unique == 3_000_000
+    assert receiver.duplicate_bytes == 0
+    assert receiver.bytes_contiguous == 3_000_000
+    assert receiver.bytes_received == (
+        receiver.bytes_delivered_unique + receiver.duplicate_bytes
+    )
+
+
+def test_handover_delivers_every_byte_exactly_once():
+    """Real path death: in-flight AND backlog bytes stranded on the dead
+    subflow are re-injected, so the unique DSN delivery is exact — the
+    old in-flight-only re-injection silently lost the send backlog."""
+    sim, net = two_path_net()
+    sender, receiver = make_connection(net)
+    sender.on_established = lambda: sender.send(4_000_000)
+    sender.connect()
+
+    def fail_wifi():
+        net.path_links("client-wifi", "server")[0].loss = 0.999999
+        sender.set_alive(0, False)
+    sim.schedule(2.0, fail_wifi)
+    sim.run(until=120.0)
+    assert receiver.bytes_delivered_unique == 4_000_000
+    assert receiver.bytes_contiguous == 4_000_000
+    assert receiver.bytes_received == (
+        receiver.bytes_delivered_unique + receiver.duplicate_bytes
+    )
+
+
+def test_spurious_failover_duplicates_detected_not_recounted():
+    """MPTCP-level failover without actual path death: the 'dead'
+    subflow keeps delivering, so the re-injected copy arrives twice.
+    The receiver must classify the second copy as duplicate bytes."""
+    sim, net = two_path_net()
+    sender, receiver = make_connection(net)
+    sender.on_established = lambda: sender.send(4_000_000)
+    sender.connect()
+    sim.schedule(2.0, sender.set_alive, 0, False)   # path NOT broken
+    sim.run(until=120.0)
+    assert receiver.bytes_delivered_unique == 4_000_000
+    assert receiver.duplicate_bytes > 0
+    assert receiver.bytes_received == (
+        receiver.bytes_delivered_unique + receiver.duplicate_bytes
+    )
+    assert sender.reinjected_bytes >= receiver.duplicate_bytes
+
+
+def test_receiver_without_sender_degrades_to_raw_counting():
+    sim, net = two_path_net()
+    receiver = MptcpReceiver(net["server"], [80, 81])
+    subflows = [
+        TcpConnection(net["client-wifi"], 5000, "server", 80),
+        TcpConnection(net["client-lte"], 5001, "server", 81),
+    ]
+    sender = MptcpSender(subflows)
+    sender.on_established = lambda: sender.send(500_000)
+    sender.connect()
+    sim.run(until=30.0)
+    assert receiver.bytes_received == 500_000
+    assert receiver.bytes_delivered_unique == 0      # accounting disabled
+
+
+def test_attach_sender_validates_subflow_count():
+    sim, net = two_path_net()
+    receiver = MptcpReceiver(net["server"], [80])
+    sender = MptcpSender([TcpConnection(net["client-wifi"], 5000, "server", 80),
+                          TcpConnection(net["client-lte"], 5001, "server", 81)])
+    with pytest.raises(ValueError):
+        receiver.attach_sender(sender)

@@ -240,3 +240,41 @@ def test_controller_property_single_path_only():
     streams = [simple_stream()]
     sim, sender, receiver = single_path_pair(streams)
     assert sender.controller is sender.controllers["wifi"]
+
+
+def test_stale_duplicate_below_prune_floor_not_redelivered():
+    """``received_seqs`` is pruned below the NACK window; a duplicate
+    older than the prune floor must still be deduped, not handed to the
+    application a second time (repro.check regression)."""
+    from repro.simnet.packet import Packet
+
+    streams = [simple_stream()]
+    sim, sender, receiver = single_path_pair(streams)
+    delivered = []
+    receiver.on_message = lambda stream, seq, latency: delivered.append(seq)
+
+    def data_packet(seq):
+        return Packet(
+            src="client", dst="server", src_port=6000, dst_port=7000,
+            size=528, kind="martp-data", flow="martp:s0",
+            payload={
+                "stream": 0, "seq": seq, "created": sim.now,
+                "msg_deadline": 0.2, "parity": False, "retransmit": False,
+                "ts": sim.now, "path": "wifi",
+            },
+            created_at=sim.now,
+        )
+
+    # Enough contiguous receipt to exceed the 4*NACK_WINDOW prune trigger.
+    for seq in range(600):
+        receiver._on_packet(data_packet(seq))
+    receiver._send_feedback()                  # prunes received_seqs
+    rx = receiver.stream_stats(0)
+    assert rx.prune_floor > 5                  # seq 5 is below the floor
+    assert 5 not in rx.received_seqs
+
+    before = list(delivered)
+    receiver._on_packet(data_packet(5))        # stale straggler
+    assert delivered == before                 # no second delivery
+    assert rx.duplicates == 1
+    assert rx.received == 600                  # not re-counted as fresh
