@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Fleet parallel-scaling benchmark -> ``BENCH_PR7.json``.
+
+Runs a fixed cell-offload campaign serially and across a workers x
+batching matrix (unbatched ``batch_size=1`` vs auto-batched warm-pool
+dispatch), recording wall time, speedup, and parallel efficiency for
+each cell, plus a fingerprint asserting every configuration merged the
+byte-identical aggregate (the fleet determinism contract).
+
+Metadata records **both** ``os.cpu_count()`` (the machine) and
+``usable_cpus()`` (the scheduling-affinity mask): BENCH_PR3's negative
+scaling was measured with 4 workers on a ``cpu_count: 1`` box, and the
+two numbers disagreeing is exactly the oversubscription signal.
+
+Usage::
+
+    python benchmarks/perf/fleet_scaling.py                # full load
+    python benchmarks/perf/fleet_scaling.py --quick        # CI smoke
+    python benchmarks/perf/fleet_scaling.py --gate         # enforce scaling
+
+``--gate`` is the CI regression fence: on hosts with >= 2 usable cores
+it hard-fails unless the auto-batched 2-worker run achieves speedup
+>= 1.0 (i.e. parallelism must never again be slower than serial); with
+``--strict`` it additionally requires efficiency >= 0.6 at 4 workers on
+>= 4-core hosts.  On single-core hosts the scaling gate records itself
+as skipped — the determinism check is enforced unconditionally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.fleet import Campaign, run_campaign, usable_cpus  # noqa: E402
+
+FULL = dict(seeds=16, duration=1.0, worker_counts=(2, 4), repeats=2)
+QUICK = dict(seeds=8, duration=0.5, worker_counts=(2, 4), repeats=1)
+
+#: Floor for the 2-worker auto-batched speedup on multi-core hosts.
+GATE_SPEEDUP_2W = 1.0
+#: Floor for 4-worker parallel efficiency (``--strict``, >= 4 cores).
+GATE_EFFICIENCY_4W = 0.6
+
+
+def _campaign(seeds: int, duration: float) -> Campaign:
+    return Campaign(
+        name="fleet_scaling", scenario="cell_offload", seeds=seeds,
+        base_seed=7, grid={"rtt": [0.008, 0.036, 0.072, 0.120]},
+        params={"duration": duration, "up_bps": 12e6},
+    )
+
+
+def _timed(campaign: Campaign, repeats: int, **kwargs):
+    """Best-of-N wall time; returns (seconds, result-of-best-run)."""
+    best = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = run_campaign(campaign, **kwargs)
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best[0]:
+            best = (elapsed, result)
+    return best
+
+
+def run_matrix(cfg: dict) -> dict:
+    import hashlib
+
+    campaign = _campaign(cfg["seeds"], cfg["duration"])
+    repeats = cfg["repeats"]
+
+    serial_t, serial = _timed(campaign, repeats, workers=1)
+    reference = serial.aggregate.to_json()
+    identical = True
+    start_method = None
+
+    def row(elapsed: float, workers: int) -> dict:
+        speedup = serial_t / elapsed if elapsed > 0 else float("inf")
+        return {"seconds": elapsed, "speedup": speedup,
+                "efficiency": speedup / workers}
+
+    workers_out = {"1": {**row(serial_t, 1), "mode": "serial"}}
+    for w in cfg["worker_counts"]:
+        cells = {}
+        for mode, batch_size in (("unbatched", 1), ("batched", None)):
+            elapsed, result = _timed(campaign, repeats, workers=w,
+                                     batch_size=batch_size)
+            identical = identical and result.aggregate.to_json() == reference
+            start_method = result.start_method or start_method
+            cells[mode] = {**row(elapsed, w),
+                           "n_batches": result.n_batches,
+                           "max_buffered": result.max_buffered}
+            print(f"   {w} worker(s) {mode:>9}: {elapsed:6.2f}s  "
+                  f"speedup {cells[mode]['speedup']:.2f}x  "
+                  f"efficiency {cells[mode]['efficiency']:.0%}", flush=True)
+        workers_out[str(w)] = cells
+
+    total = serial_t + sum(cell["seconds"]
+                           for w, cells in workers_out.items() if w != "1"
+                           for cell in cells.values())
+    return {
+        "shards": campaign.n_shards,
+        "seconds": total,
+        "workers": workers_out,
+        "aggregates_identical": identical,
+        "fingerprint": hashlib.sha256(reference.encode()).hexdigest(),
+        "start_method": start_method,
+    }
+
+
+def apply_gate(stats: dict, usable: int, strict: bool) -> dict:
+    """Evaluate the scaling gate; returns a record for the JSON output."""
+    checks = []
+    if usable >= 2:
+        speedup = stats["workers"]["2"]["batched"]["speedup"]
+        checks.append({
+            "check": f"2-worker batched speedup >= {GATE_SPEEDUP_2W}",
+            "value": speedup,
+            "ok": speedup >= GATE_SPEEDUP_2W,
+        })
+    if strict and usable >= 4 and "4" in stats["workers"]:
+        eff = stats["workers"]["4"]["batched"]["efficiency"]
+        checks.append({
+            "check": f"4-worker batched efficiency >= {GATE_EFFICIENCY_4W}",
+            "value": eff,
+            "ok": eff >= GATE_EFFICIENCY_4W,
+        })
+    return {
+        "applied": bool(checks),
+        "skipped_reason": (None if checks
+                           else f"only {usable} usable core(s)"),
+        "checks": checks,
+        "pass": all(c["ok"] for c in checks),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced load for CI smoke runs")
+    parser.add_argument("--out", default=str(REPO / "BENCH_PR7.json"),
+                        help="output JSON path")
+    parser.add_argument("--gate", action="store_true",
+                        help="fail on scaling regression (>=2 usable cores)")
+    parser.add_argument("--strict", action="store_true",
+                        help="with --gate: also require efficiency >= "
+                             f"{GATE_EFFICIENCY_4W} at 4 workers (>=4 cores)")
+    args = parser.parse_args(argv)
+    cfg = QUICK if args.quick else FULL
+    usable = usable_cpus()
+
+    print(f"== fleet_scaling (campaign parallel efficiency) ==\n"
+          f"   cpu_count {os.cpu_count()}, usable {usable}", flush=True)
+    stats = run_matrix(cfg)
+    gate = apply_gate(stats, usable, args.strict)
+
+    payload = {
+        "bench": "PR7-fleet-scaling",
+        "config": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "usable_cpus": usable,
+        "benchmarks": {"fleet_scaling": {**stats, "gate": gate}},
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+    if not stats["aggregates_identical"]:
+        print("ERROR: fleet aggregates diverged between configurations",
+              file=sys.stderr)
+        return 1
+    if args.gate:
+        if not gate["applied"]:
+            print(f"scaling gate skipped: {gate['skipped_reason']} "
+                  "(determinism check still enforced)")
+        else:
+            for c in gate["checks"]:
+                print(f"gate: {c['check']}: "
+                      f"{'PASS' if c['ok'] else 'FAIL'} ({c['value']:.2f})")
+            if not gate["pass"]:
+                return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

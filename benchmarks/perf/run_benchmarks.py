@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import pathlib
 import platform
 import sys
@@ -39,7 +38,6 @@ FULL = {
     "rearm_heavy": dict(n_conns=100, duration=1.0),
     "tcp_transfer": dict(nbytes=2_000_000, windows=20),
     "a10_scale": 1.0,
-    "fleet_scaling": dict(worker_counts=(1, 2, 4), seeds=16, duration=1.0),
     "repeats": 3,
 }
 QUICK = {
@@ -47,7 +45,6 @@ QUICK = {
     "rearm_heavy": dict(n_conns=40, duration=0.5),
     "tcp_transfer": dict(nbytes=500_000, windows=10),
     "a10_scale": 0.4,
-    "fleet_scaling": dict(worker_counts=(1, 2, 4), seeds=8, duration=0.5),
     "repeats": 2,
 }
 
@@ -78,10 +75,6 @@ def main(argv=None) -> int:
                         help="reduced load for CI smoke runs")
     parser.add_argument("--out", default=str(REPO / "BENCH_PR2.json"),
                         help="output JSON path")
-    parser.add_argument("--fleet-out", default=str(REPO / "BENCH_PR3.json"),
-                        help="fleet-scaling output JSON path")
-    parser.add_argument("--skip-fleet", action="store_true",
-                        help="skip the fleet_scaling benchmark")
     args = parser.parse_args(argv)
     cfg = QUICK if args.quick else FULL
     repeats = cfg["repeats"]
@@ -126,33 +119,9 @@ def main(argv=None) -> int:
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out}")
 
-    # Fleet parallel-efficiency goes to its own baseline file: the
-    # speedup tracks the runner's core count, so it is recorded for the
-    # trajectory (and sanity-checked for determinism) rather than
-    # compared by check_regression.py.
-    if not args.skip_fleet:
-        print("== fleet_scaling (campaign parallel efficiency) ==", flush=True)
-        fleet_t, fleet_s = workloads.fleet_scaling(**cfg["fleet_scaling"])
-        for w, row in sorted(fleet_s["workers"].items(), key=lambda kv: int(kv[0])):
-            print(f"   {w} worker(s): {row['seconds']:.2f}s "
-                  f"speedup {row['speedup']:.2f}x "
-                  f"efficiency {row['efficiency']:.0%}")
-        fleet_payload = {
-            "bench": "PR3-fleet-scaling",
-            "config": "quick" if args.quick else "full",
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "cpu_count": os.cpu_count(),
-            "benchmarks": {"fleet_scaling": {"seconds": fleet_t, **fleet_s}},
-        }
-        fleet_out = pathlib.Path(args.fleet_out)
-        fleet_out.write_text(
-            json.dumps(fleet_payload, indent=2, sort_keys=True) + "\n")
-        print(f"wrote {fleet_out}")
-        if not fleet_s["aggregates_identical"]:
-            print("ERROR: fleet aggregates diverged between worker counts",
-                  file=sys.stderr)
-            return 1
+    # Fleet parallel-efficiency lives in its own harness since PR7:
+    # `benchmarks/perf/fleet_scaling.py` emits BENCH_PR7.json and gates
+    # the workers x batching scaling matrix on multi-core hosts.
 
     ok = results["rearm_heavy"]["speedup"] >= 2.0
     print(f"rearm_heavy acceptance (>=2.0x): "

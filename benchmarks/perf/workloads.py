@@ -173,53 +173,3 @@ def a10_failover(scale: float = 1.0) -> Tuple[float, Dict]:
     }
 
 
-# ----------------------------------------------------------------------
-def fleet_scaling(worker_counts=(1, 2, 4), seeds: int = 16,
-                  duration: float = 1.0) -> Tuple[float, Dict]:
-    """Parallel-efficiency of the fleet campaign runner.
-
-    Runs the same cell-offload campaign serially and at each worker
-    count, recording speedup and efficiency (speedup / workers), plus a
-    determinism fingerprint asserting every configuration produced the
-    byte-identical merged aggregate.
-    """
-    import hashlib
-
-    from repro.fleet import Campaign, run_campaign
-
-    campaign = Campaign(
-        name="fleet_scaling", scenario="cell_offload", seeds=seeds,
-        base_seed=7, grid={"rtt": [0.008, 0.036, 0.072, 0.120]},
-        params={"duration": duration, "up_bps": 12e6},
-    )
-
-    t0 = _now()
-    serial = run_campaign(campaign, workers=1)
-    serial_elapsed = _now() - t0
-    reference = serial.aggregate.to_json()
-
-    per_workers: Dict[str, Dict] = {
-        "1": {"seconds": serial_elapsed, "speedup": 1.0, "efficiency": 1.0},
-    }
-    identical = True
-    for w in worker_counts:
-        if w <= 1:
-            continue
-        t0 = _now()
-        result = run_campaign(campaign, workers=w)
-        elapsed = _now() - t0
-        identical = identical and result.aggregate.to_json() == reference
-        speedup = serial_elapsed / elapsed if elapsed > 0 else float("inf")
-        per_workers[str(w)] = {
-            "seconds": elapsed,
-            "speedup": speedup,
-            "efficiency": speedup / w,
-        }
-
-    total = sum(v["seconds"] for v in per_workers.values())
-    return total, {
-        "shards": campaign.n_shards,
-        "workers": per_workers,
-        "aggregates_identical": identical,
-        "fingerprint": hashlib.sha256(reference.encode()).hexdigest(),
-    }

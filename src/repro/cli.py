@@ -25,7 +25,6 @@ saves its report under ``benchmarks/results/fleet/``.
 from __future__ import annotations
 
 import argparse
-import os
 import pathlib
 import sys
 import time
@@ -191,7 +190,7 @@ def _fleet_progress(done: int, total: int, elapsed: float) -> None:
 
 def cmd_fleet(args: argparse.Namespace) -> int:
     from repro.fleet import (FaultInjection, ResultCache, demo_campaigns,
-                             run_campaign, run_shard)
+                             run_campaign, run_shard, usable_cpus)
 
     campaigns = demo_campaigns()
     campaign = campaigns.get(args.campaign)
@@ -207,8 +206,11 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         print(agg.to_json())
         return 0
 
+    # Default to CPUs the process may *run on* (affinity/cgroup mask),
+    # not the machine's core count — oversubscribing a restricted box
+    # makes parallel runs slower than serial.
     workers = args.workers if args.workers is not None \
-        else max(1, os.cpu_count() or 1)
+        else max(1, usable_cpus())
     cache = None if args.no_cache else ResultCache()
     faults = None
     if args.inject_fault:
@@ -219,6 +221,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     t0 = time.monotonic()
     result = run_campaign(
         campaign, workers=workers, cache=cache, faults=faults,
+        batch_size=args.batch_size,
         progress=None if args.quiet else _fleet_progress)
     text = fleet_report(result)
 
@@ -379,9 +382,12 @@ def main(argv=None) -> int:
     fleet.add_argument("campaign", nargs="?", default="cell256",
                        help="campaign name (default: cell256; "
                             "see `repro list`)")
+    fleet.add_argument("--batch-size", type=int, default=None,
+                       help="shards per worker task (default: auto-tuned "
+                            "from the scenario cost hint; 1 = unbatched)")
     fleet.add_argument("-w", "--workers", type=int, default=None,
-                       help="worker processes (default: CPU count; "
-                            "1 = serial fallback)")
+                       help="worker processes (default: usable CPUs per "
+                            "the scheduling affinity; 1 = serial fallback)")
     fleet.add_argument("--seeds", type=int, default=None,
                        help="override seed replicas per grid point")
     fleet.add_argument("--no-cache", action="store_true",

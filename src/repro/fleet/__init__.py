@@ -15,6 +15,7 @@ cache-key contracts, and how to replay a quarantined shard.
 from repro.fleet.aggregate import (
     Aggregate,
     FixedBinHistogram,
+    OrderedReducer,
     StreamingMoments,
 )
 from repro.fleet.campaign import (
@@ -31,8 +32,10 @@ from repro.fleet.workers import (
     FaultInjection,
     FleetResult,
     ShardOutcome,
+    plan_batches,
     run_campaign,
     run_shard,
+    usable_cpus,
 )
 
 __all__ = [
@@ -41,15 +44,18 @@ __all__ = [
     "FaultInjection",
     "FixedBinHistogram",
     "FleetResult",
+    "OrderedReducer",
     "ResultCache",
     "ShardOutcome",
     "ShardSpec",
     "StreamingMoments",
     "demo_campaigns",
     "get_scenario",
+    "plan_batches",
     "register_scenario",
     "run_campaign",
     "run_shard",
     "scenario_names",
     "shard_seed",
+    "usable_cpus",
 ]

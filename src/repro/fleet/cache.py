@@ -44,6 +44,9 @@ class ResultCache:
         self.root = pathlib.Path(root) if root is not None else DEFAULT_CACHE_ROOT
         self.hits = 0
         self.misses = 0
+        # fingerprints whose campaign.json this instance already ensured
+        # exists — avoids a disk stat per shard put at campaign scale
+        self._meta_written: set = set()
 
     # ------------------------------------------------------------------
     def campaign_dir(self, campaign: "Campaign") -> pathlib.Path:
@@ -72,12 +75,14 @@ class ResultCache:
         """Atomically persist one shard's aggregate."""
         cdir = self.campaign_dir(campaign)
         cdir.mkdir(parents=True, exist_ok=True)
-        meta = cdir / "campaign.json"
-        if not meta.exists():
-            self._atomic_write(meta, json.dumps(
-                {"fingerprint": campaign.fingerprint(),
-                 "spec": campaign.spec_dict()},
-                indent=2, sort_keys=True) + "\n")
+        if cdir.name not in self._meta_written:
+            meta = cdir / "campaign.json"
+            if not meta.exists():
+                self._atomic_write(meta, json.dumps(
+                    {"fingerprint": campaign.fingerprint(),
+                     "spec": campaign.spec_dict()},
+                    indent=2, sort_keys=True) + "\n")
+            self._meta_written.add(cdir.name)
         self._atomic_write(self.shard_path(campaign, spec), agg.to_json())
 
     # ------------------------------------------------------------------

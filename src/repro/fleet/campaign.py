@@ -78,6 +78,20 @@ class ScenarioDef:
     latency_key: Optional[str] = None
     rate_key: Optional[str] = None
     moment_keys: Tuple[str, ...] = ()
+    #: optional ``params -> relative cost`` estimator (any positive unit:
+    #: simulated seconds, frames, stations·s …).  The batched dispatcher
+    #: uses it to cut equal-*cost* — not equal-*count* — worker batches,
+    #: so a grid mixing cheap and expensive points still load-balances.
+    cost_hint: Optional[Callable[[Dict[str, object]], float]] = None
+
+    def shard_cost(self, params: Dict[str, object]) -> float:
+        """Estimated relative cost of one shard (>= a small epsilon)."""
+        if self.cost_hint is None:
+            return 1.0
+        try:
+            return max(float(self.cost_hint(params)), 1e-9)
+        except Exception:
+            return 1.0
 
 
 _SCENARIOS: Dict[str, ScenarioDef] = {}
@@ -86,7 +100,8 @@ _SCENARIOS: Dict[str, ScenarioDef] = {}
 def register_scenario(name: str, version: int = 1, *,
                       latency_key: Optional[str] = None,
                       rate_key: Optional[str] = None,
-                      moment_keys: Sequence[str] = ()):
+                      moment_keys: Sequence[str] = (),
+                      cost_hint: Optional[Callable[[Dict[str, object]], float]] = None):
     """Decorator: register ``fn(seed, params) -> Aggregate`` as a runner."""
 
     def deco(fn):
@@ -95,6 +110,7 @@ def register_scenario(name: str, version: int = 1, *,
             doc=(fn.__doc__ or "").strip().splitlines()[0] if fn.__doc__ else "",
             latency_key=latency_key, rate_key=rate_key,
             moment_keys=tuple(moment_keys),
+            cost_hint=cost_hint,
         )
         return fn
 
@@ -216,6 +232,14 @@ class Campaign:
                 return spec
         raise KeyError(f"no shard tagged {tag!r} in campaign {self.name!r}")
 
+    def shard_map(self) -> Dict[str, ShardSpec]:
+        """Tag -> spec for the whole campaign (one expansion, O(1) lookups).
+
+        This is what a persistent worker installs once at pool startup:
+        afterwards a shard task is just its tag, not a pickled spec.
+        """
+        return {spec.tag: spec for spec in self.shards()}
+
     @property
     def n_shards(self) -> int:
         n_points = 1
@@ -234,16 +258,46 @@ class Campaign:
             "params": dict(sorted(self.params.items())),
         }
 
+    def spec_json(self) -> str:
+        """Canonical spec JSON (sorted keys, no whitespace)."""
+        return json.dumps(self.spec_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_spec_dict(cls, d: dict) -> "Campaign":
+        """Rebuild a campaign from :meth:`spec_dict` output (worker install)."""
+        return cls(
+            name=str(d["name"]),
+            scenario=str(d["scenario"]),
+            seeds=int(d.get("seeds", 1)),
+            base_seed=int(d.get("base_seed", 0)),
+            grid={k: list(v) for k, v in d.get("grid", {}).items()},
+            params=dict(d.get("params", {})),
+        )
+
     def fingerprint(self) -> str:
-        """Content hash of the spec + code-relevant versions (cache key)."""
+        """Content hash of the spec + code-relevant versions (cache key).
+
+        Memoized on the canonical spec JSON: the cache consults this
+        once per shard (get + put), and rebuilding the SHA-256 and
+        re-resolving the scenario registry each time was measurable at
+        campaign scale.  Mutating the spec (the CLI rewrites ``seeds``)
+        changes the spec JSON, which invalidates the memo.
+        """
+        spec_json = self.spec_json()
+        memo = getattr(self, "_fp_memo", None)
+        if memo is not None and memo[0] == spec_json:
+            return memo[1]
         payload = {
             "spec": self.spec_dict(),
             "schema": SCHEMA_VERSION,
             "repro": repro.__version__,
             "scenario_version": get_scenario(self.scenario).version,
         }
-        return stable_hash(json.dumps(payload, sort_keys=True,
-                                      separators=(",", ":")))
+        digest = stable_hash(json.dumps(payload, sort_keys=True,
+                                        separators=(",", ":")))
+        self._fp_memo = (spec_json, digest)
+        return digest
 
 
 __all__ = [

@@ -43,6 +43,8 @@ _RATE_BINS = 240
     "cell_offload", version=2,
     latency_key="frame_latency",
     moment_keys=("mos", "video_quality", "delivery_ratio"),
+    # cost ~ simulated session length (the event count tracks duration)
+    cost_hint=lambda p: float(p.get("duration", 2.0)),
 )
 def run_cell_offload(seed: int, params: Dict[str, object]) -> Aggregate:
     """One MAR offload session over a single access path (one cell user)."""
@@ -87,6 +89,9 @@ def run_cell_offload(seed: int, params: Dict[str, object]) -> Aggregate:
     "wifi_anomaly_cell", version=1,
     rate_key="station_throughput",
     moment_keys=("cell_throughput_bps", "fast_station_bps", "slow_station_bps"),
+    # cost ~ station-seconds of DCF contention
+    cost_hint=lambda p: (float(p.get("duration", 3.0))
+                         * (int(p.get("n_fast", 4)) + int(p.get("n_slow", 0)))),
 )
 def run_wifi_anomaly_cell(seed: int, params: Dict[str, object]) -> Aggregate:
     """An 802.11 cell with fast/slow station mix (Figure 2 at scale)."""
@@ -128,6 +133,8 @@ def run_wifi_anomaly_cell(seed: int, params: Dict[str, object]) -> Aggregate:
     "table2_offload", version=1,
     latency_key="frame_latency",
     moment_keys=("link_rtt", "deadline_hit_rate"),
+    # cost ~ offload round trips
+    cost_hint=lambda p: float(int(p.get("n_frames", 30))),
 )
 def run_table2_offload(seed: int, params: Dict[str, object]) -> Aggregate:
     """CloudRidAR feature-offload loop against a parameterized RTT."""

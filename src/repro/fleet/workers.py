@@ -1,32 +1,64 @@
-"""Sharded campaign execution: process pool, retries, quarantine.
+"""Sharded campaign execution: warm worker pool, batching, streaming merge.
 
 :func:`run_campaign` expands a :class:`Campaign` into shards and runs
-them either serially (``workers <= 1``) or on a
-:class:`~concurrent.futures.ProcessPoolExecutor`.  The two modes are
-**aggregate-equivalent by construction**: both compute one
-:class:`Aggregate` per shard and merge the per-shard aggregates in
-shard-index order, so the merged result — and any report rendered from
-it — is byte-identical regardless of worker count, scheduling, or
-completion order.
+them either serially (``workers <= 1``) or on a persistent process
+pool.  The two modes are **aggregate-equivalent by construction**: both
+compute one :class:`Aggregate` per shard and fold the per-shard
+aggregates through an :class:`OrderedReducer`, which merges strictly in
+shard-index order no matter when results arrive — so the merged result,
+and any report rendered from it, is byte-identical regardless of worker
+count, batching, scheduling, or completion order.
+
+Why parallelism used to lose
+----------------------------
+The original pool dispatched one task per shard, re-pickled the
+scenario name + params + seed into every attempt, and paid worker
+startup per pool.  For campaigns of many ~10 ms shards the IPC and
+setup overhead exceeded the work and parallel runs came out *slower*
+than serial (BENCH_PR3: 0.82x at 2 and 4 workers).  Three coordinated
+changes fix that:
+
+- **Persistent warm workers** — the pool is created once per campaign
+  with an initializer that installs the campaign spec (canonical JSON,
+  sent once), rebuilds the tag->spec map, and resolves the scenario
+  function.  Workers then receive only ``(tag, attempt, fault_mode)``
+  tuples.  The pool context prefers ``fork`` (workers inherit the
+  parent's imported simulation stack — the warmest start; the runner
+  is single-threaded so fork is safe), with ``spawn``/``forkserver``
+  selectable via ``mp_context``.
+- **Batched shard dispatch** — :func:`plan_batches` rides many small
+  shards on one worker task, auto-tuned so each worker sees
+  ``OVERSUBSCRIBE`` batches (load balance) with batches weighted by the
+  scenario's ``cost_hint`` (equal *cost*, not equal count).  Per-shard
+  results are still produced, recorded, cached, and replayable
+  individually.
+- **Streaming reducers** — a shard result on the wire is the compact
+  canonical aggregate JSON, and the runner merges results incrementally
+  as batches complete (:class:`OrderedReducer`): bounded memory, no
+  end-of-run merge barrier.
 
 Fault tolerance
 ---------------
-- A shard that raises is retried up to ``max_attempts`` times with a
-  decorrelated-jitter delay between attempts
-  (:meth:`DecorrelatedBackoff.from_tag` seeded from the campaign, so
-  even the retry schedule is reproducible).
+- A shard that raises is charged an attempt and re-queued (as a
+  singleton batch) up to ``max_attempts`` times, with a decorrelated-
+  jitter delay between attempts (:meth:`DecorrelatedBackoff.from_tag`
+  seeded from the campaign, so even the retry schedule is
+  reproducible).  A raising shard never takes down its batch: the
+  worker records the error per shard and keeps running the siblings.
 - A shard whose **worker process dies** (segfault, OOM kill, injected
   ``os._exit``) breaks the pool: every in-flight future fails with
-  :class:`BrokenProcessPool`.  The runner rebuilds the pool and
-  re-queues all in-flight shards with an attempt charged — the culprit
-  keeps breaking pools until its attempts are exhausted and it is
-  **quarantined**; innocent bystanders succeed on their next attempt.
-- A shard that exceeds ``shard_timeout`` is charged an attempt and
-  re-queued; its abandoned future is ignored if it ever completes.
+  :class:`BrokenProcessPool`.  The runner rebuilds the pool and reruns
+  each in-flight shard alone in a single-worker pool — the culprit
+  keeps breaking (only) its private pool until its attempts are
+  exhausted and it is **quarantined**; innocent batch-mates succeed.
+- A batch that exceeds its deadline (``shard_timeout`` x batch length)
+  is charged an attempt per shard and re-queued as singletons; the
+  abandoned future is ignored if it ever completes.
 - Quarantined shards never fail the campaign: they are excluded from
-  the merge and listed in the report, and each one is individually
-  replayable from its tag (``python -m repro fleet --replay TAG``)
-  because shard seeds depend only on ``(base_seed, tag)``.
+  the merge (the reducer skips their index) and listed in the report,
+  and each one is individually replayable from its tag
+  (``python -m repro fleet --replay TAG``) because shard seeds depend
+  only on ``(base_seed, tag)``.
 
 Fault injection (for tests and the CI ``fleet-smoke`` job) is a
 first-class input: :class:`FaultInjection` names shard tags that must
@@ -37,18 +69,49 @@ take down the caller.
 
 from __future__ import annotations
 
+import json
+import math
+import multiprocessing
 import os
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.resilience import DecorrelatedBackoff
-from repro.fleet.aggregate import Aggregate
+from repro.fleet.aggregate import Aggregate, OrderedReducer
 from repro.fleet.cache import ResultCache
-from repro.fleet.campaign import Campaign, ShardSpec, get_scenario
+from repro.fleet.campaign import Campaign, ScenarioDef, ShardSpec, get_scenario
+
+#: Auto-batching targets this many batches per worker: enough slack for
+#: load balancing across heterogeneous shards, few enough that IPC per
+#: batch is amortized over many shards.
+OVERSUBSCRIBE = 4
+
+#: Hard cap on shards per batch: bounds the blast radius of a mid-batch
+#: worker death and keeps batch timeouts/requeues reasonably granular.
+MAX_BATCH = 64
+
+#: Modules the forkserver preloads so post-break pool rebuilds fork from
+#: an interpreter that has already paid the scenario import cost.
+_PRELOAD_MODULES = ["repro.fleet.scenarios"]
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the machine, not the process: under a
+    CPU-affinity mask or a container quota it overstates usable
+    parallelism, and sizing a pool from it guarantees oversubscription
+    (BENCH_PR3 ran 4 workers on a 1-core box).  Prefer the scheduling
+    affinity, falling back where the platform lacks it.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # macOS/Windows have no affinity API
+        return os.cpu_count() or 1
 
 
 class ShardError(RuntimeError):
@@ -100,6 +163,12 @@ class FleetResult:
     cache_misses: int = 0
     elapsed: float = 0.0
     workers: int = 1
+    #: batches dispatched to the pool (0 for serial / fully cached runs)
+    n_batches: int = 0
+    #: peak number of out-of-order results the streaming reducer buffered
+    max_buffered: int = 0
+    #: multiprocessing start method the pool used (None for serial)
+    start_method: Optional[str] = None
     #: reporting hints copied from the ScenarioDef (keeps report
     #: rendering free of fleet imports)
     latency_key: Optional[str] = None
@@ -116,39 +185,145 @@ class FleetResult:
 
 
 # ----------------------------------------------------------------------
-# The worker-side entry point (must be a picklable top-level function)
+# Worker-side: one-time spec install + batch execution
 # ----------------------------------------------------------------------
-def _execute_shard(payload: dict) -> str:
-    """Run one shard and return its canonical aggregate JSON.
+#: Per-worker-process state installed once by :func:`_worker_init`.
+_WORKER: dict = {}
 
-    Runs in a worker process under the pool, and in-process for the
-    serial fallback (``in_worker=False`` downgrades kill-faults so the
-    fallback never exits the caller).
+
+def _worker_init(spec_json: str) -> None:
+    """Pool initializer: install the campaign spec in this worker.
+
+    Runs once per worker process for the lifetime of the pool.  After
+    this, a shard task is a ``(tag, attempt, fault_mode)`` tuple — the
+    spec, the scenario import, and the tag->spec expansion are never
+    shipped or rebuilt per attempt.
     """
-    fault_mode = payload.get("fault_mode")
-    if fault_mode:
-        if fault_mode == "kill" and payload.get("in_worker", False):
+    campaign = Campaign.from_spec_dict(json.loads(spec_json))
+    scenario = get_scenario(campaign.scenario)
+    _WORKER["specs"] = campaign.shard_map()
+    _WORKER["fn"] = scenario.fn
+
+
+#: One shard task on the wire: (tag, attempt, injected fault mode).
+_Task = Tuple[str, int, Optional[str]]
+#: One shard result on the wire: (tag, "ok"|"err", aggregate JSON | error).
+_TaskResult = Tuple[str, str, str]
+
+
+def _execute_batch(tasks: Sequence[_Task]) -> List[_TaskResult]:
+    """Run a batch of shard tasks in this (pre-warmed) worker.
+
+    Per-shard failures are *data*, not exceptions: a raising shard is
+    reported as ``("err", message)`` and its batch-mates still run.
+    Only a process-killing fault (or a genuine crash) loses the batch,
+    which the runner repairs via single-shard isolation.
+    """
+    specs: Dict[str, ShardSpec] = _WORKER["specs"]
+    fn = _WORKER["fn"]
+    out: List[_TaskResult] = []
+    for tag, attempt, fault_mode in tasks:
+        if fault_mode == "kill":
             os._exit(86)  # simulate a crashed/OOM-killed worker
+        if fault_mode:
+            out.append((tag, "err",
+                        f"ShardError: injected {fault_mode} fault in shard "
+                        f"{tag!r} (attempt {attempt})"))
+            continue
+        spec = specs[tag]
+        try:
+            out.append((tag, "ok", fn(spec.seed, spec.param_dict()).to_json()))
+        except Exception as exc:  # noqa: BLE001 - reported per shard, retried
+            out.append((tag, "err", f"{type(exc).__name__}: {exc}"))
+    return out
+
+
+def _run_shard_inline(spec: ShardSpec, fn, attempt: int,
+                      faults: Optional[FaultInjection]) -> str:
+    """Serial fallback for one shard (kill downgrades to raise)."""
+    if faults is not None and faults.active(spec.tag, attempt):
         raise ShardError(
-            f"injected {fault_mode} fault in shard {payload['tag']!r} "
-            f"(attempt {payload['attempt']})")
-    scenario = get_scenario(payload["scenario"])
-    agg = scenario.fn(payload["seed"], dict(payload["params"]))
-    return agg.to_json()
+            f"injected {faults.mode} fault in shard {spec.tag!r} "
+            f"(attempt {attempt})")
+    return fn(spec.seed, spec.param_dict()).to_json()
 
 
-def _payload(spec: ShardSpec, attempt: int, in_worker: bool,
-             faults: Optional[FaultInjection]) -> dict:
-    return {
-        "scenario": spec.scenario,
-        "seed": spec.seed,
-        "params": spec.params,
-        "tag": spec.tag,
-        "attempt": attempt,
-        "in_worker": in_worker,
-        "fault_mode": faults.mode
-        if faults is not None and faults.active(spec.tag, attempt) else None,
-    }
+# ----------------------------------------------------------------------
+# Batch planning
+# ----------------------------------------------------------------------
+def plan_batches(states: Sequence["_ShardState"], workers: int,
+                 batch_size: Optional[int] = None,
+                 scenario: Optional[ScenarioDef] = None) -> List[List["_ShardState"]]:
+    """Cut shards into contiguous worker batches (deterministic).
+
+    ``batch_size`` forces fixed-size batches (1 = the old one-task-per-
+    shard dispatch).  ``None`` auto-tunes: ~``OVERSUBSCRIBE`` batches
+    per worker, weighted by the scenario's ``cost_hint`` so a grid
+    mixing cheap and expensive points yields equal-*cost* batches, and
+    capped at ``MAX_BATCH`` shards.  Batching never affects results —
+    shards are recorded individually and merged by index — only how
+    much work rides each IPC round trip.
+    """
+    states = list(states)
+    if not states:
+        return []
+    if batch_size is not None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        return [states[i:i + batch_size]
+                for i in range(0, len(states), batch_size)]
+
+    n = len(states)
+    n_batches = min(n, max(1, workers) * OVERSUBSCRIBE)
+    batches: List[List["_ShardState"]] = []
+    if scenario is not None and scenario.cost_hint is not None:
+        costs = [scenario.shard_cost(s.spec.param_dict()) for s in states]
+        target = sum(costs) / n_batches
+        cur: List["_ShardState"] = []
+        acc = 0.0
+        for state, cost in zip(states, costs):
+            cur.append(state)
+            acc += cost
+            if ((acc >= target or len(cur) >= MAX_BATCH)
+                    and len(batches) < n_batches - 1):
+                batches.append(cur)
+                cur, acc = [], 0.0
+        if cur:
+            batches.append(cur)
+    else:
+        size = min(MAX_BATCH, math.ceil(n / n_batches))
+        batches = [states[i:i + size] for i in range(0, n, size)]
+    # A weighted tail can exceed the cap when n >> n_batches * MAX_BATCH.
+    capped: List[List["_ShardState"]] = []
+    for batch in batches:
+        for i in range(0, len(batch), MAX_BATCH):
+            capped.append(batch[i:i + MAX_BATCH])
+    return capped
+
+
+def _pool_context(method: Optional[str] = None):
+    """Pick the multiprocessing context for the warm pool.
+
+    Prefers ``fork`` — workers inherit the parent's already-imported
+    simulation stack, which is the warmest possible start (measured
+    ~20 ms to spin a 2-worker pool vs ~1 s+ for spawn/forkserver, which
+    re-import the main module per worker).  The runner is
+    single-threaded, so fork is safe here.  Where fork is unavailable
+    (Windows/macOS-spawn), falls back to ``spawn``; ``forkserver`` can
+    be requested explicitly and gets the scenario module preloaded so
+    post-break pool rebuilds fork from a warm server.
+    """
+    if method is None:
+        method = ("fork"
+                  if "fork" in multiprocessing.get_all_start_methods()
+                  else "spawn")
+    ctx = multiprocessing.get_context(method)
+    if method == "forkserver":
+        try:
+            ctx.set_forkserver_preload(_PRELOAD_MODULES)
+        except Exception:  # pragma: no cover - preload is best-effort
+            pass
+    return ctx
 
 
 # ----------------------------------------------------------------------
@@ -175,19 +350,24 @@ def run_campaign(
     backoff_cap: float = 2.0,
     faults: Optional[FaultInjection] = None,
     progress: Optional[ProgressFn] = None,
+    batch_size: Optional[int] = None,
+    mp_context: Optional[str] = None,
 ) -> FleetResult:
     """Run every shard of ``campaign`` and merge the results.
 
     ``workers <= 1`` selects the serial in-process fallback; otherwise a
-    process pool of that size.  ``cache`` (optional) is consulted before
-    any execution and updated after every successful shard.
+    persistent warm process pool of that size.  ``batch_size`` pins the
+    shards-per-task batch (``None`` auto-tunes, ``1`` restores unbatched
+    dispatch); ``mp_context`` pins the multiprocessing start method.
+    ``cache`` (optional) is consulted before any execution and updated
+    after every successful shard.
     """
     if max_attempts < 1:
         raise ValueError("max_attempts must be >= 1")
     shards = campaign.shards()
     scenario = get_scenario(campaign.scenario)
     t0 = time.monotonic()
-    results: Dict[int, Aggregate] = {}
+    reducer = OrderedReducer([s.point_label for s in shards])
     outcomes: Dict[int, ShardOutcome] = {}
     backoff = DecorrelatedBackoff.from_tag(
         campaign.base_seed, f"fleet-retry:{campaign.name}",
@@ -199,7 +379,7 @@ def run_campaign(
     for spec in shards:
         agg = cache.get(campaign, spec) if cache is not None else None
         if agg is not None:
-            results[spec.index] = agg
+            reducer.offer(spec.index, agg)
             outcomes[spec.index] = ShardOutcome(
                 tag=spec.tag, index=spec.index, status="ok", attempts=0,
                 cached=True)
@@ -211,7 +391,7 @@ def run_campaign(
 
     def record_ok(spec: ShardSpec, attempts: int, agg_json: str) -> None:
         agg = Aggregate.from_json(agg_json)
-        results[spec.index] = agg
+        reducer.offer(spec.index, agg)
         outcomes[spec.index] = ShardOutcome(
             tag=spec.tag, index=spec.index, status="ok", attempts=attempts)
         if cache is not None:
@@ -220,42 +400,38 @@ def run_campaign(
             progress(len(outcomes), len(shards), time.monotonic() - t0)
 
     def record_quarantine(state: _ShardState) -> None:
+        reducer.offer(state.spec.index, None)
         outcomes[state.spec.index] = ShardOutcome(
             tag=state.spec.tag, index=state.spec.index, status="quarantined",
-            attempts=state.attempts, error=state.errors[-1] if state.errors else None)
+            attempts=state.attempts,
+            error=state.errors[-1] if state.errors else None)
         if progress is not None:
             progress(len(outcomes), len(shards), time.monotonic() - t0)
 
+    n_batches = 0
+    start_method: Optional[str] = None
     if workers <= 1:
-        _run_serial(todo, faults, max_attempts, backoff,
+        _run_serial(todo, scenario, faults, max_attempts, backoff,
                     record_ok, record_quarantine)
     else:
-        _run_pool(todo, faults, workers, max_attempts, shard_timeout,
-                  backoff, record_ok, record_quarantine)
-
-    # -- merge in shard-index order (the determinism contract) ---------
-    overall = Aggregate()
-    per_point: Dict[str, Aggregate] = {}
-    for spec in shards:
-        agg = results.get(spec.index)
-        if agg is None:
-            continue
-        overall.merge(agg)
-        point = per_point.get(spec.point_label)
-        if point is None:
-            per_point[spec.point_label] = Aggregate.merged([agg])
-        else:
-            point.merge(agg)
+        ctx = _pool_context(mp_context)
+        start_method = ctx.get_start_method()
+        n_batches = _run_pool(campaign, todo, scenario, faults, workers,
+                              batch_size, ctx, max_attempts, shard_timeout,
+                              backoff, record_ok, record_quarantine)
 
     return FleetResult(
         campaign=campaign,
-        aggregate=overall,
-        per_point=per_point,
+        aggregate=reducer.finish(),
+        per_point=reducer.per_point,
         outcomes=[outcomes[s.index] for s in shards],
         cache_hits=cache_hits,
         cache_misses=cache_misses,
         elapsed=time.monotonic() - t0,
         workers=max(1, workers),
+        n_batches=n_batches,
+        max_buffered=reducer.max_buffered,
+        start_method=start_method,
         latency_key=scenario.latency_key,
         rate_key=scenario.rate_key,
         moment_keys=scenario.moment_keys,
@@ -265,21 +441,24 @@ def run_campaign(
 def run_shard(campaign: Campaign, tag: str) -> Aggregate:
     """Replay a single shard (e.g. a quarantined one) in-process."""
     spec = campaign.shard_by_tag(tag)
+    fn = get_scenario(campaign.scenario).fn
+    # Round-trip through canonical JSON exactly like pooled/cached
+    # results, so a replay is byte-comparable with campaign output.
     return Aggregate.from_json(
-        _execute_shard(_payload(spec, attempt=0, in_worker=False, faults=None)))
+        _run_shard_inline(spec, fn, attempt=0, faults=None))
 
 
 # ----------------------------------------------------------------------
-def _run_serial(todo, faults, max_attempts, backoff,
+def _run_serial(todo, scenario, faults, max_attempts, backoff,
                 record_ok, record_quarantine) -> None:
     for spec in todo:
         state = _ShardState(spec)
         while state.attempts < max_attempts:
-            payload = _payload(spec, state.attempts, in_worker=False,
-                               faults=faults)
+            attempt = state.attempts
             state.attempts += 1
             try:
-                record_ok(spec, state.attempts, _execute_shard(payload))
+                record_ok(spec, state.attempts,
+                          _run_shard_inline(spec, scenario.fn, attempt, faults))
                 break
             except Exception as exc:  # noqa: BLE001 - any shard failure retries
                 state.errors.append(f"{type(exc).__name__}: {exc}")
@@ -289,101 +468,148 @@ def _run_serial(todo, faults, max_attempts, backoff,
             record_quarantine(state)
 
 
-def _run_pool(todo, faults, workers, max_attempts, shard_timeout,
-              backoff, record_ok, record_quarantine) -> None:
-    pending = deque(_ShardState(spec) for spec in todo)
-    pool = ProcessPoolExecutor(max_workers=workers)
-    in_flight: Dict[object, Tuple[_ShardState, float]] = {}
+def _run_pool(campaign, todo, scenario, faults, workers, batch_size, ctx,
+              max_attempts, shard_timeout, backoff,
+              record_ok, record_quarantine) -> int:
+    """Persistent-pool execution; returns the number of dispatched batches."""
+    spec_json = campaign.spec_json()
+
+    def make_pool(n: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=n, mp_context=ctx,
+            initializer=_worker_init, initargs=(spec_json,))
+
+    pending: deque = deque(
+        plan_batches([_ShardState(spec) for spec in todo],
+                     workers, batch_size, scenario))
+    pool = make_pool(workers)
+    in_flight: Dict[object, Tuple[List[_ShardState], float]] = {}
     abandoned = False
+    dispatched = 0
     try:
         while pending or in_flight:
             pool_broken = False
             # Keep the pool saturated but bounded: 2 queued per slot.
             while pending and len(in_flight) < 2 * workers:
-                state = pending.popleft()
-                payload = _payload(state.spec, state.attempts, in_worker=True,
-                                   faults=faults)
-                state.attempts += 1
+                batch = pending.popleft()
+                tasks: List[_Task] = []
+                for state in batch:
+                    fault_mode = (faults.mode if faults is not None
+                                  and faults.active(state.spec.tag, state.attempts)
+                                  else None)
+                    tasks.append((state.spec.tag, state.attempts, fault_mode))
+                    state.attempts += 1
                 try:
-                    fut = pool.submit(_execute_shard, payload)
+                    fut = pool.submit(_execute_batch, tuple(tasks))
                 except BrokenProcessPool:
                     pool_broken = True
-                    state.errors.append("BrokenProcessPool: submit refused")
-                    _requeue(state, pending, max_attempts, record_quarantine)
+                    for state in batch:
+                        state.errors.append("BrokenProcessPool: submit refused")
+                        _requeue(state, pending, max_attempts, record_quarantine)
                     break
-                in_flight[fut] = (state, time.monotonic() + shard_timeout)
+                dispatched += 1
+                in_flight[fut] = (batch,
+                                  time.monotonic()
+                                  + shard_timeout * max(1, len(batch)))
 
             done, _ = wait(list(in_flight), timeout=0.25,
                            return_when=FIRST_COMPLETED)
             casualties: List[_ShardState] = []
             for fut in done:
-                state, _deadline = in_flight.pop(fut)
+                batch, _deadline = in_flight.pop(fut)
                 try:
-                    record_ok(state.spec, state.attempts, fut.result())
+                    results = fut.result()
                 except BrokenProcessPool:
                     pool_broken = True
-                    state.errors.append("BrokenProcessPool: worker died")
-                    casualties.append(state)
-                except Exception as exc:  # noqa: BLE001
-                    state.errors.append(f"{type(exc).__name__}: {exc}")
-                    _requeue(state, pending, max_attempts, record_quarantine)
+                    for state in batch:
+                        state.errors.append("BrokenProcessPool: worker died")
+                    casualties.extend(batch)
+                except Exception as exc:  # noqa: BLE001 - whole batch failed
+                    for state in batch:
+                        state.errors.append(f"{type(exc).__name__}: {exc}")
+                        _requeue(state, pending, max_attempts, record_quarantine)
+                else:
+                    by_tag = {state.spec.tag: state for state in batch}
+                    for tag, status, payload in results:
+                        state = by_tag.pop(tag)
+                        if status == "ok":
+                            record_ok(state.spec, state.attempts, payload)
+                        else:
+                            state.errors.append(payload)
+                            _requeue(state, pending, max_attempts,
+                                     record_quarantine)
+                    for state in by_tag.values():  # pragma: no cover - defensive
+                        state.errors.append("shard missing from batch result")
+                        _requeue(state, pending, max_attempts, record_quarantine)
 
             if pool_broken:
                 # A dead worker poisons every in-flight future, and the
                 # executor API cannot say *which* shard killed it.  Rerun
                 # each suspect alone in a single-worker pool: innocents
-                # complete (no extra attempt charged beyond their requeue),
-                # the culprit breaks its private pool and is charged —
-                # repeatedly, until quarantined — without collateral.
-                suspects = casualties + [state for state, _ in in_flight.values()]
+                # complete, the culprit breaks its private pool and is
+                # charged — repeatedly, until quarantined — without
+                # collateral.
+                suspects = casualties + [
+                    state for batch, _ in in_flight.values() for state in batch]
                 in_flight.clear()
                 pool.shutdown(wait=True, cancel_futures=True)
                 time.sleep(backoff.next())
                 _isolate_suspects(suspects, faults, max_attempts,
-                                  shard_timeout, pending,
+                                  shard_timeout, make_pool, pending,
                                   record_ok, record_quarantine)
-                pool = ProcessPoolExecutor(max_workers=workers)
+                pool = make_pool(workers)
                 continue
 
             now = time.monotonic()
-            for fut, (state, deadline) in list(in_flight.items()):
+            for fut, (batch, deadline) in list(in_flight.items()):
                 if now >= deadline:
                     # Can't kill one worker through the executor API —
                     # abandon the future (its late result, if any, is
                     # ignored because the entry leaves in_flight) and
-                    # charge the attempt.
+                    # charge the attempt; members retry as singletons.
                     del in_flight[fut]
                     abandoned = True
-                    state.errors.append(f"timeout after {shard_timeout:.1f}s")
-                    _requeue(state, pending, max_attempts, record_quarantine)
+                    for state in batch:
+                        state.errors.append(
+                            f"timeout after {shard_timeout * max(1, len(batch)):.1f}s")
+                        _requeue(state, pending, max_attempts, record_quarantine)
     finally:
         # wait= joins the workers so nothing races interpreter teardown;
-        # only skip the join when a timed-out shard was abandoned and a
+        # only skip the join when a timed-out batch was abandoned and a
         # zombie worker may still be chewing on it.
         pool.shutdown(wait=not abandoned, cancel_futures=True)
+    return dispatched
 
 
 def _isolate_suspects(suspects, faults, max_attempts, shard_timeout,
-                      pending: deque, record_ok, record_quarantine) -> None:
+                      make_pool, pending: deque,
+                      record_ok, record_quarantine) -> None:
     """Identify which broken-pool casualty actually kills workers.
 
-    Each suspect gets one attempt in its own single-worker pool.  An
-    innocent bystander completes and is recorded; the culprit breaks
-    (only) its private pool, is charged the attempt, and is re-queued —
-    or quarantined once its budget is spent.
+    Each suspect gets one attempt in its own single-worker (warm) pool.
+    An innocent batch-mate completes and is recorded; the culprit
+    breaks (only) its private pool, is charged the attempt, and is
+    re-queued — or quarantined once its budget is spent.
     """
     for state in suspects:
         if state.attempts >= max_attempts:
             record_quarantine(state)
             continue
-        payload = _payload(state.spec, state.attempts, in_worker=True,
-                           faults=faults)
+        fault_mode = (faults.mode if faults is not None
+                      and faults.active(state.spec.tag, state.attempts)
+                      else None)
+        task = (state.spec.tag, state.attempts, fault_mode)
         state.attempts += 1
-        iso = ProcessPoolExecutor(max_workers=1)
+        iso = make_pool(1)
         try:
-            record_ok(state.spec, state.attempts,
-                      iso.submit(_execute_shard, payload).result(
-                          timeout=shard_timeout))
+            results = iso.submit(_execute_batch, (task,)).result(
+                timeout=shard_timeout)
+            tag, status, payload = results[0]
+            if status == "ok":
+                record_ok(state.spec, state.attempts, payload)
+            else:
+                state.errors.append(payload)
+                _requeue(state, pending, max_attempts, record_quarantine)
         except BrokenProcessPool:
             state.errors.append("BrokenProcessPool: worker died in isolation")
             _requeue(state, pending, max_attempts, record_quarantine)
@@ -399,14 +625,18 @@ def _requeue(state: _ShardState, pending: deque, max_attempts: int,
     if state.attempts >= max_attempts:
         record_quarantine(state)
     else:
-        pending.append(state)
+        pending.append([state])   # retries run as singleton batches
 
 
 __all__ = [
     "FaultInjection",
     "FleetResult",
+    "MAX_BATCH",
+    "OVERSUBSCRIBE",
     "ShardError",
     "ShardOutcome",
+    "plan_batches",
     "run_campaign",
     "run_shard",
+    "usable_cpus",
 ]

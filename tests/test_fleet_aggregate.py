@@ -151,3 +151,87 @@ class TestAggregate:
         text = a.to_json()
         assert Aggregate.from_json(text).to_json() == text
         assert " " not in text  # canonical: no whitespace
+
+
+class TestOrderedReducer:
+    """The streaming merge front: arrival order must never change bytes."""
+
+    def _aggs(self, rng_lists):
+        return [_fill(Aggregate(), lats, 1) for lats in rng_lists]
+
+    @given(st.lists(st.lists(st.floats(min_value=0, max_value=10,
+                                       allow_nan=False), max_size=10),
+                    min_size=1, max_size=12),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=150)
+    def test_arrival_order_never_changes_merged_bytes(self, rng_lists, rnd):
+        from repro.fleet.aggregate import OrderedReducer
+
+        aggs = self._aggs(rng_lists)
+        labels = [f"p{i % 3}" for i in range(len(aggs))]
+
+        in_order = OrderedReducer(labels)
+        for i, agg in enumerate(aggs):
+            in_order.offer(i, Aggregate.from_json(agg.to_json()))
+
+        order = list(range(len(aggs)))
+        rnd.shuffle(order)
+        shuffled = OrderedReducer(labels)
+        for i in order:
+            shuffled.offer(i, Aggregate.from_json(aggs[i].to_json()))
+
+        assert shuffled.finish().to_json() == in_order.finish().to_json()
+        assert list(shuffled.per_point) == list(in_order.per_point)
+        for label in in_order.per_point:
+            assert (shuffled.per_point[label].to_json()
+                    == in_order.per_point[label].to_json())
+        assert shuffled.pending == 0
+
+    @given(st.randoms(use_true_random=False))
+    @settings(max_examples=30)
+    def test_skipped_indices_are_holes_not_merges(self, rnd):
+        from repro.fleet.aggregate import OrderedReducer
+
+        aggs = self._aggs([[1.0], [2.0], [3.0], [4.0]])
+        skip = rnd.randrange(4)
+        reducer = OrderedReducer(["p"] * 4)
+        order = list(range(4))
+        rnd.shuffle(order)
+        for i in order:
+            reducer.offer(i, None if i == skip else aggs[i])
+        expected = Aggregate()
+        for i in range(4):
+            if i != skip:
+                expected.merge(aggs[i])
+        assert reducer.finish().to_json() == expected.to_json()
+
+    def test_buffer_is_bounded_by_out_of_order_window(self):
+        from repro.fleet.aggregate import OrderedReducer
+
+        aggs = self._aggs([[float(i)] for i in range(6)])
+        reducer = OrderedReducer(["p"] * 6)
+        # worst case: index 0 arrives last -> everything buffers
+        for i in (1, 2, 3, 4, 5):
+            reducer.offer(i, aggs[i])
+        assert reducer.pending == 5 and reducer.merged_through == 0
+        reducer.offer(0, aggs[0])
+        assert reducer.pending == 0 and reducer.merged_through == 6
+        assert reducer.max_buffered == 6
+
+    def test_double_offer_rejected(self):
+        from repro.fleet.aggregate import OrderedReducer
+
+        reducer = OrderedReducer(["p", "p"])
+        reducer.offer(0, Aggregate())
+        with pytest.raises(ValueError):
+            reducer.offer(0, Aggregate())
+        with pytest.raises(IndexError):
+            reducer.offer(7, Aggregate())
+
+    def test_finish_flags_missing_indices(self):
+        from repro.fleet.aggregate import OrderedReducer
+
+        reducer = OrderedReducer(["p", "p", "p"])
+        reducer.offer(0, Aggregate())
+        with pytest.raises(ValueError):
+            reducer.finish()

@@ -1,5 +1,7 @@
 """Fleet runner: serial/parallel equivalence, fault tolerance, cache."""
 
+import os
+
 import pytest
 
 from repro.analysis.report import fleet_report
@@ -7,9 +9,13 @@ from repro.fleet import (
     Campaign,
     FaultInjection,
     ResultCache,
+    get_scenario,
+    plan_batches,
     run_campaign,
     run_shard,
+    usable_cpus,
 )
+from repro.fleet.workers import MAX_BATCH, OVERSUBSCRIBE, _ShardState
 
 FAST_BACKOFF = dict(backoff_base=0.002, backoff_cap=0.02)
 
@@ -36,6 +42,60 @@ class TestDeterminism:
         c = tiny_campaign()
         assert (run_campaign(c, workers=1).aggregate.to_json()
                 == run_campaign(c, workers=1).aggregate.to_json())
+
+    def test_serial_pooled_batched_all_byte_identical(self):
+        """The tentpole contract: every dispatch shape merges the same bytes."""
+        c = tiny_campaign(seeds=4)  # 8 shards
+        serial = run_campaign(c, workers=1)
+        runs = {
+            "unbatched": run_campaign(c, workers=2, batch_size=1),
+            "fixed-batch": run_campaign(c, workers=2, batch_size=3),
+            "auto-batch": run_campaign(c, workers=2),
+        }
+        for label, r in runs.items():
+            assert r.aggregate.to_json() == serial.aggregate.to_json(), label
+            assert list(r.per_point) == list(serial.per_point), label
+            for point in serial.per_point:
+                assert (r.per_point[point].to_json()
+                        == serial.per_point[point].to_json()), label
+            assert fleet_report(r) == fleet_report(serial), label
+
+    def test_identical_under_injected_worker_kill(self):
+        """A quarantined culprit leaves the same bytes in every mode."""
+        c = tiny_campaign(seeds=3)  # 6 shards
+        tag = c.shards()[2].tag
+        serial = run_campaign(c, workers=1,
+                              faults=FaultInjection(tags=(tag,), mode="raise"),
+                              max_attempts=2, **FAST_BACKOFF)
+        batched = run_campaign(c, workers=2, batch_size=3,
+                               faults=FaultInjection(tags=(tag,), mode="kill"),
+                               max_attempts=2, **FAST_BACKOFF)
+        assert serial.quarantined == batched.quarantined == [tag]
+        # Aggregates (and per-point bytes) are identical; the rendered
+        # report differs only in the quarantine error text, which
+        # legitimately records *how* the shard died in each mode.
+        assert serial.aggregate.to_json() == batched.aggregate.to_json()
+        for point in serial.per_point:
+            assert (serial.per_point[point].to_json()
+                    == batched.per_point[point].to_json())
+
+    def test_cache_hit_rerun_identical_batched(self, tmp_path):
+        """A 100% cache-hit rerun reproduces a batched pooled run exactly."""
+        c = tiny_campaign(seeds=3)
+        fresh = run_campaign(c, workers=2, cache=ResultCache(tmp_path))
+        rerun = run_campaign(c, workers=2, cache=ResultCache(tmp_path))
+        assert rerun.cache_misses == 0
+        assert all(o.cached for o in rerun.outcomes)
+        assert rerun.aggregate.to_json() == fresh.aggregate.to_json()
+        assert fleet_report(rerun) == fleet_report(fresh)
+
+    def test_streaming_reducer_has_no_end_barrier(self):
+        """Pooled runs merge incrementally: the buffer stays bounded."""
+        c = tiny_campaign(seeds=4)
+        r = run_campaign(c, workers=2)
+        assert r.max_buffered <= len(c.shards())
+        assert r.n_batches >= 1
+        assert r.start_method in ("forkserver", "spawn", "fork")
 
 
 class TestFaultTolerance:
@@ -96,6 +156,89 @@ class TestFaultTolerance:
     def test_bad_max_attempts_rejected(self):
         with pytest.raises(ValueError):
             run_campaign(tiny_campaign(), max_attempts=0)
+
+    def test_raise_fault_does_not_lose_batch_mates(self):
+        """A raising shard is per-shard data; its batch-mates complete.
+
+        With every shard in one batch, the faulty shard must be retried
+        alone while the siblings keep their single first-attempt result.
+        """
+        c = tiny_campaign(seeds=2)  # 4 shards
+        tag = c.shards()[1].tag
+        faults = FaultInjection(tags=(tag,), mode="raise", fail_attempts=1)
+        r = run_campaign(c, workers=2, batch_size=4, faults=faults,
+                         **FAST_BACKOFF)
+        assert r.quarantined == []
+        by_tag = {o.tag: o for o in r.outcomes}
+        assert by_tag[tag].attempts == 2
+        assert all(o.attempts == 1 for t, o in by_tag.items() if t != tag)
+        clean = run_campaign(c, workers=1)
+        assert r.aggregate.to_json() == clean.aggregate.to_json()
+
+
+class TestBatchPlanning:
+    def states(self, seeds=16, scenario="table2_offload", grid=None):
+        c = Campaign(name="plan", scenario=scenario, seeds=seeds,
+                     base_seed=5, grid=grid or {},
+                     params={"n_frames": 4})
+        return [_ShardState(s) for s in c.shards()]
+
+    def test_fixed_batch_size_chunks(self):
+        states = self.states(seeds=10)
+        batches = plan_batches(states, workers=2, batch_size=3)
+        assert [len(b) for b in batches] == [3, 3, 3, 1]
+        flat = [s for b in batches for s in b]
+        assert flat == states                      # order preserved
+
+    def test_bad_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            plan_batches(self.states(seeds=2), workers=1, batch_size=0)
+
+    def test_auto_tuning_targets_oversubscribe_batches(self):
+        states = self.states(seeds=64)
+        batches = plan_batches(states, workers=2)
+        assert len(batches) <= 2 * OVERSUBSCRIBE + 1
+        assert len(batches) >= 2                   # still parallelizable
+        assert sum(len(b) for b in batches) == 64
+        assert [s for b in batches for s in b] == states
+
+    def test_auto_tuning_is_deterministic(self):
+        a = plan_batches(self.states(seeds=32), workers=4)
+        b = plan_batches(self.states(seeds=32), workers=4)
+        assert [[s.spec.tag for s in batch] for batch in a] \
+            == [[s.spec.tag for s in batch] for batch in b]
+
+    def test_cost_weighted_batches_balance_cost_not_count(self):
+        # n_frames drives table2_offload cost: a grid mixing 1x and 9x
+        # shards must cut batches with fewer expensive shards each.
+        c = Campaign(name="plan", scenario="table2_offload", seeds=8,
+                     base_seed=5, grid={"n_frames": [5, 45]})
+        states = [_ShardState(s) for s in c.shards()]
+        scenario = get_scenario("table2_offload")
+        batches = plan_batches(states, workers=2, scenario=scenario)
+        costs = [sum(scenario.shard_cost(s.spec.param_dict()) for s in b)
+                 for b in batches]
+        assert max(costs) <= 3 * min(costs)
+        assert sum(len(b) for b in batches) == 16
+
+    def test_max_batch_cap(self):
+        states = self.states(seeds=MAX_BATCH * 2 + 5)
+        batches = plan_batches(states, workers=1)
+        assert all(len(b) <= MAX_BATCH for b in batches)
+        assert sum(len(b) for b in batches) == len(states)
+
+    def test_empty_todo(self):
+        assert plan_batches([], workers=4) == []
+
+
+class TestUsableCpus:
+    def test_positive_int(self):
+        n = usable_cpus()
+        assert isinstance(n, int) and n >= 1
+
+    def test_matches_affinity_where_supported(self):
+        if hasattr(os, "sched_getaffinity"):
+            assert usable_cpus() == len(os.sched_getaffinity(0))
 
 
 class TestCache:
