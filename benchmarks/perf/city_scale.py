@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""City-scale population throughput benchmark -> ``BENCH_PR8.json``.
+
+Runs the hybrid-fidelity ``city_coverage`` campaign (``repro.scale``)
+at one or more budget tiers and records, per tier: wall-clock, distinct
+background users simulated, simulated users per second of wall time,
+foreground sessions, and the sha256 fingerprint of the merged aggregate.
+
+The fingerprint is a pure function of (scenario, seed) — machine
+independent — so it doubles as a cross-run regression fence: ``--gate``
+re-runs the smallest tier and hard-fails unless
+
+- the double-run fingerprints are byte-identical (determinism),
+- the tier simulates >= 10^5 distinct background users, and
+- it completes in under 5 minutes of wall clock
+
+— the PR8 acceptance bar.  With ``--baseline BENCH_PR8.json`` the gate
+also requires each tier's fingerprint to match the checked-in baseline
+whenever that tier appears in it.
+
+Usage::
+
+    python benchmarks/perf/city_scale.py                   # full load
+    python benchmarks/perf/city_scale.py --quick           # CI smoke
+    python benchmarks/perf/city_scale.py --quick --gate \
+        --baseline BENCH_PR8.json                          # CI fence
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.fleet import run_campaign, usable_cpus  # noqa: E402
+from repro.scale.shards import (  # noqa: E402
+    city_coverage_campaign,
+    city_users,
+)
+
+FULL = dict(budgets=("small", "metro"))
+QUICK = dict(budgets=("small",))
+
+#: The tier the acceptance gate runs (and double-runs) against.
+GATE_BUDGET = "small"
+#: PR8 acceptance bar: a gated run must simulate at least this many users.
+GATE_MIN_USERS = 100_000
+#: ...and finish within this much wall clock (seconds).
+GATE_MAX_SECONDS = 300.0
+
+
+def run_budget(budget: str, workers: int) -> dict:
+    campaign = city_coverage_campaign(budget)
+    t0 = time.perf_counter()
+    result = run_campaign(campaign, workers=workers, cache=None)
+    elapsed = time.perf_counter() - t0
+    agg = result.aggregate
+    users = city_users(agg)
+    stats = {
+        "budget": budget,
+        "shards": campaign.n_shards,
+        "seconds": elapsed,
+        "background_users": users,
+        "users_per_sec": users / elapsed if elapsed > 0 else float("inf"),
+        "sessions": agg.counts.get("sessions", 0),
+        "promoted_sessions": agg.counts.get("scale.promoted_sessions", 0),
+        "mean_utilization": agg.moments["scale.utilization"].mean,
+        "fingerprint": hashlib.sha256(
+            agg.to_json().encode("utf-8")).hexdigest(),
+    }
+    print(f"   {budget:>6}: {campaign.n_shards:4d} shards  {elapsed:6.2f}s  "
+          f"{users:>9,} users  {stats['users_per_sec']:>11,.0f} users/s",
+          flush=True)
+    return stats
+
+
+def apply_gate(tiers: dict, workers: int, baseline: dict | None) -> dict:
+    """Double-run the gate tier and evaluate the PR8 acceptance checks."""
+    first = tiers[GATE_BUDGET]
+    second = run_budget(GATE_BUDGET, workers)
+    checks = [
+        {
+            "check": "double-run fingerprints byte-identical",
+            "value": second["fingerprint"],
+            "ok": second["fingerprint"] == first["fingerprint"],
+        },
+        {
+            "check": f"background users >= {GATE_MIN_USERS}",
+            "value": first["background_users"],
+            "ok": first["background_users"] >= GATE_MIN_USERS,
+        },
+        {
+            "check": f"wall clock < {GATE_MAX_SECONDS:.0f}s",
+            "value": max(first["seconds"], second["seconds"]),
+            "ok": max(first["seconds"], second["seconds"]) < GATE_MAX_SECONDS,
+        },
+    ]
+    for budget, stats in tiers.items():
+        want = (baseline or {}).get(budget, {}).get("fingerprint")
+        if want is not None:
+            checks.append({
+                "check": f"{budget} fingerprint matches baseline",
+                "value": stats["fingerprint"],
+                "ok": stats["fingerprint"] == want,
+            })
+    return {"applied": True, "checks": checks,
+            "pass": all(c["ok"] for c in checks)}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced load for CI smoke runs")
+    parser.add_argument("--out", default=str(REPO / "BENCH_PR8.json"),
+                        help="output JSON path")
+    parser.add_argument("--gate", action="store_true",
+                        help="enforce the PR8 acceptance checks "
+                             "(double-run determinism, user floor, wall cap)")
+    parser.add_argument("--baseline", default=None,
+                        help="with --gate: checked-in BENCH_PR8.json whose "
+                             "tier fingerprints must reproduce")
+    parser.add_argument("-w", "--workers", type=int, default=0,
+                        help="fleet workers (default: usable cores)")
+    args = parser.parse_args(argv)
+    cfg = QUICK if args.quick else FULL
+    workers = args.workers or usable_cpus()
+
+    print(f"== city_scale (hybrid-fidelity population throughput) ==\n"
+          f"   cpu_count {os.cpu_count()}, usable {usable_cpus()}, "
+          f"workers {workers}", flush=True)
+    tiers = {budget: run_budget(budget, workers)
+             for budget in cfg["budgets"]}
+
+    gate = {"applied": False, "checks": [], "pass": True}
+    if args.gate:
+        baseline = None
+        if args.baseline:
+            payload = json.loads(pathlib.Path(args.baseline).read_text())
+            baseline = payload["benchmarks"]["city_scale"]["tiers"]
+        gate = apply_gate(tiers, workers, baseline)
+
+    payload = {
+        "bench": "PR8-city-scale",
+        "config": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "usable_cpus": usable_cpus(),
+        "benchmarks": {"city_scale": {"workers": workers, "tiers": tiers,
+                                      "gate": gate}},
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+    if args.gate:
+        for c in gate["checks"]:
+            print(f"gate: {c['check']}: {'PASS' if c['ok'] else 'FAIL'}")
+        if not gate["pass"]:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,8 @@ Usage (also via ``python -m repro``):
     python -m repro demo table2
     python -m repro fleet                # run the default (256-shard) campaign
     python -m repro fleet smoke -w 2     # a named campaign on 2 workers
+    python -m repro scale                # hybrid-fidelity city campaign
+    python -m repro scale --budget metro # the 10^6-user tier
     python -m repro show T2              # print a saved benchmark report
     python -m repro show cell256         # fleet reports are found too
     python -m repro lint src             # simlint determinism checks
@@ -243,6 +245,79 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scale(args: argparse.Namespace) -> int:
+    """Run a hybrid-fidelity city campaign (see docs/SCALE.md).
+
+    ``city_coverage`` fans a whole metro area out as city → cell →
+    cohort fleet shards at a named ``--budget`` tier; each shard runs
+    its cell's fluid background population plus one event-level
+    foreground session under that background's pressure.
+    ``cell_contention`` sweeps one cell across offered-load factors.
+    ``--double-run`` executes the campaign twice and compares merged
+    aggregate fingerprints — the CI scale-smoke determinism gate.
+    """
+    import hashlib
+
+    from repro.fleet import ResultCache, run_campaign, usable_cpus
+    from repro.scale.shards import (CITY_BUDGETS, cell_contention_campaign,
+                                    city_coverage_campaign, city_users)
+
+    if args.campaign == "city_coverage":
+        campaign = city_coverage_campaign(args.budget,
+                                          city_seed=args.city_seed)
+    elif args.campaign == "cell_contention":
+        campaign = cell_contention_campaign()
+    else:
+        print(f"unknown scale campaign {args.campaign!r}; "
+              f"try: city_coverage, cell_contention", file=sys.stderr)
+        return 2
+
+    workers = args.workers if args.workers is not None \
+        else max(1, usable_cpus())
+    runs = 2 if args.double_run else 1
+    digests = []
+    result = None
+    t0 = time.monotonic()
+    for attempt in range(1, runs + 1):
+        # The double-run gate must recompute, so caching is only
+        # enabled for plain single runs.
+        cache = ResultCache() if not (args.no_cache or args.double_run) \
+            else None
+        result = run_campaign(
+            campaign, workers=workers, cache=cache,
+            progress=None if args.quiet else _fleet_progress)
+        digest = hashlib.sha256(
+            result.aggregate.to_json().encode("utf-8")).hexdigest()
+        digests.append(digest)
+        if args.double_run:
+            print(f"[scale] run {attempt}: fingerprint {digest[:16]}",
+                  file=sys.stderr)
+    wall = time.monotonic() - t0
+
+    text = fleet_report(result)
+    FLEET_RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    out = FLEET_RESULTS_DIR / f"{campaign.name}.txt"
+    out.write_text(text + "\n")
+    print(text)
+
+    users = city_users(result.aggregate)
+    budget_note = f" budget={args.budget} ({CITY_BUDGETS[args.budget].n_cells} cells)" \
+        if args.campaign == "city_coverage" else ""
+    print(f"[scale] {users} background users simulated{budget_note}, "
+          f"{workers} worker(s), {wall:.1f}s wall "
+          f"({users * runs / max(wall, 1e-9):,.0f} users/s), "
+          f"report saved to {out}", file=sys.stderr)
+    if args.double_run:
+        if digests[0] != digests[1]:
+            print("[scale] FAIL: identical campaign produced different "
+                  "aggregate fingerprints — determinism is broken",
+                  file=sys.stderr)
+            return 1
+        print("[scale] OK: byte-identical aggregates across two runs",
+              file=sys.stderr)
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import run as lint_run
 
@@ -403,6 +478,29 @@ def main(argv=None) -> int:
     fleet.add_argument("--quiet", action="store_true",
                        help="suppress the progress/ETA line")
     fleet.set_defaults(func=cmd_fleet)
+    scale = sub.add_parser(
+        "scale", help="run a hybrid-fidelity city campaign "
+                      "(fluid background + event-level foreground)")
+    scale.add_argument("campaign", nargs="?", default="city_coverage",
+                       help="city_coverage (default) or cell_contention")
+    scale.add_argument("--budget", default="small",
+                       choices=("smoke", "small", "metro"),
+                       help="city size tier for city_coverage "
+                            "(default: small, the >=1e5-user CI tier)")
+    scale.add_argument("--city-seed", type=int, default=7,
+                       help="seed the city layout derives from "
+                            "(default: 7)")
+    scale.add_argument("-w", "--workers", type=int, default=None,
+                       help="worker processes (default: usable CPUs; "
+                            "1 = serial fallback)")
+    scale.add_argument("--double-run", action="store_true",
+                       help="run twice and require byte-identical "
+                            "aggregate fingerprints (CI determinism gate)")
+    scale.add_argument("--no-cache", action="store_true",
+                       help="skip the on-disk result cache")
+    scale.add_argument("--quiet", action="store_true",
+                       help="suppress the progress/ETA line")
+    scale.set_defaults(func=cmd_scale)
     lint = sub.add_parser(
         "lint", help="simlint: determinism & simulation-safety checks")
     from repro.lint.cli import configure_parser as _configure_lint

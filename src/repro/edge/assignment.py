@@ -14,6 +14,30 @@ from typing import Dict, List, Optional, Set
 
 from repro.edge.topology import CityTopology
 
+#: Backhaul RTT tiers (seconds) of the metro aggregation ladder: a cell
+#: is homed on an on-site edge rack, a metro PoP, or the regional
+#: datacenter — the Section VI-E placement ladder as fixed price points.
+EDGE_BACKHAUL_TIERS = (0.002, 0.008, 0.020)
+
+#: Which tier serves cell ``i``: a repeating stripe giving 25% on-site,
+#: 50% metro, 25% regional — deterministic in the cell index so the
+#: hybrid-fidelity layer (repro.scale) stays a pure function of the
+#: scenario.
+_TIER_STRIPE = (0, 1, 1, 2)
+
+
+def serving_edge_rtt(cell_id: int,
+                     tiers: "tuple" = EDGE_BACKHAUL_TIERS) -> float:
+    """Backhaul RTT from cell ``cell_id`` to its serving edge site.
+
+    The promotion entry point used when a background user becomes an
+    event-level session: its total path RTT is the cell's (loaded)
+    access RTT plus this deterministic backhaul component.
+    """
+    if cell_id < 0:
+        raise ValueError("cell_id must be >= 0")
+    return tiers[_TIER_STRIPE[cell_id % len(_TIER_STRIPE)]]
+
 
 @dataclass
 class AssignmentResult:

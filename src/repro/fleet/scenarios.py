@@ -37,30 +37,30 @@ _RATE_BINS = 240
 
 
 # ----------------------------------------------------------------------
-# version 2: shards also carry an obs.* metrics-registry aggregate
-# (protocol + link counters); the bump invalidates v1 cache entries.
-@register_scenario(
-    "cell_offload", version=2,
-    latency_key="frame_latency",
-    moment_keys=("mos", "video_quality", "delivery_ratio"),
-    # cost ~ simulated session length (the event count tracks duration)
-    cost_hint=lambda p: float(p.get("duration", 2.0)),
-)
-def run_cell_offload(seed: int, params: Dict[str, object]) -> Aggregate:
-    """One MAR offload session over a single access path (one cell user)."""
-    from repro.core import OffloadSession, ScenarioBuilder, mos_score
-    from repro.fleet.aggregate import aggregate_from_registry
-    from repro.obs import MetricsRegistry, collect_links, collect_martp
+# The cell_offload runner is split into build + collect so the hybrid-
+# fidelity layer (repro.scale) can run the *identical* session code
+# path with a background-pressure driver attached between the two —
+# the zero-background foreground tier must stay byte-identical to this
+# event-level scenario (a hard acceptance gate, tests/test_scale_coupling.py).
+def build_offload_session(seed: int, params: Dict[str, object]):
+    """Build the cell_offload scenario + session (not yet run)."""
+    from repro.core import OffloadSession, ScenarioBuilder
 
     rtt = float(params.get("rtt", 0.036))
     up_bps = float(params.get("up_bps", 12e6))
     loss = float(params.get("loss", 0.0))
-    duration = float(params.get("duration", 2.0))
 
     scenario = ScenarioBuilder(seed=seed).single_path(
         rtt=rtt, up_bps=up_bps, loss=loss)
     session = OffloadSession(scenario)
-    report = session.run(duration)
+    return scenario, session
+
+
+def collect_offload_aggregate(scenario, session, report) -> Aggregate:
+    """Distil a finished cell_offload session into its shard aggregate."""
+    from repro.core import mos_score
+    from repro.fleet.aggregate import aggregate_from_registry
+    from repro.obs import MetricsRegistry, collect_links, collect_martp
 
     agg = Aggregate()
     agg.count("sessions")
@@ -82,6 +82,23 @@ def run_cell_offload(seed: int, params: Dict[str, object]) -> Aggregate:
     collect_links(registry, scenario.net, elapsed=scenario.net.sim.now)
     agg.merge(aggregate_from_registry(registry))
     return agg
+
+
+# version 2: shards also carry an obs.* metrics-registry aggregate
+# (protocol + link counters); the bump invalidates v1 cache entries.
+@register_scenario(
+    "cell_offload", version=2,
+    latency_key="frame_latency",
+    moment_keys=("mos", "video_quality", "delivery_ratio"),
+    # cost ~ simulated session length (the event count tracks duration)
+    cost_hint=lambda p: float(p.get("duration", 2.0)),
+)
+def run_cell_offload(seed: int, params: Dict[str, object]) -> Aggregate:
+    """One MAR offload session over a single access path (one cell user)."""
+    duration = float(params.get("duration", 2.0))
+    scenario, session = build_offload_session(seed, params)
+    report = session.run(duration)
+    return collect_offload_aggregate(scenario, session, report)
 
 
 # ----------------------------------------------------------------------
@@ -174,7 +191,10 @@ def run_table2_offload(seed: int, params: Dict[str, object]) -> Aggregate:
 # ----------------------------------------------------------------------
 def demo_campaigns() -> Dict[str, Campaign]:
     """Named, ready-to-run campaign specs for the CLI."""
-    return {
+    from repro.scale.shards import demo_scale_campaigns
+
+    catalog = demo_scale_campaigns()
+    catalog.update({
         # 4 RTT points × 8 seeds = 32 shards; small frame count → fast.
         "smoke": Campaign(
             name="smoke", scenario="table2_offload", seeds=8, base_seed=2,
@@ -201,12 +221,19 @@ def demo_campaigns() -> Dict[str, Campaign]:
             grid={"rtt": [0.008, 0.036, 0.072, 0.120]},
             params={"duration": 1.0, "up_bps": 12e6},
         ),
-    }
+    })
+    return catalog
 
 
 __all__ = [
+    "build_offload_session",
+    "collect_offload_aggregate",
     "demo_campaigns",
     "run_cell_offload",
     "run_table2_offload",
     "run_wifi_anomaly_cell",
 ]
+
+# Importing registers the hierarchical city scenarios (city_coverage,
+# cell_contention) alongside the built-ins above.
+from repro.scale import shards as _scale_shards  # noqa: E402,F401

@@ -301,6 +301,35 @@ def plan_batches(states: Sequence["_ShardState"], workers: int,
     return capped
 
 
+def batch_cost_efficiency(batches: Sequence[Sequence["_ShardState"]],
+                          scenario: Optional[ScenarioDef] = None) -> float:
+    """Load-balance efficiency of a batch plan, in (0, 1].
+
+    Parallel wall time is governed by the *heaviest* batch, so the
+    useful figure is mean batch cost over peak batch cost: 1.0 means
+    perfectly level batches, 0.5 means the heaviest batch carries twice
+    the average and half the fleet idles while it drains.  Costs come
+    from the scenario's ``cost_hint`` (shard count when there is none)
+    — the same weights :func:`plan_batches` planned with, so this
+    audits the planner's own objective.  Hierarchical shard lists
+    (repro.scale's city → cell → cohort grids, where member-0 shards
+    carry extra fluid-aggregation and promotion cost) are the case that
+    keeps this honest: the planner must stay ≥0.6 on them (pinned by
+    ``tests/test_fleet_workers.py``).
+    """
+    if not batches:
+        return 1.0
+    if scenario is not None and scenario.cost_hint is not None:
+        costs = [sum(scenario.shard_cost(s.spec.param_dict()) for s in batch)
+                 for batch in batches]
+    else:
+        costs = [float(len(batch)) for batch in batches]
+    peak = max(costs)
+    if peak <= 0:
+        return 1.0
+    return (sum(costs) / len(costs)) / peak
+
+
 def _pool_context(method: Optional[str] = None):
     """Pick the multiprocessing context for the warm pool.
 
@@ -635,6 +664,7 @@ __all__ = [
     "OVERSUBSCRIBE",
     "ShardError",
     "ShardOutcome",
+    "batch_cost_efficiency",
     "plan_batches",
     "run_campaign",
     "run_shard",

@@ -16,7 +16,11 @@ The split is by path, mirroring the package layout:
 - ``lint/`` — this tool itself.
 
 Everything else under ``src/repro`` (simnet, wireless, transport, core,
-mar, vision, edge, analysis, obs, check) is sim-domain.  **check** —
+mar, vision, edge, analysis, obs, check, scale) is sim-domain.
+**scale** — the hybrid-fidelity city layer — is sim-domain end to end:
+its fluid cell processes draw from ``sim.child_rng`` tags and its shard
+runners are ordinary fleet scenario functions, so a 10^5-user city
+campaign must fingerprint identically across runs.  **check** —
 the state-space explorer — must be sim-domain: an exploration run is a
 pure function of ``(harness, seed, budget)``, so its budgets are event
 counts, never wall time (the CLI, ``check/cli.py``, is harness by
@@ -51,7 +55,7 @@ HARNESS_DIR_PARTS = frozenset({
 #: domain).
 SIM_DIR_PARTS = frozenset({
     "simnet", "wireless", "transport", "core", "mar", "vision", "edge",
-    "analysis", "obs", "check",
+    "analysis", "obs", "check", "scale",
 })
 
 #: Files that are harness regardless of location.

@@ -32,7 +32,7 @@ from repro.core.resilience import (
     ServiceMode,
 )
 from repro.mar.application import MarApplication
-from repro.mar.devices import CLOUD, Device
+from repro.mar.devices import CLOUD, SMARTPHONE, Device
 from repro.mar.energy import EnergyModel
 from repro.simnet.network import Network
 from repro.simnet.packet import Packet
@@ -306,6 +306,54 @@ class OffloadExecutor:
         #: every call site is None-guarded, so tracing off costs one
         #: attribute test and allocates nothing).
         self.obs = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_cell(
+        cls,
+        sim,
+        profile,
+        utilization: float,
+        *,
+        cell_id: int = 0,
+        app: MarApplication,
+        strategy: OffloadStrategy,
+        device: Device = SMARTPHONE,
+        server_device: Device = CLOUD,
+        **kwargs,
+    ) -> "OffloadExecutor":
+        """Promotion entry point for the hybrid-fidelity layer.
+
+        Build an executor for one user promoted out of a cell's fluid
+        background population (:mod:`repro.scale.coupling`): the access
+        link is the cell's measured profile *under its current
+        background utilization* (``profile.under_load``), and the
+        serving edge sits behind the cell's deterministic backhaul tier
+        (:func:`repro.edge.assignment.serving_edge_rtt`).  ``profile``
+        is a :class:`repro.wireless.profiles.AccessProfile`; ``sim`` is
+        a fresh simulator seeded from the promoted user's fluid state.
+        """
+        from repro.edge.assignment import serving_edge_rtt
+        from repro.simnet.queues import DropTailQueue
+
+        loaded = profile.under_load(utilization)
+        net = Network(sim)
+        net.add_host("client")
+        net.add_host("edge")
+        backhaul = serving_edge_rtt(cell_id)
+        net.add_duplex(
+            "edge",
+            "client",
+            rate_down_bps=loaded.down_mean,
+            rate_up_bps=loaded.up_mean,
+            delay=(loaded.rtt + backhaul) / 2,
+            jitter=loaded.rtt_jitter / 2,
+            loss=loaded.loss,
+            queue_up=DropTailQueue(1000),
+        )
+        net.build_routes()
+        return cls(net, "client", "edge", app, strategy, device,
+                   server_device=server_device, **kwargs)
 
     # ------------------------------------------------------------------
     def start(self, n_frames: int) -> None:

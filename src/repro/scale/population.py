@@ -1,0 +1,326 @@
+"""Fluid/mean-field background population model for city-scale MAR.
+
+Event-level simulation of every user in a metropolitan deployment is
+hopeless — a metro area has 10^5–10^6 concurrent MAR users and the
+event engine tops out near 10^6 events/s.  The paper's §IV scaling
+argument (per-cell contention, edge placement at metro scale) does not
+need per-packet fidelity for the *background* population, though: it
+needs each cell's offered load as a function of time.  This module
+models exactly that, in the mean-field style of multi-user offloading
+load models (Look-Ahead Task Offloading, arXiv:2305.19558): per-cell
+arrival/departure fluid dynamics whose offered uplink load, normalized
+by the cell's capacity, yields the utilization ρ(t) that
+:mod:`repro.scale.coupling` turns into link pressure on event-level
+foreground sessions.
+
+The dynamics per cell are a stochastically-modulated M/M/∞ fluid::
+
+    dn/dt = λ(t)·e^{x(t)} − n/τ
+
+where ``λ(t)`` carries a deterministic diurnal modulation, ``x(t)`` is
+a discrete OU (AR(1)) log-perturbation drawn from the *host
+simulator's* ``child_rng`` — so a cell's load process is a pure
+function of ``(seed, cell tag)`` and independent of every other cell's
+draws — and ``τ`` is the mean session lifetime.  Offered load is
+``n·demand`` against the cell's uplink capacity; utilization above 1
+is shed (admission pressure) and accounted as blocked user-seconds.
+
+Per-user quantities reuse the *same* measured access distributions the
+event-level simulator builds links from (:mod:`repro.wireless.profiles`):
+a cell references an :class:`~repro.wireless.profiles.AccessProfile`
+by name, per-user throughput under load comes from
+:meth:`AccessProfile.per_user_share`, and the MAR-readiness
+classification applies the §III-B thresholds to the loaded profile.
+
+Everything a cell produces is distilled into O(1)-sized mergeable
+aggregates (:class:`repro.fleet.aggregate.Aggregate` via an
+:class:`repro.obs.registry.MetricsRegistry` feed), so a million users
+across hundreds of cells lift into the existing Welford/histogram
+fleet primitives and merge order-independently.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.simnet.engine import Simulator
+from repro.wireless.profiles import (
+    MAR_MAX_RTT,
+    MAR_MIN_UPLINK_BPS,
+    AccessProfile,
+    all_profiles,
+)
+
+#: AR(1) relaxation of the log-load perturbation per fluid step: the
+#: shock process has memory ~1/OU_BETA steps, long enough that cells
+#: show sustained busy periods rather than white noise.
+OU_BETA = 0.08
+
+#: Utilization above which a fluid sample counts as *contended* —
+#: aligned with the default promotion threshold in repro.scale.coupling.
+CONTENTION_RHO = 0.85
+
+#: Histogram range for per-cell utilization: >1 is a real (overload)
+#: regime, so the range extends past saturation.  Fixed so per-cell
+#: histograms from any shard are merge-compatible.
+UTILIZATION_HI = 2.0
+UTILIZATION_BINS = 100
+
+
+def profile_by_name(name: str) -> AccessProfile:
+    """Look up a built-in access profile by its ``name`` field."""
+    for profile in all_profiles():
+        if profile.name == name:
+            return profile
+    raise KeyError(f"unknown access profile {name!r}; "
+                   f"known: {[p.name for p in all_profiles()]}")
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Static description of one cell's background population.
+
+    Rates in users/s and bits/s, times in seconds.  ``demand_up_bps``
+    is the mean uplink demand of one *active* MAR user (feature uploads
+    + sensor streams; full video offload is the profile's ``up_mean``
+    and only the foreground tier models it per-packet).
+    """
+
+    cell_id: int
+    profile: str                     # AccessProfile.name
+    initial_users: float             # n(0)
+    arrival_rate: float              # λ0, new sessions per second
+    mean_holding: float              # τ, mean session lifetime
+    demand_up_bps: float             # per active user
+    capacity_up_bps: float           # cell uplink capacity
+    diurnal_amplitude: float = 0.3   # λ(t) = λ0(1 + a·sin(...))
+    diurnal_period: float = 180.0
+    diurnal_phase: float = 0.0
+    burstiness: float = 0.15         # OU shock scale per step
+    dt: float = 0.5                  # fluid step
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0:
+            raise ValueError("dt must be > 0")
+        if self.mean_holding <= 0:
+            raise ValueError("mean_holding must be > 0")
+        if self.capacity_up_bps <= 0:
+            raise ValueError("capacity_up_bps must be > 0")
+
+    @property
+    def capacity_users(self) -> float:
+        """How many mean-demand users saturate the uplink."""
+        return self.capacity_up_bps / max(self.demand_up_bps, 1e-9)
+
+
+@dataclass
+class CellTimeline:
+    """The fluid trajectory of one cell plus its integral accounting."""
+
+    spec: CellSpec
+    #: (t, active users, utilization ρ) per fluid step, in time order.
+    samples: List[Tuple[float, float, float]]
+    arrivals: float = 0.0            # ∫λ_eff dt — distinct new users
+    user_seconds: float = 0.0        # ∫n dt
+    blocked_user_seconds: float = 0.0  # ∫max(n − capacity_users, 0) dt
+
+    @property
+    def distinct_users(self) -> int:
+        """Users this cell touched: the initial population + arrivals."""
+        return int(round(self.spec.initial_users + self.arrivals))
+
+    @property
+    def service_fraction(self) -> float:
+        """Fraction of user-seconds actually served (not shed)."""
+        if self.user_seconds <= 0:
+            return 1.0
+        return 1.0 - min(self.blocked_user_seconds / self.user_seconds, 1.0)
+
+    def utilization_at(self, t: float) -> float:
+        """Piecewise-constant ρ at time ``t`` (last sample at or before)."""
+        rho = 0.0
+        for ts, _n, r in self.samples:
+            if ts > t:
+                break
+            rho = r
+        return rho
+
+    def window(self, t0: float, t1: float) -> List[Tuple[float, float]]:
+        """(t, ρ) samples governing [t0, t1): the sample in force at
+        ``t0`` plus every sample boundary inside the window."""
+        out: List[Tuple[float, float]] = [(t0, self.utilization_at(t0))]
+        for ts, _n, r in self.samples:
+            if t0 < ts < t1:
+                out.append((ts, r))
+        return out
+
+    def mean_utilization(self, t0: float, t1: float) -> float:
+        """Time-weighted mean ρ over [t0, t1)."""
+        if t1 <= t0:
+            return self.utilization_at(t0)
+        pts = self.window(t0, t1)
+        total = 0.0
+        for i, (ts, rho) in enumerate(pts):
+            t_next = pts[i + 1][0] if i + 1 < len(pts) else t1
+            total += rho * (t_next - ts)
+        return total / (t1 - t0)
+
+    def mar_ready_fraction(self) -> float:
+        """Fraction of samples where a §III-B-compliant session fits.
+
+        Applies the MAR uplink and latency requirements to the cell's
+        profile *under its instantaneous load* — the same
+        ``under_load`` hook the foreground coupling uses.
+        """
+        if not self.samples:
+            return 0.0
+        profile = profile_by_name(self.spec.profile)
+        ready = 0
+        for _t, _n, rho in self.samples:
+            loaded = profile.under_load(rho)
+            if (loaded.up_mean >= MAR_MIN_UPLINK_BPS
+                    and loaded.rtt <= MAR_MAX_RTT):
+                ready += 1
+        return ready / len(self.samples)
+
+
+class CellProcess:
+    """The fluid load process of one cell, stepped on a host simulator.
+
+    Attach to a :class:`Simulator` and ``sim.run(until=horizon)``; the
+    process schedules itself every ``spec.dt``, reads time from
+    ``sim.now``, and draws its load shocks from
+    ``sim.child_rng(f"scale.cell.{cell_id}")`` — the determinism
+    contract for sim-domain code (ROADMAP), which also makes a cell's
+    trajectory independent of how many other cells share the simulator.
+    """
+
+    def __init__(self, sim: Simulator, spec: CellSpec) -> None:
+        self.sim = sim
+        self.spec = spec
+        self._rng = sim.child_rng(f"scale.cell.{spec.cell_id}")
+        self._n = float(spec.initial_users)
+        self._x = 0.0                # OU log-load perturbation
+        self.timeline = CellTimeline(spec=spec, samples=[])
+        sim.schedule(0.0, self._step)
+
+    @property
+    def active_users(self) -> float:
+        return self._n
+
+    def _step(self) -> None:
+        spec = self.spec
+        t = self.sim.now
+        lam = spec.arrival_rate * (
+            1.0 + spec.diurnal_amplitude
+            * math.sin(2.0 * math.pi * (t + spec.diurnal_phase)
+                       / spec.diurnal_period))
+        self._x = (1.0 - OU_BETA) * self._x + self._rng.gauss(0.0, spec.burstiness)
+        lam_eff = max(lam, 0.0) * math.exp(self._x)
+        self._n += spec.dt * (lam_eff - self._n / spec.mean_holding)
+        if self._n < 0.0:
+            self._n = 0.0
+        rho = (self._n * spec.demand_up_bps) / spec.capacity_up_bps
+
+        tl = self.timeline
+        tl.samples.append((t, self._n, rho))
+        tl.arrivals += lam_eff * spec.dt
+        tl.user_seconds += self._n * spec.dt
+        excess = self._n - spec.capacity_users
+        if excess > 0.0:
+            tl.blocked_user_seconds += excess * spec.dt
+        self.sim.schedule(spec.dt, self._step)
+
+    # ------------------------------------------------------------------
+    # Aggregation: the obs metrics-registry feed + fleet lift
+    # ------------------------------------------------------------------
+    def registry(self):
+        """Feed this cell's fluid trajectory into a metrics registry.
+
+        Uses the observability layer's typed primitives so per-cell
+        metrics merge across shards exactly like protocol/link counters
+        do — and lift into fleet aggregates through the existing
+        ``aggregate_from_registry`` mapping under ``obs.scale.*``.
+        """
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        tl = self.timeline
+        reg.counter("scale.cells").inc()
+        reg.counter("scale.users").inc(tl.distinct_users)
+        reg.counter("scale.fluid_steps").inc(len(tl.samples))
+        users = reg.gauge("scale.active_users")
+        util = reg.histogram("scale.utilization", 0.0, UTILIZATION_HI,
+                             UTILIZATION_BINS)
+        contended = 0
+        overloaded = 0
+        for _t, n, rho in tl.samples:
+            users.set(n)
+            util.observe(rho)
+            if rho > CONTENTION_RHO:
+                contended += 1
+            if rho > 1.0:
+                overloaded += 1
+        reg.counter("scale.contended_samples").inc(contended)
+        reg.counter("scale.overloaded_samples").inc(overloaded)
+        return reg
+
+    def aggregate(self):
+        """This cell's mergeable shard contribution.
+
+        Counts/histograms merge exactly; moments merge via the Chan et
+        al. parallel formula — order-independent up to float rounding
+        (pinned by a hypothesis property in tests/test_scale_population.py).
+        """
+        from repro.fleet.aggregate import Aggregate, aggregate_from_registry
+
+        profile = profile_by_name(self.spec.profile)
+        tl = self.timeline
+        agg = Aggregate()
+        agg.count("scale.cells")
+        agg.count("scale.users", tl.distinct_users)
+        rho_moment = agg.moment("scale.utilization")
+        users_moment = agg.moment("scale.active_users")
+        share_moment = agg.moment("scale.per_user_up_bps")
+        for _t, n, rho in tl.samples:
+            rho_moment.add(rho)
+            users_moment.add(n)
+            share_moment.add(profile.up_mean * profile.per_user_share(rho))
+        agg.moment("scale.service_fraction").add(tl.service_fraction)
+        agg.moment("scale.mar_ready_fraction").add(tl.mar_ready_fraction())
+        agg.merge(aggregate_from_registry(self.registry()))
+        return agg
+
+
+def run_cell(spec: CellSpec, seed: int, duration: float,
+             sim: Optional[Simulator] = None) -> CellProcess:
+    """Run one cell's fluid process for ``duration`` simulated seconds.
+
+    With ``sim`` given, attaches to an existing simulator (many cells
+    can share one); otherwise builds a fresh ``Simulator(seed=seed)``.
+    """
+    if sim is None:
+        sim = Simulator(seed=seed)
+    process = CellProcess(sim, spec)
+    sim.run(until=sim.now + duration)
+    return process
+
+
+__all__ = [
+    "CONTENTION_RHO",
+    "CellProcess",
+    "CellSpec",
+    "CellTimeline",
+    "OU_BETA",
+    "UTILIZATION_BINS",
+    "UTILIZATION_HI",
+    "profile_by_name",
+    "run_cell",
+]
+
+
+# Re-exported so callers can build per-profile demand maps without a
+# second import site.
+PROFILE_NAMES: Dict[str, AccessProfile] = {p.name: p for p in all_profiles()}

@@ -26,6 +26,7 @@ WiFi-Direct 500 (D2D, ~200 m)          symmetric                <10
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -45,9 +46,62 @@ MAR_MAX_RTT = 0.075
 MAR_MAX_JITTER = 0.030
 
 
+#: Floor on the per-user capacity share under background load, so an
+#: overloaded cell (ρ→1 and beyond) degrades gracefully instead of
+#: starving the foreground session outright.
+MIN_LOAD_SHARE = 0.02
+
+#: Cap on the extra loss the overload residue may add (ρ>1 sheds the
+#: excess offered load; beyond 2x capacity everything above the cap is
+#: already reflected in the throughput share).
+MAX_OVERLOAD_LOSS = 0.5
+
+
 def mbps(x: float) -> float:
     """Megabits/s to bits/s."""
     return x * 1e6
+
+
+@dataclass(frozen=True)
+class LoadFactors:
+    """How a background utilization ρ degrades one more user's service.
+
+    ``share`` multiplies throughputs, ``delay_factor`` multiplies RTT
+    and jitter, ``extra_loss`` adds to the loss probability.  At ρ=0
+    the factors are exactly ``(1.0, 1.0, 0.0)`` — multiplying by them
+    is bit-exact identity, which the zero-background fast path of
+    :mod:`repro.scale.coupling` relies on.
+    """
+
+    share: float
+    delay_factor: float
+    extra_loss: float
+
+    @property
+    def is_identity(self) -> bool:
+        return (self.share == 1.0 and self.delay_factor == 1.0
+                and self.extra_loss == 0.0)
+
+
+def load_factors(utilization: float) -> LoadFactors:
+    """Service-degradation factors at background utilization ρ.
+
+    - throughput scales by the processor-sharing residue
+      ``max(1-ρ, MIN_LOAD_SHARE)`` (802.11 DCF and cellular schedulers
+      both approximate equal resource shares);
+    - delay inflates by the M/M/1-style factor ``1 + ρ/(1-ρ)``,
+      capped via :data:`MIN_LOAD_SHARE` — the paper's "oversized
+      uplink buffers" effect at cell scale;
+    - loss picks up the overload residue once offered load exceeds
+      capacity (ρ>1 sheds the excess), capped at
+      :data:`MAX_OVERLOAD_LOSS`.
+    """
+    rho = max(0.0, float(utilization))
+    share = max(1.0 - rho, MIN_LOAD_SHARE)
+    delay_factor = 1.0 + min(rho, 1.0) / max(1.0 - rho, MIN_LOAD_SHARE)
+    extra_loss = min(max(rho - 1.0, 0.0) / max(rho, 1.0), MAX_OVERLOAD_LOSS)
+    return LoadFactors(share=share, delay_factor=delay_factor,
+                       extra_loss=extra_loss)
 
 
 @dataclass(frozen=True)
@@ -93,6 +147,54 @@ class AccessProfile:
     def mar_ready(self) -> bool:
         """All three MAR requirements at once (Section III-B / IV)."""
         return self.meets_mar_uplink() and self.meets_mar_latency() and self.meets_mar_jitter()
+
+    # ------------------------------------------------------------------
+    # Exogenous-load hook (repro.scale background population coupling)
+    # ------------------------------------------------------------------
+    def per_user_share(self, utilization: float) -> float:
+        """Processor-sharing capacity fraction left for one more user.
+
+        ``utilization`` is the background population's offered load as
+        a fraction of cell capacity (the fluid model's ρ).  At ρ=0 the
+        share is exactly 1.0 — the zero-background fast path must leave
+        link parameters byte-identical — and it floors at
+        :data:`MIN_LOAD_SHARE` so an overloaded cell degrades instead
+        of dividing by zero.
+        """
+        return load_factors(utilization).share
+
+    def under_load(self, utilization: float) -> "AccessProfile":
+        """Derive the profile one *additional* user experiences when a
+        background population already fills ``utilization`` of the cell.
+
+        This is the hook :mod:`repro.scale.coupling` uses to let the
+        fluid background tier press on event-level foreground sessions:
+
+        - throughputs scale by the processor-sharing residue
+          :meth:`per_user_share` (802.11 DCF and cellular schedulers
+          both approximate equal time/resource shares);
+        - RTT and jitter inflate by the M/M/1-style queueing factor
+          ``1 + ρ/(1-ρ)`` (capped via :data:`MIN_LOAD_SHARE`), the
+          paper's "oversized uplink buffers" effect at cell scale;
+        - loss picks up the overload residue once offered load exceeds
+          capacity (admission pressure: ρ>1 sheds the excess).
+
+        ``under_load(0.0)`` returns a profile whose fields are
+        bit-equal to this one (every factor is exactly 1.0 / 0.0), so
+        a zero-background foreground tier reproduces the uncoupled
+        scenario byte-identically.
+        """
+        f = load_factors(utilization)
+        return dataclasses.replace(
+            self,
+            down_mean=self.down_mean * f.share,
+            down_min=min(self.down_min, self.down_mean * f.share),
+            up_mean=self.up_mean * f.share,
+            up_min=min(self.up_min, self.up_mean * f.share),
+            rtt=self.rtt * f.delay_factor,
+            rtt_jitter=self.rtt_jitter * f.delay_factor,
+            loss=min(self.loss + f.extra_loss, 1.0),
+        )
 
     # ------------------------------------------------------------------
     def build_duplex(

@@ -231,6 +231,63 @@ class TestBatchPlanning:
         assert plan_batches([], workers=4) == []
 
 
+class TestHierarchicalShardEfficiency:
+    """The planner must stay load-balanced on repro.scale's city grids,
+    where member-0 shards carry extra fluid-aggregation and promotion
+    cost next to their plain cohort siblings."""
+
+    def _efficiency(self, campaign, workers):
+        from repro.fleet.workers import batch_cost_efficiency
+
+        scenario = get_scenario(campaign.scenario)
+        states = [_ShardState(s) for s in campaign.shards()]
+        batches = plan_batches(states, workers=workers, scenario=scenario)
+        return batch_cost_efficiency(batches, scenario), batches, states
+
+    @pytest.mark.parametrize("budget", ["smoke", "small", "metro"])
+    @pytest.mark.parametrize("workers", [2, 4, 8])
+    def test_city_coverage_efficiency_floor(self, budget, workers):
+        from repro.scale.shards import city_coverage_campaign
+
+        eff, batches, states = self._efficiency(
+            city_coverage_campaign(budget), workers)
+        assert eff >= 0.6
+        assert [s for b in batches for s in b] == states  # order preserved
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_cell_contention_efficiency_floor(self, workers):
+        from repro.scale.shards import cell_contention_campaign
+
+        eff, _batches, _states = self._efficiency(
+            cell_contention_campaign(), workers)
+        assert eff >= 0.6
+
+    def test_city_cost_hints_are_honest_about_member0(self):
+        # Member 0 runs the fluid aggregate + promotions on top of its
+        # session, so its hinted cost must strictly exceed a sibling's.
+        from repro.scale.shards import city_coverage_campaign
+
+        campaign = city_coverage_campaign("metro")  # cohort=2
+        scenario = get_scenario(campaign.scenario)
+        p0 = dict(campaign.params, cell=0, member=0)
+        p1 = dict(campaign.params, cell=0, member=1)
+        assert scenario.shard_cost(p0) > scenario.shard_cost(p1) > 0
+
+    def test_efficiency_helper_degenerate_cases(self):
+        from repro.fleet.workers import batch_cost_efficiency
+
+        assert batch_cost_efficiency([], None) == 1.0
+        states = [_ShardState(s) for s in city_grid_states()]
+        # Count-based fallback when no scenario is supplied.
+        assert 0.0 < batch_cost_efficiency([states[:2], states[2:4]]) <= 1.0
+
+
+def city_grid_states():
+    from repro.scale.shards import city_coverage_campaign
+
+    return city_coverage_campaign("smoke").shards()[:4]
+
+
 class TestUsableCpus:
     def test_positive_int(self):
         n = usable_cpus()
