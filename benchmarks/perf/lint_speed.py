@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Whole-repo simlint wall-time benchmark -> ``BENCH_PR9.json``.
+
+Lints the repository tree twice — serially (``jobs=1``) and across
+``usable_cpus()`` fork workers — recording wall time, files/sec, and
+the parallel speedup, plus a fingerprint asserting both modes produced
+the byte-identical finding list (the parallel-lint contract: workers
+only run the per-file rules; the whole-program pass always runs once
+in the driver, and findings are sorted before output).
+
+Usage::
+
+    python benchmarks/perf/lint_speed.py                 # full tree
+    python benchmarks/perf/lint_speed.py --quick         # src/ only
+    python benchmarks/perf/lint_speed.py --gate --baseline BENCH_PR9.json
+
+Gates (``--gate``):
+
+- serial/parallel finding identity is enforced unconditionally;
+- with ``--baseline`` and a matching config, the fresh serial wall
+  time must stay under ``baseline * (1 + --tolerance)`` (default
+  tolerance 1.0, i.e. a 2x slowdown fails — generous because absolute
+  wall time tracks the host, and CI shares a runner class);
+- on hosts with >= 2 usable cores the parallel run must not be more
+  than 10% slower than serial (speedup >= 0.9) — parallelism may not
+  pay on a loaded box, but it must never be a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.fleet.workers import usable_cpus  # noqa: E402
+from repro.lint import lint_paths  # noqa: E402
+
+FULL = dict(paths=("src", "tests", "benchmarks", "examples"), repeats=3)
+QUICK = dict(paths=("src",), repeats=1)
+
+#: Floor for parallel speedup on multi-core hosts (never a regression).
+GATE_SPEEDUP_FLOOR = 0.9
+
+
+def _fingerprint(findings) -> str:
+    payload = json.dumps([f.to_dict() for f in findings], sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _timed(paths, jobs: int, repeats: int):
+    """Best-of-N wall time; returns (seconds, findings, files_checked)."""
+    best = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        findings, checked = lint_paths(paths, root=REPO, jobs=jobs)
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best[0]:
+            best = (elapsed, findings, checked)
+    return best
+
+
+def run_bench(cfg: dict, workers: int) -> dict:
+    paths = [str(REPO / p) for p in cfg["paths"] if (REPO / p).is_dir()]
+    repeats = cfg["repeats"]
+
+    serial_t, serial_findings, checked = _timed(paths, 1, repeats)
+    parallel_t, parallel_findings, checked_p = _timed(paths, workers,
+                                                      repeats)
+    identical = (serial_findings == parallel_findings
+                 and checked == checked_p)
+    speedup = serial_t / parallel_t if parallel_t > 0 else float("inf")
+
+    def row(elapsed: float) -> dict:
+        return {"seconds": elapsed,
+                "files_per_sec": checked / elapsed if elapsed > 0 else 0.0}
+
+    print(f"   serial   ({checked} files): {serial_t:6.2f}s  "
+          f"{row(serial_t)['files_per_sec']:7.1f} files/s", flush=True)
+    print(f"   parallel ({workers} workers): {parallel_t:6.2f}s  "
+          f"speedup {speedup:.2f}x", flush=True)
+
+    return {
+        "files": checked,
+        "findings": len(serial_findings),
+        "serial": row(serial_t),
+        "parallel": {**row(parallel_t), "workers": workers,
+                     "speedup": speedup},
+        "findings_identical": identical,
+        "fingerprint": _fingerprint(serial_findings),
+    }
+
+
+def apply_gate(stats: dict, usable: int, baseline: dict | None,
+               config: str, tolerance: float) -> dict:
+    checks = []
+    if baseline is not None and baseline.get("config") == config:
+        base = baseline["benchmarks"]["lint_speed"]["serial"]["seconds"]
+        ceiling = base * (1.0 + tolerance)
+        got = stats["serial"]["seconds"]
+        checks.append({
+            "check": f"serial wall time <= {ceiling:.2f}s "
+                     f"(baseline {base:.2f}s + {tolerance:.0%})",
+            "value": got,
+            "ok": got <= ceiling,
+        })
+    if usable >= 2:
+        speedup = stats["parallel"]["speedup"]
+        checks.append({
+            "check": f"parallel speedup >= {GATE_SPEEDUP_FLOOR}",
+            "value": speedup,
+            "ok": speedup >= GATE_SPEEDUP_FLOOR,
+        })
+    return {
+        "applied": bool(checks),
+        "skipped_reason": (None if checks else
+                           f"no comparable baseline, {usable} usable core(s)"),
+        "checks": checks,
+        "pass": all(c["ok"] for c in checks),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="src/ only, single repeat (CI smoke)")
+    parser.add_argument("--out", default=str(REPO / "BENCH_PR9.json"),
+                        help="output JSON path")
+    parser.add_argument("--gate", action="store_true",
+                        help="fail on wall-time or scaling regression")
+    parser.add_argument("--baseline", default=None,
+                        help="checked-in baseline JSON to gate against")
+    parser.add_argument("--tolerance", type=float, default=1.0,
+                        help="allowed fractional slowdown vs baseline "
+                             "(default 1.0 = 2x)")
+    args = parser.parse_args(argv)
+    cfg = QUICK if args.quick else FULL
+    config = "quick" if args.quick else "full"
+    usable = usable_cpus()
+    workers = max(2, usable)
+
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = json.loads(pathlib.Path(args.baseline).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    print(f"== lint_speed (whole-repo simlint wall time) ==\n"
+          f"   cpu_count {os.cpu_count()}, usable {usable}", flush=True)
+    stats = run_bench(cfg, workers)
+    gate = apply_gate(stats, usable, baseline, config, args.tolerance)
+
+    payload = {
+        "bench": "PR9-lint-speed",
+        "config": config,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "usable_cpus": usable,
+        "benchmarks": {"lint_speed": {**stats, "gate": gate}},
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+    if not stats["findings_identical"]:
+        print("ERROR: serial and parallel lint findings diverged",
+              file=sys.stderr)
+        return 1
+    if args.gate:
+        if not gate["applied"]:
+            print(f"lint gate skipped: {gate['skipped_reason']} "
+                  "(identity check still enforced)")
+        else:
+            for c in gate["checks"]:
+                print(f"gate: {c['check']}: "
+                      f"{'PASS' if c['ok'] else 'FAIL'} ({c['value']:.2f})")
+            if not gate["pass"]:
+                return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,9 +1,19 @@
-"""File walking and per-module rule driving.
+"""File walking and rule driving (per-file and whole-program).
 
-:func:`lint_source` is the core (and the unit-test entry point): parse
-one module, classify its domain, run every applicable rule, drop
-suppressed findings.  :func:`lint_paths` maps that over files and
-directories, producing a sorted, stable finding list.
+:func:`lint_source` is the single-module entry point (and the unit-test
+workhorse): parse, classify, run every applicable per-file rule, then
+run the whole-program rules against a one-module project so fixtures
+exercise SIM007–SIM010 too.  :func:`lint_paths` maps the per-file pass
+over files and directories — serially, or across ``usable_cpus()``
+fork workers with byte-identical output — and then runs the
+whole-program rules once against the full project model.
+
+Parallel design: workers run only the per-file rules and return plain
+:class:`Finding` values (cheap pickles); the driver parses everything
+once more for the project model, which measures *cheaper* than
+shipping pickled ASTs back (unpickling an AST costs more than parsing
+the source).  Findings are sorted at the end, so serial and parallel
+runs are byte-identical by construction.
 """
 
 from __future__ import annotations
@@ -11,17 +21,83 @@ from __future__ import annotations
 import ast
 import os
 import pathlib
+import warnings
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.lint.domains import Domain, classify
 from repro.lint.findings import Finding
-from repro.lint.rules import RULES, RuleContext
+from repro.lint.rules import (
+    PROJECT_RULE_CODES,
+    RULES,
+    ProjectRule,
+    RuleContext,
+)
 from repro.lint.suppress import Suppressions
 
 #: Rule code reserved for files the parser rejects.  Parse errors are
 #: never suppressible — a file that does not parse cannot be reasoned
 #: about at all.
 PARSE_ERROR_RULE = "SIM000"
+
+#: Below this many files a worker pool costs more than it saves.
+PARALLEL_THRESHOLD = 24
+
+
+def _parse(source: str, path: str) -> Tuple[Optional[ast.Module],
+                                            Optional[Finding]]:
+    try:
+        return ast.parse(source, filename=path), None
+    except (SyntaxError, ValueError) as exc:
+        line = getattr(exc, "lineno", 1) or 1
+        col = (getattr(exc, "offset", 1) or 1)
+        msg = exc.msg if hasattr(exc, "msg") else str(exc)
+        return None, Finding(path=path, line=line, col=col,
+                             rule=PARSE_ERROR_RULE,
+                             message=f"could not parse: {msg}")
+
+
+def _file_findings(tree: ast.Module, source: str, path: str,
+                   domain: Domain,
+                   selected: Sequence[str]) -> List[Finding]:
+    """Run the per-file rules over one parsed module."""
+    suppressions = Suppressions.from_source(source)
+    for code in sorted(suppressions.mentioned - set(RULES)):
+        warnings.warn(
+            f"{path}: suppression names unknown rule {code} "
+            f"(known: {', '.join(sorted(RULES))})",
+            stacklevel=2)
+    ctx = RuleContext(path, domain, tree, source)
+    findings: List[Finding] = []
+    for code in selected:
+        rule = RULES[code]
+        if isinstance(rule, ProjectRule) or not rule.applies(domain):
+            continue
+        for finding in rule.check(ctx):
+            if not suppressions.is_suppressed(finding.rule, finding.line):
+                findings.append(finding)
+    return findings
+
+
+def _project_findings(entries: Sequence[Tuple[str, str, ast.Module]],
+                      selected: Sequence[str]) -> List[Finding]:
+    """Run the whole-program rules once over all parsed modules."""
+    codes = [c for c in selected if c in PROJECT_RULE_CODES]
+    if not codes or not entries:
+        return []
+    from repro.lint.project import Project
+
+    project = Project.build(entries)
+    findings: List[Finding] = []
+    for code in codes:
+        rule = RULES[code]
+        assert isinstance(rule, ProjectRule)
+        for finding in rule.check_project(project):
+            mod = project.modules_by_path.get(finding.path)
+            if mod is not None and mod.suppressions.is_suppressed(
+                    finding.rule, finding.line):
+                continue
+            findings.append(finding)
+    return findings
 
 
 def lint_source(source: str, path: str,
@@ -31,29 +107,20 @@ def lint_source(source: str, path: str,
 
     ``path`` determines the domain (unless ``domain`` overrides it) and
     is recorded verbatim in findings.  ``rules`` restricts checking to
-    the given codes.
+    the given codes.  The whole-program rules run against a one-module
+    project, so single-file callers (tests, the CI seeded-violation
+    gate) still exercise SIM007–SIM010.
     """
     norm = pathlib.PurePath(path).as_posix()
-    try:
-        tree = ast.parse(source, filename=norm)
-    except (SyntaxError, ValueError) as exc:
-        line = getattr(exc, "lineno", 1) or 1
-        col = (getattr(exc, "offset", 1) or 1)
-        return [Finding(path=norm, line=line, col=col, rule=PARSE_ERROR_RULE,
-                        message=f"could not parse: {exc.msg if hasattr(exc, 'msg') else exc}")]
+    tree, error = _parse(source, norm)
+    if tree is None:
+        assert error is not None
+        return [error]
     if domain is None:
         domain = classify(norm)
-    suppressions = Suppressions.from_source(source)
-    ctx = RuleContext(norm, domain, tree, source)
     selected = sorted(rules) if rules is not None else sorted(RULES)
-    findings: List[Finding] = []
-    for code in selected:
-        rule = RULES[code]
-        if not rule.applies(domain):
-            continue
-        for finding in rule.check(ctx):
-            if not suppressions.is_suppressed(finding.rule, finding.line):
-                findings.append(finding)
+    findings = _file_findings(tree, source, norm, domain, selected)
+    findings.extend(_project_findings([(norm, source, tree)], selected))
     findings.sort()
     return findings
 
@@ -87,21 +154,108 @@ def display_path(path: pathlib.Path, root: Optional[pathlib.Path] = None) -> str
     return rel.as_posix()
 
 
+def default_jobs(file_count: int) -> int:
+    """Worker count for a run: 1 (serial) unless the file count clears
+    :data:`PARALLEL_THRESHOLD` and the machine has cores to spare."""
+    if file_count < PARALLEL_THRESHOLD:
+        return 1
+    return max(1, _usable_cpus())
+
+
+def _usable_cpus() -> int:
+    try:
+        from repro.fleet.workers import usable_cpus
+        return usable_cpus()
+    except Exception:
+        return os.cpu_count() or 1
+
+
+def _lint_file_task(args: Tuple[str, str, Tuple[str, ...]]) -> List[Finding]:
+    """Worker task: per-file rules for one file (project pass is the
+    driver's job).  Module-level so it pickles under spawn too."""
+    file_path, rel, selected = args
+    source = pathlib.Path(file_path).read_text(encoding="utf-8")
+    tree, error = _parse(source, rel)
+    if tree is None:
+        assert error is not None
+        return [error]
+    return _file_findings(tree, source, rel, classify(rel), list(selected))
+
+
 def lint_paths(paths: Sequence[str],
                rules: Optional[Iterable[str]] = None,
                root: Optional[pathlib.Path] = None,
+               jobs: Optional[int] = None,
                ) -> Tuple[List[Finding], int]:
     """Lint every python file under ``paths``.
 
     Returns ``(findings, files_checked)``; findings are sorted by
     ``(path, line, col, rule)`` so output and baselines are stable.
+    ``jobs`` sets the per-file worker count (``None`` = auto: serial
+    below :data:`PARALLEL_THRESHOLD` files, ``usable_cpus()`` above;
+    ``1`` forces serial).  Serial and parallel runs produce identical
+    findings — the whole-program rules always run once, in the driver.
     """
+    selected = sorted(rules) if rules is not None else sorted(RULES)
+    files = [(file_path, display_path(file_path, root))
+             for file_path in iter_python_files(paths)]
+    if jobs is None:
+        jobs = default_jobs(len(files))
+
     findings: List[Finding] = []
-    checked = 0
-    for file_path in iter_python_files(paths):
-        checked += 1
-        source = file_path.read_text(encoding="utf-8")
-        rel = display_path(file_path, root)
-        findings.extend(lint_source(source, rel, rules=rules))
+    entries: List[Tuple[str, str, ast.Module]] = []
+
+    if jobs > 1 and len(files) > 1:
+        findings.extend(_parallel_file_pass(files, selected, jobs))
+        # Driver-side parse for the project model (measured cheaper
+        # than round-tripping pickled ASTs from the workers).
+        for file_path, rel in files:
+            source = file_path.read_text(encoding="utf-8")
+            tree, _ = _parse(source, rel)
+            if tree is not None:
+                entries.append((rel, source, tree))
+    else:
+        for file_path, rel in files:
+            source = file_path.read_text(encoding="utf-8")
+            tree, error = _parse(source, rel)
+            if tree is None:
+                assert error is not None
+                findings.append(error)
+                continue
+            entries.append((rel, source, tree))
+            findings.extend(_file_findings(tree, source, rel,
+                                           classify(rel), selected))
+
+    findings.extend(_project_findings(entries, selected))
     findings.sort()
-    return findings, checked
+    return findings, len(files)
+
+
+def _parallel_file_pass(files: Sequence[Tuple[pathlib.Path, str]],
+                        selected: Sequence[str],
+                        jobs: int) -> List[Finding]:
+    import concurrent.futures
+    import multiprocessing
+
+    tasks = [(str(file_path), rel, tuple(selected))
+             for file_path, rel in files]
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        context = multiprocessing.get_context("spawn")
+    out: List[Finding] = []
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(jobs, len(tasks)),
+                mp_context=context) as pool:
+            chunk = max(1, len(tasks) // (4 * jobs))
+            for result in pool.map(_lint_file_task, tasks,
+                                   chunksize=chunk):
+                out.extend(result)
+    except (OSError, RuntimeError):
+        # Pool could not start (restricted environments): fall back to
+        # in-process execution — identical findings by construction.
+        out = []
+        for task in tasks:
+            out.extend(_lint_file_task(task))
+    return out

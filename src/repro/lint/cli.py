@@ -2,8 +2,11 @@
 
 Exit codes: 0 clean (or explain/list/write-baseline), 1 findings,
 2 usage errors.  ``--format=json`` emits a machine-readable report for
-CI; text output is one GCC-style line per finding plus a summary on
-stderr.
+CI, ``--format=sarif`` a SARIF 2.1.0 log for code-scanning uploads,
+``--format=github`` workflow-command annotations for Actions; text
+output is one GCC-style line per finding plus a summary on stderr.
+``--diff REF`` restricts findings to lines changed vs a git ref;
+``--jobs N`` sets the per-file worker count (0 = auto).
 """
 
 from __future__ import annotations
@@ -17,14 +20,18 @@ from typing import List, Optional
 from repro.lint.analyzer import PARSE_ERROR_RULE, lint_paths
 from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
 from repro.lint.findings import Finding
+from repro.lint.gitdiff import DiffError, changed_lines
 from repro.lint.rules import RULES, all_rules
+from repro.lint.sarif import render_github, to_sarif
 
 
 def configure_parser(parser: argparse.ArgumentParser) -> None:
     """Attach the lint options; shared by `repro lint` and standalone use."""
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
+    parser.add_argument("--format",
+                        choices=("text", "json", "sarif", "github"),
+                        default="text",
                         help="output format (default: text)")
     parser.add_argument("--baseline", metavar="FILE", default=None,
                         help="subtract the findings recorded in FILE "
@@ -35,6 +42,13 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--select", metavar="RULES", default=None,
                         help="comma-separated rule codes to run "
                              "(default: all)")
+    parser.add_argument("--diff", metavar="REF", default=None,
+                        help="only report findings on lines changed vs the "
+                             "given git ref (see docs/LINT.md)")
+    parser.add_argument("--jobs", type=int, metavar="N", default=0,
+                        help="per-file worker processes (0 = auto: serial "
+                             "for small runs, usable_cpus() otherwise; "
+                             "1 = force serial)")
     parser.add_argument("--explain", metavar="RULE", default=None,
                         help="print one rule's rationale and examples")
     parser.add_argument("--list-rules", action="store_true",
@@ -67,11 +81,28 @@ def run(args: argparse.Namespace) -> int:
                   f"{', '.join(sorted(RULES))}", file=sys.stderr)
             return 2
 
-    findings, checked = lint_paths(args.paths, rules=selected)
+    if args.jobs < 0:
+        print(f"--jobs must be >= 0, got {args.jobs}", file=sys.stderr)
+        return 2
+    jobs = None if args.jobs == 0 else args.jobs
+
+    findings, checked = lint_paths(args.paths, rules=selected, jobs=jobs)
     if checked == 0:
         print(f"no python files under: {', '.join(args.paths)}",
               file=sys.stderr)
         return 2
+
+    diff_dropped = 0
+    if args.diff:
+        try:
+            changed = changed_lines(args.diff)
+        except DiffError as exc:
+            print(f"--diff {args.diff}: {exc}", file=sys.stderr)
+            return 2
+        kept = [f for f in findings
+                if f.line in changed.get(f.path, ())]
+        diff_dropped = len(findings) - len(kept)
+        findings = kept
 
     if args.write_baseline:
         write_baseline(pathlib.Path(args.write_baseline), findings)
@@ -97,11 +128,20 @@ def run(args: argparse.Namespace) -> int:
             "files_checked": checked,
             "findings": [f.to_dict() for f in findings],
             "baselined": len(baselined),
+            "diff_dropped": diff_dropped,
             "unused_baseline": [
                 {"path": p, "rule": r, "line": line} for p, r, line in unused
             ],
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        print(json.dumps(to_sarif(findings, files_checked=checked),
+                         indent=2, sort_keys=True))
+    elif args.format == "github":
+        for line in render_github(findings):
+            print(line)
+        print(f"[simlint] {checked} file(s), {len(findings)} finding(s)",
+              file=sys.stderr)
     else:
         for finding in findings:
             print(finding.render())
@@ -109,7 +149,9 @@ def run(args: argparse.Namespace) -> int:
             print(f"[simlint] unused baseline entry: {path}:{line} {rule}",
                   file=sys.stderr)
         summary = (f"[simlint] {checked} file(s), {len(findings)} finding(s)"
-                   + (f", {len(baselined)} baselined" if args.baseline else ""))
+                   + (f", {len(baselined)} baselined" if args.baseline else "")
+                   + (f", {diff_dropped} outside --diff {args.diff}"
+                      if args.diff else ""))
         print(summary, file=sys.stderr)
 
     if parse_errors:

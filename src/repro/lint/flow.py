@@ -1,0 +1,730 @@
+"""Dataflow over the project model: RNG taint and tag patterns.
+
+Two analyses live here, both consumed by the whole-program rules in
+:mod:`repro.lint.rules`:
+
+- :class:`TaintAnalysis` — forward propagation of "holds a seeded RNG"
+  through assignments, call arguments, returns, and ``self.attr``
+  stores, to a fixpoint over the project call graph.  Seeded sources
+  are ``*.child_rng(tag)`` calls and ``random.Random(seed)`` with an
+  explicit seed.  SIM007 asks it two questions: which functions
+  *receive* a seeded RNG but still draw from the process-global
+  ``random`` module, and where does a seeded RNG *escape* into
+  module-level storage (a shared stream across fleet shards in one
+  warm worker).
+- :class:`TagIndex` — every ``child_rng`` call site's tag, folded into
+  **tag patterns**: sequences of literal characters and holes.
+  F-strings, ``+``-concatenation, ``%``-formatting, ``str.format``,
+  ``str()`` and one level of local-variable indirection are folded
+  directly; a hole that is a *parameter* of the enclosing function is
+  folded against the call graph — when every strong call site passes a
+  constant, the pattern expands to those constants.  SIM008 then asks
+  for pairs of distinct call sites whose patterns can produce the same
+  tag string (wildcard-intersection emptiness, a small DP), because
+  colliding tags silently correlate RNG streams across components.
+
+Both analyses are conservative in the usual lint direction: taint is
+flow-insensitive (a rebound name stays tainted) and an unfoldable tag
+piece becomes a hole that matches anything — but a pattern consisting
+*only* of holes is never reported, so fully-dynamic tags don't turn
+SIM008 into a false-positive machine.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.project import (
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    attribute_chain,
+    _walk_no_nested,
+    _module_body_nodes,
+)
+
+# ----------------------------------------------------------------------
+# Shared: call-argument to parameter mapping
+# ----------------------------------------------------------------------
+
+
+def map_call_args(fn: FunctionInfo, call: ast.Call) -> Dict[str, ast.expr]:
+    """Map a call's argument expressions onto ``fn``'s parameter names.
+
+    Methods skip their leading ``self``/``cls`` when the call is an
+    attribute dispatch (``obj.m(x)`` binds ``x`` to the second
+    parameter).  ``*args``/``**kwargs`` forwarding is simply not
+    mapped — absent entries mean "unknown", never a wrong binding.
+    """
+    params = list(fn.params)
+    if (fn.class_qual is not None and params
+            and isinstance(call.func, ast.Attribute)
+            and params[0] in ("self", "cls")):
+        params = params[1:]
+    bound: Dict[str, ast.expr] = {}
+    for index, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            break
+        if index < len(params):
+            bound[params[index]] = arg
+    for kw in call.keywords:
+        if kw.arg is not None and kw.arg in fn.params:
+            bound[kw.arg] = kw.value
+    return bound
+
+
+def param_default(fn: FunctionInfo, name: str) -> Optional[ast.expr]:
+    """The default expression for parameter ``name``, if any."""
+    args = fn.node.args
+    positional = list(args.posonlyargs) + list(args.args)
+    defaults = list(args.defaults)
+    offset = len(positional) - len(defaults)
+    for index, arg in enumerate(positional):
+        if arg.arg == name and index >= offset:
+            return defaults[index - offset]
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if arg.arg == name and default is not None:
+            return default
+    return None
+
+
+def _is_child_rng_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "child_rng")
+
+
+def _is_seeded_random_call(node: ast.AST, mod: ModuleInfo) -> bool:
+    """``random.Random(seed)`` / imported ``Random(seed)`` with a seed."""
+    if not isinstance(node, ast.Call) or not (node.args or node.keywords):
+        return False
+    chain = attribute_chain(node.func)
+    if chain is None:
+        return False
+    if len(chain) == 1:
+        return mod.imports.get(chain[0]) == "random.Random"
+    return (mod.imports.get(chain[0]) == "random"
+            and chain[1:] == ("Random",))
+
+
+# ----------------------------------------------------------------------
+# Seeded-RNG taint (SIM007 substrate)
+# ----------------------------------------------------------------------
+
+
+class TaintAnalysis:
+    """Which names/params/attrs hold seeded RNGs, project-wide."""
+
+    #: Fixpoint iteration cap; taint lattices here are tiny (per-function
+    #: name sets) so 2–3 rounds settle real code.  The cap only guards
+    #: against pathological call cycles.
+    MAX_ROUNDS = 10
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        #: fn qual -> parameter names that receive a seeded RNG at some
+        #: strongly-resolved call site.
+        self.tainted_params: Dict[str, Set[str]] = {}
+        #: fn quals whose return value is a seeded RNG.
+        self.returns_rng: Set[str] = set()
+        #: (class qual, attr) pairs holding seeded RNGs.
+        self.rng_attrs: Set[Tuple[str, str]] = set()
+        #: fn qual -> locally-tainted names (computed during the run).
+        self.tainted_locals: Dict[str, Set[str]] = {}
+        self._envs: Dict[str, Dict[str, Set[str]]] = {}
+        self._run()
+
+    # -- fixpoint ------------------------------------------------------
+    def _run(self) -> None:
+        functions = list(self.project.functions.values())
+        for _ in range(self.MAX_ROUNDS):
+            changed = False
+            for fn in functions:
+                changed |= self._analyze_function(fn)
+            if not changed:
+                return
+
+    def _env(self, fn: FunctionInfo) -> Dict[str, Set[str]]:
+        env = self._envs.get(fn.qual)
+        if env is None:
+            env = self.project._local_env(fn)
+            self._envs[fn.qual] = env
+        return env
+
+    def _analyze_function(self, fn: FunctionInfo) -> bool:
+        mod = self.project.modules[fn.module]
+        tainted: Set[str] = set(self.tainted_params.get(fn.qual, ()))
+        # Local propagation to its own (tiny) fixpoint: flow-insensitive,
+        # so assignment order inside the body cannot hide taint.
+        while True:
+            grew = False
+            for node in _walk_no_nested(fn.node):
+                if isinstance(node, ast.Assign):
+                    if self._expr_tainted(fn, mod, tainted, node.value):
+                        for target in node.targets:
+                            if (isinstance(target, ast.Name)
+                                    and target.id not in tainted):
+                                tainted.add(target.id)
+                                grew = True
+                            elif (isinstance(target, ast.Attribute)
+                                  and isinstance(target.value, ast.Name)
+                                  and target.value.id == "self"
+                                  and fn.class_qual is not None):
+                                key = (fn.class_qual, target.attr)
+                                if key not in self.rng_attrs:
+                                    self.rng_attrs.add(key)
+                                    grew = True
+                elif (isinstance(node, ast.AnnAssign)
+                      and node.value is not None
+                      and isinstance(node.target, ast.Name)
+                      and self._expr_tainted(fn, mod, tainted, node.value)
+                      and node.target.id not in tainted):
+                    tainted.add(node.target.id)
+                    grew = True
+            if not grew:
+                break
+
+        before = self.tainted_locals.get(fn.qual, set())
+        changed = tainted != before
+        self.tainted_locals[fn.qual] = tainted
+
+        # Returns: does this function hand back a seeded RNG?
+        if fn.qual not in self.returns_rng:
+            for node in _walk_no_nested(fn.node):
+                if (isinstance(node, ast.Return) and node.value is not None
+                        and self._expr_tainted(fn, mod, tainted, node.value)):
+                    self.returns_rng.add(fn.qual)
+                    changed = True
+                    break
+
+        # Call edges: tainted arguments taint callee parameters.
+        env = self._env(fn)
+        for node in _walk_no_nested(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            callees = self.project._resolve_call(fn, env, node) or ()
+            for callee_qual in callees:
+                callee = self.project.functions.get(callee_qual)
+                if callee is None:
+                    continue
+                for pname, arg in map_call_args(callee, node).items():
+                    if self._expr_tainted(fn, mod, tainted, arg):
+                        slot = self.tainted_params.setdefault(
+                            callee_qual, set())
+                        if pname not in slot:
+                            slot.add(pname)
+                            changed = True
+        return changed
+
+    def _expr_tainted(self, fn: FunctionInfo, mod: ModuleInfo,
+                      tainted: Set[str], expr: ast.AST) -> bool:
+        if _is_child_rng_call(expr) or _is_seeded_random_call(expr, mod):
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in tainted
+        if (isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self" and fn.class_qual is not None):
+            return (fn.class_qual, expr.attr) in self.rng_attrs
+        if isinstance(expr, ast.Call):
+            env = self._env(fn)
+            for callee in self.project._resolve_call(fn, env, expr) or ():
+                if callee in self.returns_rng:
+                    return True
+        if isinstance(expr, (ast.BoolOp,)):
+            return any(self._expr_tainted(fn, mod, tainted, v)
+                       for v in expr.values)
+        if isinstance(expr, ast.IfExp):
+            return (self._expr_tainted(fn, mod, tainted, expr.body)
+                    or self._expr_tainted(fn, mod, tainted, expr.orelse))
+        return False
+
+    # -- SIM007 queries ------------------------------------------------
+    def global_random_fallbacks(
+            self) -> Iterator[Tuple[FunctionInfo, ast.Call, str, str]]:
+        """``(fn, call, param, detail)`` for seeded-RNG functions that
+        still draw from the process-global ``random`` module."""
+        from repro.lint.rules import qualified_name
+
+        for qual, params in sorted(self.tainted_params.items()):
+            fn = self.project.functions.get(qual)
+            if fn is None or not params:
+                continue
+            mod = self.project.modules[fn.module]
+            pname = sorted(params)[0]
+            for node in _walk_no_nested(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                resolved = qualified_name(node.func, mod.imports)
+                if resolved is None:
+                    continue
+                if resolved == "random.Random":
+                    if not node.args and not node.keywords:
+                        yield fn, node, pname, "a fresh unseeded Random()"
+                elif resolved == "random.SystemRandom":
+                    yield fn, node, pname, "random.SystemRandom"
+                elif resolved.startswith("random.") and "." not in resolved[7:]:
+                    yield fn, node, pname, f"the process-global {resolved}()"
+            # The module itself used as a *value* — ``rng or random``,
+            # ``rng if rng else random``, ``use(random)`` — is the
+            # classic silent-fallback shape: the seeded RNG is optional
+            # and the process global fills the gap.
+            for node in self._module_value_uses(fn, mod, "random"):
+                yield fn, node, pname, "the random module as a fallback value"
+
+    def _module_value_uses(self, fn: FunctionInfo, mod: ModuleInfo,
+                           module: str) -> Iterator[ast.AST]:
+        """Bare ``Name`` loads resolving to ``module`` in value position
+        (not as the base of an attribute access, which the direct-call
+        checks already judge)."""
+        attr_bases = set()
+        for node in _walk_no_nested(fn.node):
+            if isinstance(node, ast.Attribute):
+                attr_bases.add(id(node.value))
+        for node in _walk_no_nested(fn.node):
+            if (isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and id(node) not in attr_bases
+                    and mod.imports.get(node.id) == module
+                    and node.id not in fn.params
+                    and node.id not in _assigned_names(fn.node)):
+                yield node
+
+    def module_storage_escapes(
+            self) -> Iterator[Tuple[ModuleInfo, ast.AST, str]]:
+        """``(mod, node, description)`` for seeded RNGs escaping into
+        module-level storage."""
+        # Module/class bodies: a seeded RNG bound at import time is one
+        # stream shared by every shard a warm worker runs.
+        for mod in self.project.modules.values():
+            for node in _module_body_nodes(mod.tree):
+                if isinstance(node, ast.Assign) and self._body_rng(mod, node.value):
+                    yield (mod, node,
+                           "a seeded RNG bound at module level is one stream "
+                           "shared by every run in the process")
+            for cinfo in mod.classes.values():
+                for stmt in cinfo.node.body:
+                    if (isinstance(stmt, ast.Assign)
+                            and self._body_rng(mod, stmt.value)):
+                        yield (mod, stmt,
+                               f"a seeded RNG stored as a {cinfo.name} class "
+                               "attribute is shared by every instance")
+        # Function bodies: stores into module-level globals.
+        for qual in sorted(self.project.functions):
+            fn = self.project.functions[qual]
+            mod = self.project.modules[fn.module]
+            tainted = self.tainted_locals.get(qual, set())
+            local_names = _assigned_names(fn.node)
+            global_decls: Set[str] = set()
+            for node in _walk_no_nested(fn.node):
+                if isinstance(node, ast.Global):
+                    global_decls.update(node.names)
+            for node in _walk_no_nested(fn.node):
+                if isinstance(node, ast.Assign):
+                    if not self._expr_tainted(fn, mod, tainted, node.value):
+                        continue
+                    for target in node.targets:
+                        desc = self._module_target(
+                            mod, target, local_names, global_decls)
+                        if desc:
+                            yield (mod, node,
+                                   f"a seeded RNG escapes into module-level "
+                                   f"storage ({desc})")
+                elif isinstance(node, ast.Call):
+                    func = node.func
+                    if (isinstance(func, ast.Attribute)
+                            and isinstance(func.value, ast.Name)
+                            and func.attr in _CONTAINER_STORES
+                            and any(self._expr_tainted(fn, mod, tainted, a)
+                                    for a in node.args)):
+                        name = func.value.id
+                        if name in local_names and name not in global_decls:
+                            continue
+                        gvar = self.project.global_for_name(mod, name)
+                        if gvar is not None and gvar.mutable:
+                            yield (mod, node,
+                                   f"a seeded RNG escapes into module-level "
+                                   f"storage ({gvar.qual}.{func.attr}(...))")
+
+    def _body_rng(self, mod: ModuleInfo, expr: ast.AST) -> bool:
+        return _is_child_rng_call(expr) or _is_seeded_random_call(expr, mod)
+
+    def _module_target(self, mod: ModuleInfo, target: ast.AST,
+                       local_names: Set[str],
+                       global_decls: Set[str]) -> Optional[str]:
+        if isinstance(target, ast.Name):
+            if target.id in global_decls:
+                return f"global {target.id}"
+            return None
+        if isinstance(target, ast.Subscript):
+            base = target.value
+            if isinstance(base, ast.Name):
+                name = base.id
+                if name in local_names and name not in global_decls:
+                    return None
+                gvar = self.project.global_for_name(mod, name)
+                if gvar is not None and gvar.mutable:
+                    return f"{gvar.qual}[...]"
+        return None
+
+
+_CONTAINER_STORES = frozenset({
+    "append", "add", "insert", "extend", "setdefault", "update",
+    "appendleft",
+})
+
+
+def _assigned_names(fn_node: ast.AST) -> Set[str]:
+    out: Set[str] = set()
+    for node in _walk_no_nested(fn_node):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out.add(target.id)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node.target, ast.Name):
+                out.add(node.target.id)
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            tgt = node.target
+            if isinstance(tgt, ast.Name):
+                out.add(tgt.id)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Tag patterns (SIM008 substrate)
+# ----------------------------------------------------------------------
+
+#: Hole token inside a pattern: "some dynamic string goes here".
+HOLE = None
+
+#: Alternatives cap when folding parameters against call sites; past
+#: this a parameter degrades to a hole instead of exploding patterns.
+MAX_ALTERNATIVES = 8
+
+_PERCENT_RE = re.compile(r"%(?:%|[-+ #0-9.]*[sdifeEgGxXor])")
+_BRACE_RE = re.compile(r"\{\{|\}\}|\{([^{}]*)\}")
+
+
+def _normalize(tokens: Sequence[Optional[str]]) -> Tuple[Optional[str], ...]:
+    out: List[Optional[str]] = []
+    for tok in tokens:
+        if tok is HOLE and out and out[-1] is HOLE:
+            continue
+        out.append(tok)
+    return tuple(out)
+
+
+class TagPattern:
+    """A tag as literal characters interleaved with holes."""
+
+    __slots__ = ("tokens",)
+
+    def __init__(self, tokens: Sequence[Optional[str]]) -> None:
+        self.tokens = _normalize(tokens)
+
+    @classmethod
+    def literal(cls, text: str) -> "TagPattern":
+        return cls(tuple(text))
+
+    @classmethod
+    def hole(cls) -> "TagPattern":
+        return cls((HOLE,))
+
+    def is_pure_hole(self) -> bool:
+        return all(tok is HOLE for tok in self.tokens)
+
+    def render(self) -> str:
+        out: List[str] = []
+        for tok in self.tokens:
+            out.append("{…}" if tok is HOLE else tok)
+        return "".join(out)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TagPattern) and self.tokens == other.tokens
+
+    def __hash__(self) -> int:
+        return hash(self.tokens)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TagPattern({self.render()!r})"
+
+
+def concat(parts: Sequence[TagPattern]) -> TagPattern:
+    tokens: List[Optional[str]] = []
+    for part in parts:
+        tokens.extend(part.tokens)
+    return TagPattern(tokens)
+
+
+def patterns_intersect(a: TagPattern, b: TagPattern) -> bool:
+    """Can the two patterns produce the same concrete tag string?
+
+    A hole matches any string (including the empty one), so this is
+    wildcard-pattern intersection emptiness: a DP over positions where
+    a hole on either side may absorb the other side's next token.
+    """
+    ta, tb = a.tokens, b.tokens
+    la, lb = len(ta), len(tb)
+    memo: Dict[Tuple[int, int], bool] = {}
+
+    def f(i: int, j: int) -> bool:
+        key = (i, j)
+        if key in memo:
+            return memo[key]
+        if i == la and j == lb:
+            result = True
+        elif i == la:
+            result = all(tok is HOLE for tok in tb[j:])
+        elif j == lb:
+            result = all(tok is HOLE for tok in ta[i:])
+        elif ta[i] is HOLE:
+            result = f(i + 1, j) or f(i, j + 1)
+        elif tb[j] is HOLE:
+            result = f(i, j + 1) or f(i + 1, j)
+        else:
+            result = ta[i] == tb[j] and f(i + 1, j + 1)
+        memo[key] = result
+        return result
+
+    return f(0, 0)
+
+
+class TagSite:
+    """One ``child_rng`` call site with its folded tag patterns."""
+
+    __slots__ = ("path", "line", "col", "owner", "patterns")
+
+    def __init__(self, path: str, line: int, col: int, owner: str,
+                 patterns: Tuple[TagPattern, ...]) -> None:
+        self.path = path
+        self.line = line
+        self.col = col
+        self.owner = owner
+        self.patterns = patterns
+
+    def sort_key(self) -> Tuple[str, int, int]:
+        return (self.path, self.line, self.col)
+
+
+class TagIndex:
+    """All ``child_rng`` tags in the project, folded into patterns."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.sites: List[TagSite] = []
+        self._collect()
+
+    def _collect(self) -> None:
+        for mod in sorted(self.project.modules.values(),
+                          key=lambda m: m.path):
+            for node in _module_body_nodes(mod.tree):
+                if _is_child_rng_call(node) and node.args:
+                    self._add_site(mod, None, node)
+            for fname in sorted(mod.functions):
+                self._collect_fn(mod, mod.functions[fname])
+            for cname in sorted(mod.classes):
+                for mname in sorted(mod.classes[cname].methods):
+                    self._collect_fn(mod, mod.classes[cname].methods[mname])
+
+    def _collect_fn(self, mod: ModuleInfo, fn: FunctionInfo) -> None:
+        for node in _walk_no_nested(fn.node):
+            if _is_child_rng_call(node) and node.args:
+                self._add_site(mod, fn, node)
+
+    def _add_site(self, mod: ModuleInfo, fn: Optional[FunctionInfo],
+                  call: ast.Call) -> None:
+        patterns = self.fold(mod, fn, call.args[0])
+        owner = fn.qual if fn else f"{mod.module}.<module>"
+        self.sites.append(TagSite(
+            mod.path, call.lineno, call.col_offset + 1, owner,
+            tuple(patterns)))
+
+    # -- folding -------------------------------------------------------
+    def fold(self, mod: ModuleInfo, fn: Optional[FunctionInfo],
+             expr: ast.AST, depth: int = 3) -> List[TagPattern]:
+        """All patterns ``expr`` can evaluate to (capped alternatives)."""
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, (str, int, float, bool)):
+                return [TagPattern.literal(str(expr.value))]
+            return [TagPattern.hole()]
+        if isinstance(expr, ast.JoinedStr):
+            return self._fold_concat(
+                mod, fn, list(expr.values), depth)
+        if isinstance(expr, ast.FormattedValue):
+            if expr.format_spec is not None or expr.conversion not in (-1, 115):
+                return [TagPattern.hole()]
+            return self.fold(mod, fn, expr.value, depth)
+        if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Add):
+            return self._fold_concat(mod, fn, [expr.left, expr.right], depth)
+        if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Mod):
+            return self._fold_percent(mod, fn, expr, depth)
+        if isinstance(expr, ast.Call):
+            return self._fold_call(mod, fn, expr, depth)
+        if isinstance(expr, ast.Name) and depth > 0:
+            return self._fold_name(mod, fn, expr.id, depth)
+        return [TagPattern.hole()]
+
+    def _fold_concat(self, mod: ModuleInfo, fn: Optional[FunctionInfo],
+                     pieces: Sequence[ast.AST],
+                     depth: int) -> List[TagPattern]:
+        alternatives: List[List[TagPattern]] = [[TagPattern(())]]
+        for piece in pieces:
+            folded = self.fold(mod, fn, piece, depth)
+            grown: List[List[TagPattern]] = []
+            for prefix in alternatives:
+                for alt in folded:
+                    grown.append(prefix + [alt])
+                    if len(grown) > MAX_ALTERNATIVES:
+                        return [TagPattern.hole()]
+            alternatives = grown
+        return [concat(parts) for parts in alternatives]
+
+    def _fold_percent(self, mod: ModuleInfo, fn: Optional[FunctionInfo],
+                      expr: ast.BinOp, depth: int) -> List[TagPattern]:
+        if not (isinstance(expr.left, ast.Constant)
+                and isinstance(expr.left.value, str)):
+            return [TagPattern.hole()]
+        fmt = expr.left.value
+        values = (list(expr.right.elts) if isinstance(expr.right, ast.Tuple)
+                  else [expr.right])
+        pieces: List[ast.AST] = []
+        pos = 0
+        index = 0
+        for match in _PERCENT_RE.finditer(fmt):
+            pieces.append(ast.Constant(fmt[pos:match.start()]))
+            if match.group(0) == "%%":
+                pieces.append(ast.Constant("%"))
+            else:
+                pieces.append(values[index] if index < len(values)
+                              else ast.Constant(None))
+                index += 1
+            pos = match.end()
+        pieces.append(ast.Constant(fmt[pos:]))
+        return self._fold_concat(mod, fn, pieces, depth)
+
+    def _fold_call(self, mod: ModuleInfo, fn: Optional[FunctionInfo],
+                   call: ast.Call, depth: int) -> List[TagPattern]:
+        func = call.func
+        if (isinstance(func, ast.Name) and func.id == "str"
+                and len(call.args) == 1 and not call.keywords):
+            return self.fold(mod, fn, call.args[0], depth)
+        if (isinstance(func, ast.Attribute) and func.attr == "format"
+                and isinstance(func.value, ast.Constant)
+                and isinstance(func.value.value, str)):
+            return self._fold_format(mod, fn, func.value.value, call, depth)
+        return [TagPattern.hole()]
+
+    def _fold_format(self, mod: ModuleInfo, fn: Optional[FunctionInfo],
+                     fmt: str, call: ast.Call,
+                     depth: int) -> List[TagPattern]:
+        kwargs = {kw.arg: kw.value for kw in call.keywords
+                  if kw.arg is not None}
+        pieces: List[ast.AST] = []
+        pos = 0
+        auto = 0
+        for match in _BRACE_RE.finditer(fmt):
+            pieces.append(ast.Constant(fmt[pos:match.start()]))
+            token = match.group(0)
+            if token == "{{":
+                pieces.append(ast.Constant("{"))
+            elif token == "}}":
+                pieces.append(ast.Constant("}"))
+            else:
+                field = match.group(1) or ""
+                name = field.split("!")[0].split(":")[0]
+                has_spec = ":" in field
+                value: Optional[ast.AST] = None
+                if not has_spec:
+                    if name == "":
+                        if auto < len(call.args):
+                            value = call.args[auto]
+                        auto += 1
+                    elif name.isdigit():
+                        idx = int(name)
+                        if idx < len(call.args):
+                            value = call.args[idx]
+                    elif name in kwargs:
+                        value = kwargs[name]
+                pieces.append(value if value is not None
+                              else _HoleMarker())
+            pos = match.end()
+        pieces.append(ast.Constant(fmt[pos:]))
+        return self._fold_concat(mod, fn, pieces, depth)
+
+    def _fold_name(self, mod: ModuleInfo, fn: Optional[FunctionInfo],
+                   name: str, depth: int) -> List[TagPattern]:
+        if fn is not None and name in fn.params:
+            return self._fold_param(mod, fn, name, depth)
+        if fn is not None:
+            assignments = [node for node in _walk_no_nested(fn.node)
+                           if isinstance(node, ast.Assign)
+                           and any(isinstance(t, ast.Name) and t.id == name
+                                   for t in node.targets)]
+            rebound = any(
+                isinstance(node, ast.AugAssign)
+                and isinstance(node.target, ast.Name)
+                and node.target.id == name
+                for node in _walk_no_nested(fn.node))
+            if len(assignments) == 1 and not rebound:
+                return self.fold(mod, fn, assignments[0].value, depth - 1)
+        return [TagPattern.hole()]
+
+    def _fold_param(self, mod: ModuleInfo, fn: FunctionInfo, name: str,
+                    depth: int) -> List[TagPattern]:
+        """Fold a parameter against the call graph: when every strong
+        call site passes a constant, the hole becomes those constants."""
+        sites = self.project.call_sites_of(fn.qual, include_weak=False)
+        if not sites:
+            return [TagPattern.hole()]
+        values: Set[str] = set()
+        default = param_default(fn, name)
+        for site in sites:
+            bound = map_call_args(fn, site.node).get(name, default)
+            if not (isinstance(bound, ast.Constant)
+                    and isinstance(bound.value, (str, int, float, bool))):
+                return [TagPattern.hole()]
+            values.add(str(bound.value))
+        if not values or len(values) > MAX_ALTERNATIVES:
+            return [TagPattern.hole()]
+        return [TagPattern.literal(v) for v in sorted(values)]
+
+    # -- SIM008 query --------------------------------------------------
+    def collisions(self) -> Iterator[Tuple[TagSite, TagSite]]:
+        """Distinct call-site pairs whose tag patterns can collide."""
+        sites = sorted(self.sites, key=TagSite.sort_key)
+        for i, a in enumerate(sites):
+            pats_a = [p for p in a.patterns if not p.is_pure_hole()]
+            if not pats_a:
+                continue
+            for b in sites[i + 1:]:
+                pats_b = [p for p in b.patterns if not p.is_pure_hole()]
+                if not pats_b:
+                    continue
+                if any(patterns_intersect(pa, pb)
+                       for pa in pats_a for pb in pats_b):
+                    yield a, b
+
+
+class _HoleMarker(ast.AST):
+    """Placeholder expr that folds to a hole (format-spec fields)."""
+
+    _fields = ()
+    lineno = 0
+    col_offset = 0
+
+
+__all__ = [
+    "HOLE",
+    "MAX_ALTERNATIVES",
+    "TagIndex",
+    "TagPattern",
+    "TagSite",
+    "TaintAnalysis",
+    "concat",
+    "map_call_args",
+    "param_default",
+    "patterns_intersect",
+]

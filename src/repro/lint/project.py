@@ -1,0 +1,689 @@
+"""Whole-program project model: symbol table, imports, call graph.
+
+The per-file rules (SIM001–SIM006) judge one module at a time.  The
+whole-program rules (SIM007–SIM010) need to see *across* modules: which
+function receives a seeded RNG from which caller, which two call sites
+can build the same ``child_rng`` tag, which module-level dict is
+mutated by code a fleet worker can reach, which classes end up inside a
+:class:`~repro.simnet.engine.Checkpoint` deepcopy.  This module builds
+the shared substrate for those questions from **one parse per file**:
+
+- a :class:`ModuleInfo` per source file (tree, domain, import map,
+  suppressions);
+- a project-wide symbol table (:attr:`Project.functions`,
+  :attr:`Project.classes`, :attr:`Project.module_globals`) keyed by
+  dotted qualnames (``repro.scale.population.CellProcess._step``);
+- a call graph over module functions *and* methods, resolved through
+  class definitions: ``self.method()`` through the enclosing class and
+  its project bases, ``obj.method()`` through a light local type
+  inference (constructor assignments, parameter annotations, and
+  one-level interprocedural return types), and — as a last resort — a
+  name-based CHA fallback (``x.make_world()`` resolves to every project
+  class defining ``make_world``);
+- reachability (:meth:`Project.reachable_from`) for "can a fleet
+  worker execute this?" style queries.
+
+Everything here is conservative in the direction each rule needs:
+unresolvable calls simply contribute no edges (rules document what that
+means for their precision), and resolution never guesses outside the
+project.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.domains import Domain, classify
+from repro.lint.suppress import Suppressions
+
+#: Bare names treated as "constructs a mutable container" when deciding
+#: whether a module-level/class-level assignment is shared mutable state.
+MUTABLE_CONSTRUCTORS = frozenset({
+    "list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter",
+    "OrderedDict",
+})
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a repo-relative path.
+
+    ``src/repro/scale/population.py`` → ``repro.scale.population``;
+    ``__init__.py`` names the package itself.  Paths outside a ``src``
+    layout (fixtures, tmp dirs) are dotted verbatim so single-file
+    projects still get stable qualnames.
+    """
+    pure = pathlib.PurePosixPath(str(path).replace("\\", "/"))
+    parts = [p for p in pure.parts if p not in (".", "/")]
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    if not parts:
+        return pure.stem
+    if parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or pure.stem
+
+
+def _is_mutable_value(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        return name in MUTABLE_CONSTRUCTORS
+    return False
+
+
+def attribute_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` → ``("a", "b", "c")``; None for non-name bases."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return tuple(reversed(parts))
+
+
+@dataclass
+class GlobalVar:
+    """A module-level binding (the SIM009 'shared storage' candidates)."""
+
+    name: str
+    qual: str
+    module: str
+    lineno: int
+    mutable: bool
+
+
+@dataclass
+class ClassAttr:
+    """A class-body binding (``class C: cache = {}``)."""
+
+    name: str
+    lineno: int
+    mutable: bool
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qual: str                        # repro.pkg.mod.[Class.]name
+    name: str
+    module: str                      # owning module's dotted name
+    node: ast.AST                    # FunctionDef | AsyncFunctionDef
+    class_qual: Optional[str] = None
+    params: Tuple[str, ...] = ()
+    has_yield: bool = False
+    decorators: Tuple[str, ...] = ()
+    #: classes (quals) this function can return instances of (memoized
+    #: lazily by Project._return_classes).
+    _returns: Optional[Set[str]] = None
+
+
+@dataclass
+class ClassInfo:
+    """One class definition plus what resolution needs from it."""
+
+    qual: str
+    name: str
+    module: str
+    node: ast.ClassDef
+    bases: Tuple[str, ...] = ()      # raw dotted names, resolved lazily
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    class_attrs: Dict[str, ClassAttr] = field(default_factory=dict)
+    #: attr name -> class quals assigned to it (``self.x = D(...)`` in
+    #: any method, including inside list/tuple literals), for field-type
+    #: closure and attribute-chain call resolution.
+    attr_types: Dict[str, Set[str]] = field(default_factory=dict)
+    #: attrs assigned on instances anywhere in the class (``self.x = ...``);
+    #: a class_attr *not* in here is genuinely class-level shared state.
+    instance_attrs: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    path: str
+    module: str
+    tree: ast.Module
+    source: str
+    domain: Domain
+    imports: Dict[str, str] = field(default_factory=dict)
+    suppressions: Suppressions = field(default_factory=Suppressions)
+    globals: Dict[str, GlobalVar] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+
+
+class CallSite:
+    """One call, with enough context for interprocedural questions."""
+
+    __slots__ = ("caller", "node", "callees", "weak")
+
+    def __init__(self, caller: str, node: ast.Call,
+                 callees: Tuple[str, ...], weak: bool) -> None:
+        self.caller = caller          # FunctionInfo.qual (or module qual)
+        self.node = node
+        self.callees = callees        # resolved FunctionInfo quals
+        #: True when resolution fell back to name-based CHA.
+        self.weak = weak
+
+
+class Project:
+    """The whole-program view the SIM007–SIM010 rules analyze."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}          # by dotted name
+        self.modules_by_path: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: caller qual -> CallSite list (module bodies use the module's
+        #: dotted name + ".<module>" as the caller qual).
+        self.calls: Dict[str, List[CallSite]] = {}
+        #: callee qual -> set of caller quals (derived, both edge kinds).
+        self._callers: Dict[str, Set[str]] = {}
+        #: methods by bare name, for the CHA fallback.
+        self._methods_by_name: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, entries: Sequence[Tuple[str, str, ast.Module]]) -> "Project":
+        """Build from ``(path, source, tree)`` triples (one parse/file)."""
+        project = cls()
+        for path, source, tree in entries:
+            project._add_module(path, source, tree)
+        project._index_classes()
+        project._build_call_graph()
+        return project
+
+    def _add_module(self, path: str, source: str, tree: ast.Module) -> None:
+        from repro.lint.rules import build_import_map
+
+        mod = ModuleInfo(
+            path=path, module=module_name_for(path), tree=tree,
+            source=source, domain=classify(path),
+            imports=build_import_map(tree),
+            suppressions=Suppressions.from_source(source),
+        )
+        self.modules[mod.module] = mod
+        self.modules_by_path[path] = mod
+        for stmt in tree.body:
+            self._index_top_level(mod, stmt)
+
+    def _index_top_level(self, mod: ModuleInfo, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = self._function_info(mod, stmt, class_qual=None)
+            mod.functions[stmt.name] = info
+            self.functions[info.qual] = info
+        elif isinstance(stmt, ast.ClassDef):
+            self._index_class(mod, stmt)
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                       else [stmt.target])
+            value = stmt.value
+            if value is None:
+                return
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    gvar = GlobalVar(
+                        name=target.id,
+                        qual=f"{mod.module}.{target.id}",
+                        module=mod.module,
+                        lineno=stmt.lineno,
+                        mutable=_is_mutable_value(value),
+                    )
+                    mod.globals[target.id] = gvar
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            # TYPE_CHECKING / ImportError guards: index their bodies too.
+            for sub in ast.iter_child_nodes(stmt):
+                if isinstance(sub, ast.stmt):
+                    self._index_top_level(mod, sub)
+
+    def _index_class(self, mod: ModuleInfo, node: ast.ClassDef) -> None:
+        cls_qual = f"{mod.module}.{node.name}"
+        bases = []
+        for base in node.bases:
+            chain = attribute_chain(base)
+            if chain:
+                bases.append(".".join(chain))
+        cinfo = ClassInfo(qual=cls_qual, name=node.name, module=mod.module,
+                          node=node, bases=tuple(bases))
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = self._function_info(mod, stmt, class_qual=cls_qual)
+                cinfo.methods[stmt.name] = info
+                self.functions[info.qual] = info
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                           else [stmt.target])
+                if stmt.value is None:
+                    continue
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        cinfo.class_attrs[target.id] = ClassAttr(
+                            name=target.id, lineno=stmt.lineno,
+                            mutable=_is_mutable_value(stmt.value))
+        mod.classes[node.name] = cinfo
+        self.classes[cls_qual] = cinfo
+
+    def _function_info(self, mod: ModuleInfo, node, class_qual) -> FunctionInfo:
+        prefix = class_qual or mod.module
+        params: List[str] = []
+        args = node.args
+        for a in (list(args.posonlyargs) + list(args.args)
+                  + list(args.kwonlyargs)):
+            params.append(a.arg)
+        has_yield = any(isinstance(sub, (ast.Yield, ast.YieldFrom))
+                        for sub in _walk_no_nested(node))
+        decorators = []
+        for dec in node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            chain = attribute_chain(target)
+            if chain:
+                decorators.append(chain[-1])
+        return FunctionInfo(
+            qual=f"{prefix}.{node.name}", name=node.name, module=mod.module,
+            node=node, class_qual=class_qual, params=tuple(params),
+            has_yield=has_yield, decorators=tuple(decorators))
+
+    # ------------------------------------------------------------------
+    # Name resolution
+    # ------------------------------------------------------------------
+    def resolve_dotted(self, dotted: str, hops: int = 2) -> Optional[str]:
+        """Resolve a dotted name to a project function/class/global qual.
+
+        Follows one re-export hop: ``repro.fleet.run_campaign`` resolves
+        through ``repro/fleet/__init__.py``'s own import of
+        ``repro.fleet.workers.run_campaign``.
+        """
+        if dotted in self.functions or dotted in self.classes:
+            return dotted
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            mod = self.modules.get(prefix)
+            if mod is None:
+                continue
+            rest = parts[cut:]
+            head = rest[0]
+            if head in mod.functions:
+                return mod.functions[head].qual
+            if head in mod.classes:
+                qual = mod.classes[head].qual
+                if len(rest) >= 2:
+                    return self._resolve_method(qual, rest[1])
+                return qual
+            if head in mod.globals:
+                return mod.globals[head].qual
+            if hops > 0 and head in mod.imports:
+                target = mod.imports[head] + "".join("." + r for r in rest[1:])
+                return self.resolve_dotted(target, hops - 1)
+            return None
+        return None
+
+    def resolve_local(self, mod: ModuleInfo, chain: Tuple[str, ...],
+                      hops: int = 2) -> Optional[str]:
+        """Resolve a name chain as seen from inside ``mod``."""
+        head = chain[0]
+        if head in mod.imports:
+            return self.resolve_dotted(
+                mod.imports[head] + "".join("." + c for c in chain[1:]), hops)
+        if head in mod.functions and len(chain) == 1:
+            return mod.functions[head].qual
+        if head in mod.classes:
+            qual = mod.classes[head].qual
+            if len(chain) >= 2:
+                return self._resolve_method(qual, chain[1])
+            return qual
+        if head in mod.globals and len(chain) == 1:
+            return mod.globals[head].qual
+        return None
+
+    def _resolve_method(self, class_qual: str, name: str,
+                        ) -> Optional[str]:
+        """Look ``name`` up on a class and its project bases (MRO-ish)."""
+        seen: Set[str] = set()
+        queue = [class_qual]
+        while queue:
+            qual = queue.pop(0)
+            if qual in seen:
+                continue
+            seen.add(qual)
+            cinfo = self.classes.get(qual)
+            if cinfo is None:
+                continue
+            if name in cinfo.methods:
+                return cinfo.methods[name].qual
+            mod = self.modules.get(cinfo.module)
+            for base in cinfo.bases:
+                resolved = (self.resolve_local(mod, tuple(base.split(".")))
+                            if mod else None)
+                if resolved:
+                    queue.append(resolved)
+        return None
+
+    def class_of(self, qual: str) -> Optional[ClassInfo]:
+        return self.classes.get(qual)
+
+    def function_of(self, qual: str) -> Optional[FunctionInfo]:
+        return self.functions.get(qual)
+
+    def owning_class(self, fn: FunctionInfo) -> Optional[ClassInfo]:
+        return self.classes.get(fn.class_qual) if fn.class_qual else None
+
+    # ------------------------------------------------------------------
+    # Attribute types (phase B): ``self.x = D(...)`` field inference
+    # ------------------------------------------------------------------
+    def _index_classes(self) -> None:
+        for cinfo in self.classes.values():
+            mod = self.modules[cinfo.module]
+            for method in cinfo.methods.values():
+                for node in _walk_no_nested(method.node):
+                    if not isinstance(node, ast.Assign):
+                        continue
+                    for target in node.targets:
+                        if (isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id == "self"):
+                            cinfo.instance_attrs.add(target.attr)
+                            for qual in self._constructed_classes(
+                                    mod, node.value):
+                                cinfo.attr_types.setdefault(
+                                    target.attr, set()).add(qual)
+            # Annotated fields: ``x: SomeClass`` in the class body.
+            for stmt in cinfo.node.body:
+                if (isinstance(stmt, ast.AnnAssign)
+                        and isinstance(stmt.target, ast.Name)):
+                    chain = attribute_chain(stmt.annotation)
+                    if chain:
+                        resolved = self.resolve_local(mod, chain)
+                        if resolved in self.classes:
+                            cinfo.attr_types.setdefault(
+                                stmt.target.id, set()).add(resolved)
+        for cinfo in self.classes.values():
+            for name in cinfo.methods:
+                self._methods_by_name.setdefault(name, []).append(
+                    cinfo.methods[name].qual)
+
+    def _constructed_classes(self, mod: ModuleInfo,
+                             value: ast.AST) -> Set[str]:
+        """Class quals an expression can evaluate to (shallow)."""
+        out: Set[str] = set()
+        if isinstance(value, ast.Call):
+            chain = attribute_chain(value.func)
+            if chain:
+                resolved = self.resolve_local(mod, chain)
+                if resolved in self.classes:
+                    out.add(resolved)
+                elif resolved in self.functions:
+                    out |= self._return_classes(resolved)
+        elif isinstance(value, (ast.List, ast.Tuple, ast.Set)):
+            for elt in value.elts:
+                out |= self._constructed_classes(mod, elt)
+        return out
+
+    def _return_classes(self, qual: str,
+                        _stack: Optional[Set[str]] = None) -> Set[str]:
+        """Classes a project function can return instances of."""
+        fn = self.functions.get(qual)
+        if fn is None:
+            return set()
+        if fn._returns is not None:
+            return fn._returns
+        stack = _stack or set()
+        if qual in stack:
+            return set()
+        stack.add(qual)
+        mod = self.modules[fn.module]
+        env = self._local_env(fn, stack)
+        out: Set[str] = set()
+        for node in _walk_no_nested(fn.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                out |= self._constructed_classes(mod, node.value)
+                if isinstance(node.value, ast.Name):
+                    out |= env.get(node.value.id, set())
+        fn._returns = out
+        return out
+
+    def _local_env(self, fn: FunctionInfo,
+                   _stack: Optional[Set[str]] = None) -> Dict[str, Set[str]]:
+        """var name -> class quals, from constructors and annotations."""
+        mod = self.modules[fn.module]
+        env: Dict[str, Set[str]] = {}
+        args = fn.node.args
+        for a in (list(args.posonlyargs) + list(args.args)
+                  + list(args.kwonlyargs)):
+            if a.annotation is not None:
+                chain = attribute_chain(a.annotation)
+                if chain:
+                    resolved = self.resolve_local(mod, chain)
+                    if resolved in self.classes:
+                        env.setdefault(a.arg, set()).add(resolved)
+        for node in _walk_no_nested(fn.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    quals = self._constructed_classes(mod, node.value)
+                    if not quals and isinstance(node.value, ast.Call):
+                        callee = self._resolve_call(fn, env, node.value)
+                        for c in callee or ():
+                            quals |= self._return_classes(c, _stack)
+                    if quals:
+                        env.setdefault(target.id, set()).update(quals)
+        return env
+
+    # ------------------------------------------------------------------
+    # Call graph (phase C)
+    # ------------------------------------------------------------------
+    def _build_call_graph(self) -> None:
+        for mod in self.modules.values():
+            # Module body as a pseudo-caller.
+            body_caller = f"{mod.module}.<module>"
+            for node in _module_body_nodes(mod.tree):
+                if isinstance(node, ast.Call):
+                    self._add_call(body_caller, mod, None, {}, node)
+        for fn in list(self.functions.values()):
+            env = self._local_env(fn)
+            for node in _walk_no_nested(fn.node):
+                if isinstance(node, ast.Call):
+                    self._add_call(fn.qual, self.modules[fn.module],
+                                   fn, env, node)
+
+    def _resolve_call(self, fn: Optional[FunctionInfo],
+                      env: Dict[str, Set[str]],
+                      call: ast.Call) -> Optional[List[str]]:
+        """Strongly resolve a call's project callees (no CHA); None when
+        nothing resolved."""
+        mod = self.modules[fn.module] if fn else None
+        chain = attribute_chain(call.func)
+        if chain is None or mod is None:
+            return None
+        out: List[str] = []
+        # self.method() and self.attr.method() chains.
+        if chain[0] == "self" and fn is not None and fn.class_qual:
+            resolved = self._resolve_self_chain(fn, chain[1:])
+            if resolved:
+                out.extend(resolved)
+        elif len(chain) == 1:
+            resolved = self.resolve_local(mod, chain)
+            if resolved in self.functions:
+                out.append(resolved)
+            elif resolved in self.classes:
+                init = self._resolve_method(resolved, "__init__")
+                if init:
+                    out.append(init)
+        else:
+            # obj.method() through the local env, imports, or classes.
+            base_classes = env.get(chain[0], set())
+            for cq in base_classes:
+                resolved = self._walk_attr_types(cq, chain[1:])
+                out.extend(resolved)
+            if not out:
+                resolved = self.resolve_local(mod, chain)
+                if resolved in self.functions:
+                    out.append(resolved)
+                elif resolved in self.classes:
+                    init = self._resolve_method(resolved, "__init__")
+                    if init:
+                        out.append(init)
+        return out or None
+
+    def _resolve_self_chain(self, fn: FunctionInfo,
+                            rest: Tuple[str, ...]) -> List[str]:
+        cinfo = self.classes.get(fn.class_qual or "")
+        if cinfo is None or not rest:
+            return []
+        if len(rest) == 1:
+            method = self._resolve_method(cinfo.qual, rest[0])
+            return [method] if method else []
+        quals = cinfo.attr_types.get(rest[0], set())
+        out: List[str] = []
+        for cq in quals:
+            out.extend(self._walk_attr_types(cq, rest[1:]))
+        return out
+
+    def _walk_attr_types(self, class_qual: str,
+                         rest: Tuple[str, ...]) -> List[str]:
+        """Walk ``attr.attr.method`` through attr_types to a method."""
+        if not rest:
+            return []
+        if len(rest) == 1:
+            method = self._resolve_method(class_qual, rest[0])
+            return [method] if method else []
+        cinfo = self.classes.get(class_qual)
+        if cinfo is None:
+            return []
+        out: List[str] = []
+        for cq in cinfo.attr_types.get(rest[0], set()):
+            out.extend(self._walk_attr_types(cq, rest[1:]))
+        return out
+
+    def _add_call(self, caller: str, mod: ModuleInfo,
+                  fn: Optional[FunctionInfo],
+                  env: Dict[str, Set[str]], call: ast.Call) -> None:
+        callees = self._resolve_call(fn, env, call) if fn is not None else None
+        weak = False
+        if callees is None and fn is None:
+            # Module-body call: resolve through the module namespace only.
+            chain = attribute_chain(call.func)
+            if chain is not None:
+                resolved = self.resolve_local(mod, chain)
+                if resolved in self.functions:
+                    callees = [resolved]
+                elif resolved in self.classes:
+                    init = self._resolve_method(resolved, "__init__")
+                    callees = [init] if init else None
+        if callees is None:
+            # CHA fallback: a method call we cannot type resolves to
+            # every project class defining that method name.
+            chain = attribute_chain(call.func)
+            if chain is not None and len(chain) > 1:
+                candidates = self._methods_by_name.get(chain[-1], [])
+                if candidates:
+                    callees = list(candidates)
+                    weak = True
+        if not callees:
+            return
+        site = CallSite(caller, call, tuple(sorted(set(callees))), weak)
+        self.calls.setdefault(caller, []).append(site)
+        for callee in site.callees:
+            self._callers.setdefault(callee, set()).add(caller)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def call_sites_of(self, callee: str,
+                      include_weak: bool = False) -> List[CallSite]:
+        """Every call site that can dispatch to ``callee``."""
+        out: List[CallSite] = []
+        for caller in sorted(self._callers.get(callee, ())):
+            for site in self.calls.get(caller, []):
+                if callee in site.callees and (include_weak or not site.weak):
+                    out.append(site)
+        return out
+
+    def reachable_from(self, roots: Iterable[str],
+                       include_weak: bool = True) -> Set[str]:
+        """Function quals reachable from ``roots`` over the call graph."""
+        seen: Set[str] = set()
+        queue = [r for r in roots]
+        while queue:
+            qual = queue.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            for site in self.calls.get(qual, []):
+                if site.weak and not include_weak:
+                    continue
+                for callee in site.callees:
+                    if callee not in seen:
+                        queue.append(callee)
+        return seen
+
+    def global_for_name(self, mod: ModuleInfo,
+                        name: str) -> Optional[GlobalVar]:
+        """Resolve a bare name to a module-level global, through imports."""
+        if name in mod.globals:
+            return mod.globals[name]
+        origin = mod.imports.get(name)
+        if origin is None:
+            return None
+        resolved = self.resolve_dotted(origin)
+        if resolved is None:
+            return None
+        for other in self.modules.values():
+            for gvar in other.globals.values():
+                if gvar.qual == resolved:
+                    return gvar
+        return None
+
+
+def _walk_no_nested(fn_node: ast.AST):
+    """Walk a function body without descending into nested defs/classes."""
+    body = getattr(fn_node, "body", [])
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _module_body_nodes(tree: ast.Module):
+    """Walk module-level statements without entering defs/classes."""
+    stack: List[ast.AST] = list(tree.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+__all__ = [
+    "CallSite",
+    "ClassAttr",
+    "ClassInfo",
+    "FunctionInfo",
+    "GlobalVar",
+    "ModuleInfo",
+    "MUTABLE_CONSTRUCTORS",
+    "Project",
+    "attribute_chain",
+    "module_name_for",
+]

@@ -1,0 +1,131 @@
+"""SARIF 2.1.0 and GitHub workflow-command rendering of findings.
+
+SARIF (Static Analysis Results Interchange Format) is what code
+scanning UIs ingest: one ``run`` with a ``tool.driver`` describing the
+rules and one ``result`` per finding, each pointing at a
+``physicalLocation``.  The GitHub format is the plain-text sibling:
+``::error file=...,line=...`` workflow commands that annotate the PR
+diff when printed inside an Actions step.
+
+Both renderers are pure functions over the already-computed finding
+list, so they compose with baselines and ``--diff`` filtering for
+free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.lint.findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: Description used for the reserved parse-error code, which has no
+#: Rule class behind it.
+_PARSE_ERROR_DESCRIPTION = "file could not be parsed"
+
+
+def _rule_descriptors(findings: Sequence[Finding]) -> List[Dict[str, object]]:
+    """One reportingDescriptor per registered rule (plus SIM000 when a
+    parse error is present), sorted by rule id."""
+    from repro.lint.rules import RULES
+
+    codes = set(RULES)
+    codes.update(f.rule for f in findings)
+    descriptors: List[Dict[str, object]] = []
+    for code in sorted(codes):
+        rule = RULES.get(code)
+        if rule is not None:
+            short = rule.title
+            full = rule.rationale.strip() or rule.title
+        else:
+            short = full = _PARSE_ERROR_DESCRIPTION
+        descriptors.append({
+            "id": code,
+            "name": code,
+            "shortDescription": {"text": short},
+            "fullDescription": {"text": full},
+            "defaultConfiguration": {"level": "error"},
+        })
+    return descriptors
+
+
+def to_sarif(findings: Sequence[Finding],
+             files_checked: int = 0) -> Dict[str, object]:
+    """Render findings as a SARIF 2.1.0 log (a plain dict, json-ready)."""
+    descriptors = _rule_descriptors(findings)
+    index = {d["id"]: i for i, d in enumerate(descriptors)}
+    results: List[Dict[str, object]] = []
+    for finding in findings:
+        results.append({
+            "ruleId": finding.rule,
+            "ruleIndex": index[finding.rule],
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                },
+            }],
+        })
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "simlint",
+                    "informationUri":
+                        "https://example.invalid/docs/LINT.md",
+                    "rules": descriptors,
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"description": {
+                    "text": "repository root"}},
+            },
+            "properties": {"filesChecked": files_checked},
+            "results": results,
+        }],
+    }
+
+
+def _escape_property(value: str) -> str:
+    """Escape a workflow-command property value (GitHub's rules)."""
+    return (value.replace("%", "%25").replace("\r", "%0D")
+            .replace("\n", "%0A").replace(":", "%3A").replace(",", "%2C"))
+
+
+def _escape_data(value: str) -> str:
+    return (value.replace("%", "%25").replace("\r", "%0D")
+            .replace("\n", "%0A"))
+
+
+def render_github(findings: Sequence[Finding]) -> List[str]:
+    """One ``::error`` workflow command per finding."""
+    lines: List[str] = []
+    for finding in findings:
+        lines.append(
+            "::error "
+            f"file={_escape_property(finding.path)},"
+            f"line={finding.line},"
+            f"col={finding.col},"
+            f"title={_escape_property('simlint ' + finding.rule)}"
+            f"::{_escape_data(finding.message)}")
+    return lines
+
+
+__all__ = [
+    "SARIF_SCHEMA",
+    "SARIF_VERSION",
+    "render_github",
+    "to_sarif",
+]

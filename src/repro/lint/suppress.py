@@ -55,6 +55,9 @@ class Suppressions:
     def __init__(self) -> None:
         self.file_rules: FrozenSet[str] = frozenset()
         self.line_rules: Dict[int, FrozenSet[str]] = {}
+        #: Every rule code any suppression comment named (for
+        #: unknown-rule warnings; blanket disables contribute nothing).
+        self.mentioned: FrozenSet[str] = frozenset()
 
     @classmethod
     def from_source(cls, source: str) -> "Suppressions":
@@ -66,14 +69,17 @@ class Suppressions:
                     continue
                 file_m = _FILE_RE.search(tok.string)
                 if file_m:
-                    sup.file_rules |= _parse_rules(file_m.group("rules"))
+                    rules = _parse_rules(file_m.group("rules"))
+                    sup.file_rules |= rules
+                    sup.mentioned |= rules - {ALL_RULES}
                     continue
                 line_m = _LINE_RE.search(tok.string)
                 if line_m:
                     line = tok.start[0]
                     existing = sup.line_rules.get(line, frozenset())
-                    sup.line_rules[line] = existing | _parse_rules(
-                        line_m.group("rules"))
+                    rules = _parse_rules(line_m.group("rules"))
+                    sup.line_rules[line] = existing | rules
+                    sup.mentioned |= rules - {ALL_RULES}
         except tokenize.TokenError:
             # The AST parse will report the real problem; suppressions
             # found before the tokenizer gave up still apply.

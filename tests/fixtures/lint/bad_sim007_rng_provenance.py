@@ -1,0 +1,28 @@
+"""Seeded-violation fixture for SIM007 (RNG provenance taint).
+
+Linted under a synthetic sim-domain path by the tests and the CI
+seeded-violation gate; never imported.  Expected findings: the
+process-global fallback inside ``jitter`` (which receives a seeded
+``child_rng`` interprocedurally) and the two module-level escapes.
+"""
+
+import random
+
+_RNG = random.Random(1234)          # escape: module-level seeded stream
+_POOL = {}
+
+
+def jitter(rng, spread):
+    # Receives sim.child_rng(...) from drive(), then falls back to the
+    # process-global stream anyway.
+    return rng.uniform(0.0, spread) + random.random()
+
+
+def install(sim, key):
+    # Escape: a per-run stream parked in module-level storage.
+    _POOL[key] = sim.child_rng(f"pool:{key}")
+
+
+def drive(sim, spread):
+    rng = sim.child_rng("fixture.jitter")
+    return jitter(rng, spread)

@@ -1,0 +1,18 @@
+"""Seeded-violation fixture for SIM008 (child_rng tag collision).
+
+Two distinct call sites build the same ``radio:{cell}`` tag, so both
+streams are byte-identical for every cell; a third site constructs an
+overlapping tag through ``str.format`` indirection.  Expected: at
+least one SIM008 finding naming the colliding pair.
+"""
+
+
+class Radio:
+    def __init__(self, sim, cell):
+        self.rx_rng = sim.child_rng(f"radio:{cell}")
+        self.tx_rng = sim.child_rng(f"radio:{cell}")   # same (seed, tag)
+
+
+def attach_probe(sim, cell):
+    tag = "radio:{}".format(cell)
+    return sim.child_rng(tag)                          # collides too

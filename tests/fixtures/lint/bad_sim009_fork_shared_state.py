@@ -1,0 +1,29 @@
+"""Seeded-violation fixture for SIM009 (fork-shared mutable state).
+
+Module-level and class-level containers mutated from functions a fleet
+worker can reach (this file has no worker entry points, so the
+standalone fallback treats every function as reachable).  Expected
+findings: the ``_CACHE`` store, the ``global`` rebind, and the
+class-attribute append.
+"""
+
+_CACHE = {}
+_TOTALS = None
+
+
+def lookup(sim, key):
+    if key not in _CACHE:
+        _CACHE[key] = sim.now              # leaks across warm shards
+    return _CACHE[key]
+
+
+def reset_totals(value):
+    global _TOTALS
+    _TOTALS = value                        # module rebind from sim code
+
+
+class Recorder:
+    seen = []                              # class-level, never rebound
+
+    def record(self, item):
+        self.seen.append(item)             # shared by every instance

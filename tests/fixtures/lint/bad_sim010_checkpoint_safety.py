@@ -1,0 +1,39 @@
+"""Seeded-violation fixture for SIM010 (checkpoint safety).
+
+``Session`` is a Checkpoint deepcopy root (via ``sim.checkpoint``):
+its generator field, open-file field, and the controller instance that
+``Chooser.__deepcopy__`` silently drops must all be flagged.  The
+store into ``Chooser.controller`` itself is the designed opt-out and
+must stay clean.
+"""
+
+
+class ScriptController:
+    def __init__(self, script):
+        self.script = list(script)
+
+
+class Chooser:
+    def __init__(self):
+        self.controller = ScriptController([])
+        self.trail = []
+
+    def __deepcopy__(self, memo):
+        fresh = Chooser()
+        fresh.trail = list(self.trail)     # controller deliberately dropped
+        return fresh
+
+
+class Session:
+    def __init__(self, sim, frames, script):
+        self.chooser = Chooser()
+        self.pending = (f for f in frames)          # generator field
+        self.log = open("session.log", "w")         # open OS resource
+        self.backup = ScriptController(script)      # dropped-type alias
+
+
+def explore(sim, frames, script):
+    session = Session(sim, frames, script)
+    # Designed opt-out: storing into the dropping field is allowed.
+    session.chooser.controller = ScriptController(script)
+    return sim.checkpoint(session)

@@ -1,0 +1,191 @@
+"""Dataflow-layer unit tests: taint propagation and tag patterns.
+
+These pin the :mod:`repro.lint.flow` machinery directly — the pattern
+DP, the folding of every supported tag shape, and the interprocedural
+taint fixpoint — independently of the rules built on top.
+"""
+
+import ast
+
+from repro.lint.flow import (
+    TagIndex,
+    TagPattern,
+    TaintAnalysis,
+    patterns_intersect,
+)
+from repro.lint.project import Project
+
+
+def build_project(sources):
+    entries = [(path, src, ast.parse(src, filename=path))
+               for path, src in sorted(sources.items())]
+    return Project.build(entries)
+
+
+def fold_first_tag(source: str):
+    """Patterns of the first child_rng call in a one-module project."""
+    project = build_project({"src/repro/simnet/m.py": source})
+    index = TagIndex(project)
+    assert index.sites, "no child_rng site found in the snippet"
+    return sorted(index.sites, key=lambda s: (s.line, s.col))[0].patterns
+
+
+# ----------------------------------------------------------------------
+# Pattern intersection DP
+# ----------------------------------------------------------------------
+def test_equal_literals_intersect_unequal_do_not():
+    a = TagPattern.literal("link:uplink")
+    b = TagPattern.literal("link:uplink")
+    c = TagPattern.literal("link:downlink")
+    assert patterns_intersect(a, b)
+    assert not patterns_intersect(a, c)
+
+
+def test_hole_absorbs_any_suffix():
+    a = TagPattern(tuple("radio:") + (None,))
+    b = TagPattern.literal("radio:cell-7")
+    assert patterns_intersect(a, b)
+
+
+def test_disjoint_literal_prefixes_never_intersect():
+    cell = TagPattern(tuple("scale.cell.") + (None,))
+    promote = TagPattern(tuple("scale.promote.") + (None, ".", None))
+    assert not patterns_intersect(cell, promote)
+
+
+def test_holes_on_both_sides_intersect_when_literals_allow():
+    a = TagPattern((None,) + tuple(":x"))
+    b = TagPattern(tuple("pre:") + (None,))
+    # a can be "pre::x"? a = *:x, b = pre:* -> "pre:x" matches both.
+    assert patterns_intersect(a, b)
+
+
+def test_pure_hole_reported_as_such():
+    assert TagPattern.hole().is_pure_hole()
+    assert not TagPattern.literal("x").is_pure_hole()
+
+
+# ----------------------------------------------------------------------
+# Tag folding
+# ----------------------------------------------------------------------
+def test_fold_fstring_concat_and_str():
+    pats = fold_first_tag(
+        "def f(sim, name):\n"
+        "    return sim.child_rng('pre.' + str(name) + f':{name}')\n")
+    assert [p.render() for p in pats] == ["pre.{…}:{…}"]
+
+
+def test_fold_percent_formatting():
+    pats = fold_first_tag(
+        "def f(sim, a, b):\n"
+        "    return sim.child_rng('p:%s.%d' % (a, b))\n")
+    assert [p.render() for p in pats] == ["p:{…}.{…}"]
+
+
+def test_fold_str_format_with_named_and_auto_fields():
+    pats = fold_first_tag(
+        "def f(sim, cell):\n"
+        "    return sim.child_rng('r:{}:{kind}'.format(cell, kind='rx'))\n")
+    assert [p.render() for p in pats] == ["r:{…}:rx"]
+
+
+def test_fold_local_indirection():
+    pats = fold_first_tag(
+        "def f(sim, cell):\n"
+        "    tag = f'radio:{cell}'\n"
+        "    return sim.child_rng(tag)\n")
+    assert [p.render() for p in pats] == ["radio:{…}"]
+
+
+def test_fold_parameter_against_constant_call_sites():
+    project = build_project({"src/repro/simnet/m.py": (
+        "def attach(sim, kind):\n"
+        "    return sim.child_rng(f'probe:{kind}')\n"
+        "def build(sim):\n"
+        "    return attach(sim, 'alpha'), attach(sim, 'beta')\n")})
+    index = TagIndex(project)
+    site = next(s for s in index.sites if s.line == 2)
+    assert sorted(p.render() for p in site.patterns) == [
+        "probe:alpha", "probe:beta"]
+
+
+def test_fold_parameter_with_dynamic_call_site_stays_hole():
+    project = build_project({"src/repro/simnet/m.py": (
+        "def attach(sim, kind):\n"
+        "    return sim.child_rng(f'probe:{kind}')\n"
+        "def build(sim, k):\n"
+        "    return attach(sim, k)\n")})
+    index = TagIndex(project)
+    site = next(s for s in index.sites if s.line == 2)
+    assert [p.render() for p in site.patterns] == ["probe:{…}"]
+
+
+def test_fold_format_spec_is_a_hole():
+    pats = fold_first_tag(
+        "def f(sim, i):\n"
+        "    return sim.child_rng(f'c:{i:04d}')\n")
+    assert [p.render() for p in pats] == ["c:{…}"]
+
+
+# ----------------------------------------------------------------------
+# Taint propagation
+# ----------------------------------------------------------------------
+def test_taint_flows_through_call_arguments():
+    project = build_project({"src/repro/simnet/m.py": (
+        "def inner(rng):\n"
+        "    return rng.random()\n"
+        "def outer(sim):\n"
+        "    r = sim.child_rng('x')\n"
+        "    return inner(r)\n")})
+    taint = TaintAnalysis(project)
+    assert taint.tainted_params.get("repro.simnet.m.inner") == {"rng"}
+
+
+def test_taint_flows_through_returns():
+    project = build_project({"src/repro/simnet/m.py": (
+        "def make(sim):\n"
+        "    return sim.child_rng('x')\n"
+        "def consume(sim):\n"
+        "    r = make(sim)\n"
+        "    return use(r)\n"
+        "def use(rng):\n"
+        "    return rng.random()\n")})
+    taint = TaintAnalysis(project)
+    assert "repro.simnet.m.make" in taint.returns_rng
+    assert taint.tainted_params.get("repro.simnet.m.use") == {"rng"}
+
+
+def test_taint_tracks_self_attribute_stores():
+    project = build_project({"src/repro/simnet/m.py": (
+        "class Link:\n"
+        "    def __init__(self, sim):\n"
+        "        self._rng = sim.child_rng('link')\n"
+        "    def hand_off(self):\n"
+        "        return drain(self._rng)\n"
+        "def drain(rng):\n"
+        "    return rng.random()\n")})
+    taint = TaintAnalysis(project)
+    assert ("repro.simnet.m.Link", "_rng") in taint.rng_attrs
+    assert taint.tainted_params.get("repro.simnet.m.drain") == {"rng"}
+
+
+def test_seeded_random_with_explicit_seed_is_a_source():
+    project = build_project({"src/repro/simnet/m.py": (
+        "import random\n"
+        "def make(seed):\n"
+        "    r = random.Random(seed)\n"
+        "    return sink(r)\n"
+        "def sink(rng):\n"
+        "    return rng.random()\n")})
+    taint = TaintAnalysis(project)
+    assert taint.tainted_params.get("repro.simnet.m.sink") == {"rng"}
+
+
+def test_plain_values_are_not_tainted():
+    project = build_project({"src/repro/simnet/m.py": (
+        "def outer(sim):\n"
+        "    return inner(sim.now)\n"
+        "def inner(t):\n"
+        "    return t + 1\n")})
+    taint = TaintAnalysis(project)
+    assert not taint.tainted_params.get("repro.simnet.m.inner")

@@ -1,0 +1,432 @@
+"""Whole-program analysis tests: the project model and SIM007–SIM010.
+
+Model tests drive :class:`repro.lint.project.Project` directly on
+small multi-module programs; rule tests go end-to-end through
+``lint_paths`` over a temp tree (multi-module) or ``lint_source``
+(single module, which wraps the file in a one-module project).  The
+seeded-violation fixture corpus under ``tests/fixtures/lint`` is
+checked here too — the same files the CI gate feeds to the linter.
+"""
+
+import ast
+import pathlib
+
+from repro.lint import lint_paths, lint_source
+from repro.lint.project import Project, module_name_for
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "lint"
+SIM_PATH = "src/repro/simnet/fake_module.py"
+
+
+def build_project(sources):
+    """``{path: source}`` → Project (paths decide module names)."""
+    entries = [(path, src, ast.parse(src, filename=path))
+               for path, src in sorted(sources.items())]
+    return Project.build(entries)
+
+
+def codes(source: str, path: str = SIM_PATH) -> set:
+    return {f.rule for f in lint_source(source, path)}
+
+
+# ----------------------------------------------------------------------
+# Project model
+# ----------------------------------------------------------------------
+def test_module_name_for_src_layout():
+    assert module_name_for("src/repro/scale/population.py") == \
+        "repro.scale.population"
+    assert module_name_for("src/repro/scale/__init__.py") == "repro.scale"
+    assert module_name_for("standalone.py") == "standalone"
+
+
+def test_symbol_table_indexes_functions_classes_globals():
+    project = build_project({
+        "src/pkg/mod.py": (
+            "CACHE = {}\n"
+            "LIMIT = 3\n"
+            "def helper(x):\n"
+            "    return x\n"
+            "class Widget:\n"
+            "    gauge = []\n"
+            "    def spin(self):\n"
+            "        self.rate = 1\n"
+        ),
+    })
+    mod = project.modules["pkg.mod"]
+    assert "pkg.mod.helper" in project.functions
+    assert "pkg.mod.Widget" in project.classes
+    assert "pkg.mod.Widget.spin" in project.functions
+    assert mod.globals["CACHE"].mutable
+    assert not mod.globals["LIMIT"].mutable
+    widget = project.classes["pkg.mod.Widget"]
+    assert widget.class_attrs["gauge"].mutable
+    assert "rate" in widget.instance_attrs
+
+
+def test_import_resolution_with_reexport_hop():
+    project = build_project({
+        "src/pkg/impl.py": "def work():\n    return 1\n",
+        "src/pkg/__init__.py": "from pkg.impl import work\n",
+        "src/app.py": (
+            "from pkg import work\n"
+            "def go():\n"
+            "    return work()\n"
+        ),
+    })
+    sites = project.calls.get("app.go", [])
+    assert any("pkg.impl.work" in s.callees for s in sites)
+
+
+def test_call_graph_resolves_self_and_local_instances():
+    project = build_project({
+        "src/pkg/mod.py": (
+            "class Engine:\n"
+            "    def start(self):\n"
+            "        self.warm()\n"
+            "    def warm(self):\n"
+            "        pass\n"
+            "def drive():\n"
+            "    e = Engine()\n"
+            "    e.start()\n"
+        ),
+    })
+    start_sites = project.calls["pkg.mod.Engine.start"]
+    assert any("pkg.mod.Engine.warm" in s.callees for s in start_sites)
+    drive_sites = project.calls["pkg.mod.drive"]
+    callees = {c for s in drive_sites for c in s.callees}
+    assert "pkg.mod.Engine.start" in callees
+
+
+def test_call_graph_cha_fallback_is_weak():
+    project = build_project({
+        "src/pkg/a.py": (
+            "class Alpha:\n"
+            "    def make_world(self):\n"
+            "        return 1\n"
+        ),
+        "src/pkg/b.py": (
+            "def run(harness):\n"
+            "    return harness.make_world()\n"
+        ),
+    })
+    sites = project.calls["pkg.b.run"]
+    assert any(s.weak and "pkg.a.Alpha.make_world" in s.callees
+               for s in sites)
+    # Weak edges still contribute to reachability by default.
+    reach = project.reachable_from(["pkg.b.run"])
+    assert "pkg.a.Alpha.make_world" in reach
+    assert "pkg.a.Alpha.make_world" not in project.reachable_from(
+        ["pkg.b.run"], include_weak=False)
+
+
+def test_return_class_inference_through_helper():
+    project = build_project({
+        "src/pkg/mod.py": (
+            "class World:\n"
+            "    def ping(self):\n"
+            "        pass\n"
+            "def make_world():\n"
+            "    return World()\n"
+            "def go():\n"
+            "    w = make_world()\n"
+            "    w.ping()\n"
+        ),
+    })
+    callees = {c for s in project.calls["pkg.mod.go"] for c in s.callees}
+    assert "pkg.mod.World.ping" in callees
+
+
+# ----------------------------------------------------------------------
+# SIM007 — RNG provenance
+# ----------------------------------------------------------------------
+def test_sim007_cross_module_fallback(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "simnet"
+    pkg.mkdir(parents=True)
+    (pkg / "helpers.py").write_text(
+        "import random\n"
+        "def jitter(rng):\n"
+        "    return rng.random() + random.random()\n",
+        encoding="utf-8")
+    (pkg / "driver.py").write_text(
+        "from repro.simnet.helpers import jitter\n"
+        "def drive(sim):\n"
+        "    return jitter(sim.child_rng('drv'))\n",
+        encoding="utf-8")
+    findings, _ = lint_paths([str(tmp_path / "src")], root=tmp_path)
+    sim007 = [f for f in findings if f.rule == "SIM007"]
+    assert sim007 and sim007[0].path == "src/repro/simnet/helpers.py"
+    assert "rng" in sim007[0].message
+
+
+def test_sim007_fallback_via_module_as_value():
+    # The classic optional-rng shape: ``(rng or random)`` silently
+    # substitutes the process global — the docs/LINT.md bad example.
+    bad = (
+        "import random\n"
+        "def jitter(rng, spread):\n"
+        "    return (rng or random).uniform(0.0, spread)\n"
+        "def drive(sim):\n"
+        "    return jitter(sim.child_rng('m.jitter'), 0.1)\n"
+    )
+    assert "SIM007" in codes(bad)
+    # A local shadowing the module name is not the module.
+    shadowed = (
+        "import random\n"
+        "def seeded(seed):\n"
+        "    return random.Random(seed)\n"
+        "def jitter(rng, spread):\n"
+        "    fallback = seeded(7)\n"
+        "    return (rng or fallback).uniform(0.0, spread)\n"
+        "def drive(sim):\n"
+        "    return jitter(sim.child_rng('m.jitter'), 0.1)\n"
+    )
+    assert "SIM007" not in codes(shadowed)
+
+
+def test_sim007_clean_when_only_injected_stream_used():
+    good = (
+        "def jitter(rng):\n"
+        "    return 2.0 * rng.random()\n"
+        "def drive(sim):\n"
+        "    return jitter(sim.child_rng('drv'))\n"
+    )
+    assert "SIM007" not in codes(good)
+
+
+def test_sim007_module_level_seeded_rng_escape():
+    bad = "import random\n_RNG = random.Random(99)\n"
+    assert "SIM007" in codes(bad)
+    # The same line in harness code is not SIM007's business.
+    assert "SIM007" not in codes(bad, "src/repro/fleet/fake_module.py")
+
+
+def test_sim007_escape_into_module_dict():
+    bad = (
+        "_POOL = {}\n"
+        "def install(sim, key):\n"
+        "    _POOL[key] = sim.child_rng(f'pool:{key}')\n"
+    )
+    assert "SIM007" in codes(bad)
+
+
+def test_sim007_per_instance_storage_is_clean():
+    good = (
+        "class Link:\n"
+        "    def __init__(self, sim, name):\n"
+        "        self._rng = sim.child_rng(f'link:{name}')\n"
+    )
+    assert "SIM007" not in codes(good)
+
+
+# ----------------------------------------------------------------------
+# SIM008 — tag collisions
+# ----------------------------------------------------------------------
+def test_sim008_flags_same_fstring_tag_twice():
+    bad = (
+        "class Radio:\n"
+        "    def __init__(self, sim, cell):\n"
+        "        self.rx = sim.child_rng(f'radio:{cell}')\n"
+        "        self.tx = sim.child_rng(f'radio:{cell}')\n"
+    )
+    assert "SIM008" in codes(bad)
+
+
+def test_sim008_distinct_prefixes_are_clean():
+    good = (
+        "class Radio:\n"
+        "    def __init__(self, sim, cell):\n"
+        "        self.rx = sim.child_rng(f'radio.rx:{cell}')\n"
+        "        self.tx = sim.child_rng(f'radio.tx:{cell}')\n"
+    )
+    assert "SIM008" not in codes(good)
+
+
+def test_sim008_folds_parameters_against_call_sites(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "simnet"
+    pkg.mkdir(parents=True)
+    (pkg / "mod.py").write_text(
+        "def attach(sim, kind):\n"
+        "    return sim.child_rng(f'probe:{kind}')\n"
+        "def fixed(sim):\n"
+        "    return sim.child_rng('probe:alpha')\n"
+        "def build(sim):\n"
+        "    return attach(sim, 'alpha'), fixed(sim)\n",
+        encoding="utf-8")
+    findings, _ = lint_paths([str(tmp_path / "src")], root=tmp_path)
+    assert any(f.rule == "SIM008" for f in findings)
+
+
+def test_sim008_pure_hole_tags_never_reported():
+    # A bare-parameter tag could collide with anything; the rule
+    # refuses to guess rather than flagging every helper.
+    src = (
+        "def make(sim, tag):\n"
+        "    return sim.child_rng(tag)\n"
+        "def other(sim, tag):\n"
+        "    return sim.child_rng(tag)\n"
+    )
+    assert "SIM008" not in codes(src)
+
+
+# ----------------------------------------------------------------------
+# SIM009 — fork-shared mutable state
+# ----------------------------------------------------------------------
+def test_sim009_reachability_gates_findings(tmp_path):
+    pkg = tmp_path / "src" / "repro"
+    (pkg / "fleet").mkdir(parents=True)
+    (pkg / "simnet").mkdir(parents=True)
+    (pkg / "fleet" / "pool.py").write_text(
+        "from repro.simnet.state import touch\n"
+        "def run_shard(spec):\n"
+        "    return touch(spec)\n",
+        encoding="utf-8")
+    (pkg / "simnet" / "state.py").write_text(
+        "_SEEN = {}\n"
+        "def touch(spec):\n"
+        "    _SEEN[spec] = True\n"
+        "    return _SEEN\n"
+        "def untouched(spec):\n"
+        "    _SEEN[spec] = False\n",
+        encoding="utf-8")
+    findings, _ = lint_paths([str(tmp_path / "src")], root=tmp_path)
+    sim009 = [f for f in findings if f.rule == "SIM009"]
+    # touch() is reachable from run_shard; untouched() is not.
+    assert [f.line for f in sim009] == [3]
+
+
+def test_sim009_standalone_file_treats_all_functions_reachable():
+    bad = (
+        "_CACHE = {}\n"
+        "def remember(key):\n"
+        "    _CACHE[key] = 1\n"
+    )
+    assert "SIM009" in codes(bad)
+
+
+def test_sim009_class_attr_mutation_flagged_instance_state_clean():
+    bad = (
+        "class Recorder:\n"
+        "    seen = []\n"
+        "    def record(self, item):\n"
+        "        self.seen.append(item)\n"
+    )
+    assert "SIM009" in codes(bad)
+    good = (
+        "class Recorder:\n"
+        "    def __init__(self):\n"
+        "        self.seen = []\n"
+        "    def record(self, item):\n"
+        "        self.seen.append(item)\n"
+    )
+    assert "SIM009" not in codes(good)
+
+
+def test_sim009_import_time_initialization_is_exempt():
+    good = (
+        "_TABLE = {}\n"
+        "for _i in range(8):\n"
+        "    _TABLE[_i] = _i * _i\n"
+        "def lookup(i):\n"
+        "    return _TABLE[i]\n"
+    )
+    assert "SIM009" not in codes(good)
+
+
+def test_sim009_harness_modules_are_exempt():
+    bad = (
+        "_CACHE = {}\n"
+        "def remember(key):\n"
+        "    _CACHE[key] = 1\n"
+    )
+    assert "SIM009" not in codes(bad, "src/repro/fleet/fake_module.py")
+
+
+# ----------------------------------------------------------------------
+# SIM010 — checkpoint safety
+# ----------------------------------------------------------------------
+def test_sim010_flags_generator_and_file_fields():
+    bad = (
+        "class Session:\n"
+        "    def __init__(self, sim, frames):\n"
+        "        self.pending = (f for f in frames)\n"
+        "        self.log = open('x.log', 'w')\n"
+        "def harness(sim, frames):\n"
+        "    world = Session(sim, frames)\n"
+        "    return sim.checkpoint(world)\n"
+    )
+    found = {(f.rule, f.line) for f in lint_source(bad, SIM_PATH)}
+    assert ("SIM010", 3) in found
+    assert ("SIM010", 4) in found
+
+
+def test_sim010_no_checkpoint_roots_no_findings():
+    src = (
+        "class Session:\n"
+        "    def __init__(self, frames):\n"
+        "        self.pending = (f for f in frames)\n"
+    )
+    assert "SIM010" not in codes(src)
+
+
+def test_sim010_yield_function_and_iter_fields():
+    bad = (
+        "def frames():\n"
+        "    yield 1\n"
+        "class Session:\n"
+        "    def __init__(self, sim, xs):\n"
+        "        self.feed = frames()\n"
+        "        self.cursor = iter(xs)\n"
+        "def harness(sim, xs):\n"
+        "    return sim.checkpoint(Session(sim, xs))\n"
+    )
+    lines = [f.line for f in lint_source(bad, SIM_PATH)
+             if f.rule == "SIM010"]
+    assert lines == [5, 6]
+
+
+def test_sim010_itertools_count_is_allowed():
+    good = (
+        "import itertools\n"
+        "class Session:\n"
+        "    def __init__(self, sim):\n"
+        "        self._seq = itertools.count()\n"
+        "def harness(sim):\n"
+        "    return sim.checkpoint(Session(sim))\n"
+    )
+    assert "SIM010" not in codes(good)
+
+
+def test_sim010_deepcopy_dropped_type_flagged_but_optout_field_clean():
+    src = (FIXTURES / "bad_sim010_checkpoint_safety.py").read_text(
+        encoding="utf-8")
+    findings = [f for f in lint_source(src, SIM_PATH)
+                if f.rule == "SIM010"]
+    messages = " | ".join(f.message for f in findings)
+    assert "ScriptController" in messages           # dropped-type alias
+    optout_line = next(
+        i + 1 for i, text in enumerate(src.splitlines())
+        if "session.chooser.controller =" in text)
+    assert optout_line not in [f.line for f in findings]
+
+
+# ----------------------------------------------------------------------
+# The seeded-violation fixture corpus (mirrors the CI gate)
+# ----------------------------------------------------------------------
+def test_fixture_corpus_each_rule_fires():
+    expected = {
+        "bad_sim007_rng_provenance.py": "SIM007",
+        "bad_sim008_tag_collision.py": "SIM008",
+        "bad_sim009_fork_shared_state.py": "SIM009",
+        "bad_sim010_checkpoint_safety.py": "SIM010",
+    }
+    seen = set()
+    for fixture in sorted(FIXTURES.glob("bad_*.py")):
+        rule = expected[fixture.name]
+        seen.add(fixture.name)
+        source = fixture.read_text(encoding="utf-8")
+        found = {f.rule for f in lint_source(
+            source, f"src/repro/simnet/{fixture.name}")}
+        assert rule in found, (
+            f"{fixture.name} no longer trips {rule}; found {sorted(found)}")
+    assert seen == set(expected), "fixture corpus drifted from the map"

@@ -117,6 +117,35 @@ def test_sim003_allows_stable_tags():
     assert "SIM003" not in codes(src)
 
 
+def test_sim003_catches_format_spec_and_format_args():
+    assert "SIM003" in codes(
+        "def f(sim, obj):\n"
+        "    return sim.child_rng(f'x:{0:{id(obj)}}')\n")
+    assert "SIM003" in codes(
+        "def f(sim, obj):\n"
+        "    return sim.child_rng('x:{}'.format(id(obj)))\n")
+
+
+def test_sim003_catches_unstable_tag_via_local_name():
+    src = (
+        "def f(sim, obj):\n"
+        "    tag = f'x:{id(obj)}'\n"
+        "    return sim.child_rng(tag)\n"
+    )
+    findings = [f for f in lint_source(src, SIM_PATH)
+                if f.rule == "SIM003"]
+    assert len(findings) == 1
+    assert "via 'tag'" in findings[0].message
+    # A rebound name is not traced — could be stable by call time.
+    rebound = (
+        "def f(sim, obj):\n"
+        "    tag = f'x:{id(obj)}'\n"
+        "    tag = 'x:fixed'\n"
+        "    return sim.child_rng(tag)\n"
+    )
+    assert "SIM003" not in codes(rebound)
+
+
 # ----------------------------------------------------------------------
 # SIM004 — set iteration order reaching ordered sinks
 # ----------------------------------------------------------------------

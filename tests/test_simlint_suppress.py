@@ -1,0 +1,126 @@
+"""Suppression edge cases (lint/suppress.py).
+
+The parser is tokenize-based, so only *real* comments count; these
+tests pin the corners: suppression-shaped text inside multiline
+strings and f-strings, suppressions on decorated defs, CRLF line
+endings, and suppressions naming unknown rules (warn, don't crash).
+"""
+
+import warnings
+
+import pytest
+
+from repro.lint import Suppressions, lint_source
+
+SIM_PATH = "src/repro/simnet/fake_module.py"
+
+
+def codes(source: str) -> set:
+    return {f.rule for f in lint_source(source, SIM_PATH)}
+
+
+def test_suppression_text_inside_multiline_string_is_inert():
+    src = (
+        "import random\n"
+        "DOC = '''\n"
+        "# simlint: disable-file=SIM001\n"
+        "'''\n"
+        "x = random.random()\n"
+    )
+    assert "SIM001" in codes(src)
+    sup = Suppressions.from_source(src)
+    assert sup.file_rules == frozenset()
+
+
+def test_suppression_text_inside_fstring_is_inert():
+    src = (
+        "import random\n"
+        "note = f'{1} # simlint: disable=SIM001'\n"
+        "x = random.random()  # this line has no suppression\n"
+    )
+    assert "SIM001" in codes(src)
+
+
+def test_real_comment_after_fstring_on_same_line_works():
+    src = (
+        "import random\n"
+        "x = random.random()  # simlint: disable=SIM001 -- covered\n"
+    )
+    assert "SIM001" not in codes(src)
+
+
+def test_suppression_on_decorated_def_line():
+    # SIM006 anchors to the default expression on the def line; the
+    # decorator shifting line numbers must not detach the suppression.
+    src = (
+        "import functools\n"
+        "@functools.lru_cache\n"
+        "def run(hooks=[]):  # simlint: disable=SIM006 -- test shim\n"
+        "    return hooks\n"
+    )
+    assert "SIM006" not in codes(src)
+    bare = (
+        "import functools\n"
+        "@functools.lru_cache\n"
+        "def run(hooks=[]):\n"
+        "    return hooks\n"
+    )
+    assert "SIM006" in codes(bare)
+
+
+def test_crlf_file_findings_and_suppressions():
+    src = (
+        "import random\r\n"
+        "a = random.random()\r\n"
+        "b = random.random()  # simlint: disable=SIM001\r\n"
+    )
+    findings = [f for f in lint_source(src, SIM_PATH)
+                if f.rule == "SIM001"]
+    assert [f.line for f in findings] == [2]
+
+
+def test_unknown_rule_in_suppression_warns_not_crashes():
+    src = (
+        "import random\n"
+        "x = random.random()  # simlint: disable=SIM999\n"
+    )
+    with pytest.warns(UserWarning, match="unknown rule SIM999"):
+        findings = lint_source(src, SIM_PATH)
+    # The unknown rule suppresses nothing; the real finding survives.
+    assert "SIM001" in {f.rule for f in findings}
+
+
+def test_known_rules_do_not_warn():
+    src = (
+        "import random\n"
+        "x = random.random()  # simlint: disable=SIM001\n"
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        findings = lint_source(src, SIM_PATH)
+    assert findings == []
+
+
+def test_unknown_rule_tracked_in_mentioned_set():
+    sup = Suppressions.from_source(
+        "x = 1  # simlint: disable=SIM001,SIM999\n"
+        "# simlint: disable-file=BOGUS\n")
+    assert {"SIM001", "SIM999", "BOGUS"} <= set(sup.mentioned)
+
+
+def test_blanket_disable_mentions_nothing():
+    sup = Suppressions.from_source("x = 1  # simlint: disable\n")
+    assert sup.mentioned == frozenset()
+
+
+def test_token_error_keeps_earlier_suppressions():
+    # An unterminated string ends tokenization midway; suppressions
+    # seen before the failure still apply (the parse error itself is
+    # reported separately as SIM000).
+    src = (
+        "import random\n"
+        "x = random.random()  # simlint: disable=SIM001\n"
+        "broken = '''\n"
+    )
+    sup = Suppressions.from_source(src)
+    assert sup.is_suppressed("SIM001", 2)
