@@ -1,8 +1,10 @@
 #!/usr/bin/env python
-"""Observability overhead benchmark: emits ``BENCH_PR5.json``.
+"""Observability overhead benchmarks: ``BENCH_PR5.json`` + ``BENCH_PR10.json``.
 
-Measures what attaching the :mod:`repro.obs` layer costs a simulation,
-as a gate CI can hold:
+Measures what attaching the observability layers costs a simulation,
+as gates CI can hold:
+
+PR5 (``--only pr5``):
 
 - ``disabled`` — the instrumented offload loop with no observer
   attached.  The hooks compile down to a ``self.obs is not None``
@@ -15,16 +17,41 @@ as a gate CI can hold:
 - ``span_ops`` — a tracer micro-benchmark (start/finish pairs per
   second), the unit cost behind the ratio above.
 
-The gate: ``enabled`` may cost at most ``--max-overhead`` (default 5%)
-over ``disabled``, measured best-of-``--repeats`` (min wall time — the
-least noisy estimator on shared CI runners).  Both runs also assert the
-frame outcomes are identical, so instrumentation provably does not
-perturb the simulation.
+PR10 (``--only pr10``) extends the same methodology to the runtime
+telemetry layer:
+
+- ``engine_profiler`` — the MAR session with an
+  :class:`~repro.obs.profile.EngineProfiler` attached vs plain.  The
+  deterministic counts-only configuration is *gated*; the timed
+  configuration (sampled wall attribution, what ``repro obs
+  --profile`` arms) is reported alongside but not gated — exact
+  per-handler attribution inherently costs per-event interpreter
+  work, and it is an opt-in diagnostic, not an always-on layer.  The
+  frame fingerprints must be identical in every configuration — the
+  profiler provably does not perturb the simulation.
+- ``fleet_telemetry`` — a serial fleet campaign with the telemetry bus
+  armed vs plain.  *Gated.*  The merged aggregate JSON must be
+  byte-identical — the telemetry side-channel provably never touches
+  a result byte.
+- ``flight_recorder`` — the same campaign with the crash flight
+  recorder armed too.  *Informational, not gated*: retaining a ring of
+  recent events defeats allocator locality, so the recorder costs real
+  percent — it is armed per-run for fault hunts, never always-on.
+  Byte-identity of the merged aggregate is still asserted.
+
+Every gate: the instrumented variant may cost at most
+``--max-overhead`` (default 5%) over its baseline, measured
+interleaved best-of-``--repeats`` (min wall time — the least noisy
+estimator on shared CI runners).  The PR10 loads are lighter than
+PR5's, so their gates combine two estimators (floor ratio and median
+within-window ratio, taking the smaller — see
+:func:`robust_overhead`) to stay stable under runner contention.
 
 Usage::
 
-    python benchmarks/perf/obs_overhead.py                # full load
+    python benchmarks/perf/obs_overhead.py                # both, full load
     python benchmarks/perf/obs_overhead.py --quick        # CI smoke
+    python benchmarks/perf/obs_overhead.py --only pr10    # telemetry gate only
 """
 
 from __future__ import annotations
@@ -41,11 +68,13 @@ HERE = pathlib.Path(__file__).resolve().parent
 REPO = HERE.parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
-FULL = {"frames": 400, "span_pairs": 200_000, "repeats": 5}
-QUICK = {"frames": 120, "span_pairs": 50_000, "repeats": 3}
+FULL = {"frames": 400, "span_pairs": 200_000, "repeats": 6,
+        "fleet_seeds": 3, "fleet_frames": 150}
+QUICK = {"frames": 120, "span_pairs": 50_000, "repeats": 4,
+         "fleet_seeds": 2, "fleet_frames": 100}
 
 
-def mar_session(frames: int, instrument: bool):
+def mar_session(frames: int, instrument: bool, profile: bool = False):
     """One full MAR session; returns (wall, export_wall, fingerprint).
 
     The workload is the paper's actual traffic mix, not a bare frame
@@ -71,6 +100,14 @@ def mar_session(frames: int, instrument: bool):
                                                     down_bps=80e6)
     session = OffloadSession(scenario)
     sim, net = scenario.sim, scenario.net
+    if profile:
+        # "counts" is the deterministic counters-only configuration;
+        # "timed" (or True) adds sampled wall attribution — what
+        # `repro obs --profile` arms.
+        from repro.obs import EngineProfiler
+
+        clock = None if profile == "counts" else time.perf_counter
+        sim.profiler = EngineProfiler(clock=clock)
     executor = OffloadExecutor(net, "client", "server", app,
                                FullOffload(), SMARTPHONE,
                                server_device=CLOUD)
@@ -134,43 +171,103 @@ def best_of(fn, repeats, *args):
     return best[1]
 
 
-def interleaved_best(frames: int, repeats: int):
-    """Best disabled/enabled session times, measured interleaved.
+def interleaved_pair(baseline, variant, repeats: int):
+    """Best baseline/variant times, measured interleaved.
 
     Alternating the two variants within each repeat (instead of timing
     all of one then all of the other) decorrelates the ratio from
     allocator and CPU-frequency drift — the dominant noise source on
-    shared CI runners.  One untimed warm-up pair primes imports and
-    code caches before anything counts.
+    shared CI runners.  The pair's *order* flips every repeat, because
+    the drift is monotone within a process (heap growth): a fixed
+    baseline-then-variant order would systematically tax whichever ran
+    second.  One untimed warm-up pair primes imports and code caches
+    before anything counts.  Each callable returns a tuple whose first
+    element is the wall time.
     """
-    mar_session(frames, False)
-    mar_session(frames, True)
-    best = {False: None, True: None}
-    for _ in range(repeats):
-        for instrument in (False, True):
+    best, _ = interleaved_samples((baseline, variant), repeats)
+    return best[0], best[1]
+
+
+def interleaved_samples(fns, repeats: int):
+    """Floors plus per-window ratios for N interleaved callables.
+
+    Returns ``(best, ratios)``: ``best[i]`` is callable *i*'s fastest
+    output, and ``ratios[i]`` holds one ``t_i / t_0`` sample per
+    repeat, computed *within* that repeat's window — the runs it
+    compares executed back-to-back, so slow drift cancels out of the
+    ratio even when it moves the absolute floor.
+    """
+    for fn in fns:
+        fn()
+    best = [None] * len(fns)
+    ratios = [[] for _ in fns]
+    for rep in range(repeats):
+        order = list(enumerate(fns))
+        if rep % 2:
+            order = order[::-1]
+        window = [None] * len(fns)
+        for i, fn in order:
             gc.collect()
-            out = mar_session(frames, instrument)
-            if best[instrument] is None or out[0] < best[instrument][0]:
-                best[instrument] = out
-    return best[False], best[True]
+            out = fn()
+            window[i] = out
+            if best[i] is None or out[0] < best[i][0]:
+                best[i] = out
+        for i in range(1, len(fns)):
+            ratios[i].append(window[i][0] / window[0][0])
+    return best, ratios
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--quick", action="store_true",
-                        help="reduced load for CI smoke runs")
-    parser.add_argument("--out", default=str(REPO / "BENCH_PR5.json"),
-                        help="output JSON path")
-    parser.add_argument("--max-overhead", type=float, default=0.05,
-                        help="fail if enabled/disabled - 1 exceeds this "
-                             "(default: 0.05)")
-    parser.add_argument("--repeats", type=int, default=None,
-                        help="override best-of repeat count")
-    args = parser.parse_args(argv)
-    cfg = QUICK if args.quick else FULL
-    repeats = args.repeats if args.repeats is not None else cfg["repeats"]
+def median(values):
+    s = sorted(values)
+    n = len(s)
+    return s[n // 2] if n % 2 else 0.5 * (s[n // 2 - 1] + s[n // 2])
+
+
+def robust_overhead(best, ratios, i: int) -> float:
+    """Overhead of variant *i* over variant 0, noise-robustly.
+
+    Two estimators: the **floor ratio** (best-of each variant — fails
+    high when the variant never lands in a quiet window the baseline
+    hit) and the **median window ratio** (fails high when contention
+    contaminates most windows).  They fail in opposite directions, so
+    the smaller is reported: a genuine regression moves both, while a
+    noise artifact moves only one.
+    """
+    floor = best[i][0] / best[0][0] - 1.0
+    med = median(ratios[i]) - 1.0
+    return min(floor, med)
+
+
+def interleaved_best(frames: int, repeats: int):
+    """Best disabled/enabled session times, measured interleaved."""
+    return interleaved_pair(lambda: mar_session(frames, False),
+                            lambda: mar_session(frames, True), repeats)
+
+
+def fleet_run(seeds: int, frames: int, telemetry: bool = False,
+              flight_dir=None):
+    """One serial fleet campaign; returns (wall, aggregate JSON).
+
+    ``telemetry=True`` arms the telemetry bus (shard/merge/cache
+    events, document finalization); a ``flight_dir`` additionally arms
+    the crash flight recorder (engine trace hook + per-shard spill).
+    """
+    from repro.fleet import Campaign, TelemetryCollector, run_campaign
+
+    campaign = Campaign(name="bench-telemetry", scenario="table2_offload",
+                        seeds=seeds, base_seed=3,
+                        grid={"rtt": [0.012, 0.036, 0.072, 0.120]},
+                        params={"n_frames": frames})
+    collector = TelemetryCollector() if telemetry else None
+    t0 = time.perf_counter()
+    result = run_campaign(campaign, telemetry=collector,
+                          flight_dir=flight_dir)
+    elapsed = time.perf_counter() - t0
+    return elapsed, result.aggregate.to_json()
+
+
+def run_pr5(cfg, repeats, max_overhead, out_path) -> int:
     frames = cfg["frames"]
-
     print(f"== obs overhead ({frames} frames, best of {repeats}, "
           f"interleaved) ==", flush=True)
     (off_t, _, off_fp), (on_t, export_t, on_fp) = \
@@ -191,7 +288,7 @@ def main(argv=None) -> int:
 
     payload = {
         "bench": "PR5-obs-overhead",
-        "config": "quick" if args.quick else "full",
+        "config": "quick" if cfg is QUICK else "full",
         "python": platform.python_version(),
         "platform": platform.platform(),
         "benchmarks": {
@@ -205,15 +302,162 @@ def main(argv=None) -> int:
             "span_ops": {"pairs_per_second": ops},
         },
     }
-    out = pathlib.Path(args.out)
+    out = pathlib.Path(out_path)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out}")
 
-    if overhead > args.max_overhead:
+    if overhead > max_overhead:
         print(f"ERROR: tracer overhead {overhead:.1%} exceeds the "
-              f"{args.max_overhead:.0%} budget", file=sys.stderr)
+              f"{max_overhead:.0%} budget", file=sys.stderr)
         return 1
     return 0
+
+
+def run_pr10(cfg, repeats, max_overhead, out_path) -> int:
+    import tempfile
+
+    # The PR10 loads are lighter than PR5's (120-400 frame sessions,
+    # sub-second campaigns) while the effects measured are a few
+    # percent; floors need more samples to converge on noisy shared
+    # runners than PR5's heavier single pair does.
+    repeats = max(repeats, 8)
+    frames = cfg["frames"]
+    print(f"== engine profiler overhead ({frames} frames, best of "
+          f"{repeats}, interleaved) ==", flush=True)
+    best, ratios = interleaved_samples((
+        lambda: mar_session(frames, False),
+        lambda: mar_session(frames, False, profile="counts"),
+        lambda: mar_session(frames, False, profile="timed"),
+    ), repeats)
+    (plain_t, _, plain_fp), (cnt_t, _, cnt_fp), (tmd_t, _, tmd_fp) = best
+    cnt_overhead = robust_overhead(best, ratios, 1)
+    tmd_overhead = robust_overhead(best, ratios, 2)
+    print(f"   plain {plain_t * 1e3:7.1f} ms   counts "
+          f"{cnt_t * 1e3:7.1f} ms ({cnt_overhead:+.1%}, gated)   timed "
+          f"{tmd_t * 1e3:7.1f} ms ({tmd_overhead:+.1%}, informational)")
+    if cnt_fp != plain_fp or tmd_fp != plain_fp:
+        print(f"ERROR: the profiler changed the simulation outcome: "
+              f"{plain_fp} vs {cnt_fp} / {tmd_fp}", file=sys.stderr)
+        return 1
+    print("   frame outcomes identical with and without the profiler")
+
+    seeds, fleet_frames = cfg["fleet_seeds"], cfg["fleet_frames"]
+    n_shards = seeds * 4
+    print(f"== fleet telemetry overhead ({n_shards} serial shards, best of "
+          f"{repeats}, interleaved) ==", flush=True)
+    fbest, fratios = interleaved_samples((
+        lambda: fleet_run(seeds, fleet_frames),
+        lambda: fleet_run(seeds, fleet_frames, telemetry=True),
+    ), repeats)
+    (base_t, base_agg), (tel_t, tel_agg) = fbest
+    tel_overhead = robust_overhead(fbest, fratios, 1)
+    print(f"   plain {base_t * 1e3:7.1f} ms   telemetry "
+          f"{tel_t * 1e3:7.1f} ms   overhead {tel_overhead:+.1%}")
+    if tel_agg != base_agg:
+        print("ERROR: telemetry changed the merged aggregate bytes",
+              file=sys.stderr)
+        return 1
+    print("   merged aggregates byte-identical with the telemetry bus armed")
+
+    # Flight recorder: informational, not gated.  Retaining a ring of
+    # recent events defeats allocator locality on allocation-heavy
+    # workloads, so arming it costs real percent — it is a crash-
+    # forensics instrument (armed by --flight-dir / --inject-fault),
+    # not an always-on layer.  What IS held to a hard standard is
+    # byte-identity: armed or not, the merged aggregate cannot move.
+    print(f"== flight recorder overhead ({n_shards} serial shards, "
+          f"informational) ==", flush=True)
+    with tempfile.TemporaryDirectory() as flight_dir:
+        gbest, gratios = interleaved_samples((
+            lambda: fleet_run(seeds, fleet_frames),
+            lambda: fleet_run(seeds, fleet_frames, telemetry=True,
+                              flight_dir=flight_dir),
+        ), repeats)
+    (fbase_t, fbase_agg), (flight_t, flight_agg) = gbest
+    flight_overhead = robust_overhead(gbest, gratios, 1)
+    print(f"   plain {fbase_t * 1e3:7.1f} ms   telemetry+flight "
+          f"{flight_t * 1e3:7.1f} ms   overhead {flight_overhead:+.1%}")
+    if flight_agg != fbase_agg:
+        print("ERROR: the flight recorder changed the merged aggregate bytes",
+              file=sys.stderr)
+        return 1
+    print("   merged aggregates byte-identical with the flight recorder "
+          "armed")
+
+    worst = max(cnt_overhead, tel_overhead)
+    payload = {
+        "bench": "PR10-telemetry-overhead",
+        "config": "quick" if cfg is QUICK else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benchmarks": {
+            "engine_profiler": {
+                "frames": frames,
+                "plain_seconds": plain_t,
+                "counts_seconds": cnt_t,
+                "timed_seconds": tmd_t,
+                "overhead": cnt_overhead,
+                "timed_overhead": tmd_overhead,
+                "timed_gated": False,
+            },
+            "fleet_telemetry": {
+                "shards": n_shards,
+                "plain_seconds": base_t,
+                "telemetry_seconds": tel_t,
+                "overhead": tel_overhead,
+            },
+            "flight_recorder": {
+                "shards": n_shards,
+                "plain_seconds": fbase_t,
+                "flight_seconds": flight_t,
+                "overhead": flight_overhead,
+                "gated": False,
+            },
+        },
+        "gate": {
+            "max_overhead": max_overhead,
+            "worst_overhead": worst,
+            "pass": worst <= max_overhead,
+        },
+    }
+    out = pathlib.Path(out_path)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+    if worst > max_overhead:
+        print(f"ERROR: telemetry overhead {worst:.1%} exceeds the "
+              f"{max_overhead:.0%} budget", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced load for CI smoke runs")
+    parser.add_argument("--only", choices=("pr5", "pr10", "all"),
+                        default="all",
+                        help="which gate(s) to run (default: all)")
+    parser.add_argument("--out", default=str(REPO / "BENCH_PR5.json"),
+                        help="PR5 output JSON path")
+    parser.add_argument("--out10", default=str(REPO / "BENCH_PR10.json"),
+                        help="PR10 output JSON path")
+    parser.add_argument("--max-overhead", type=float, default=0.05,
+                        help="fail if instrumented/baseline - 1 exceeds this "
+                             "(default: 0.05)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="override best-of repeat count")
+    args = parser.parse_args(argv)
+    cfg = QUICK if args.quick else FULL
+    repeats = args.repeats if args.repeats is not None else cfg["repeats"]
+
+    status = 0
+    if args.only in ("pr5", "all"):
+        status = run_pr5(cfg, repeats, args.max_overhead, args.out) or status
+    if args.only in ("pr10", "all"):
+        status = run_pr10(cfg, repeats, args.max_overhead,
+                          args.out10) or status
+    return status
 
 
 if __name__ == "__main__":

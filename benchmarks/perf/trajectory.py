@@ -1,0 +1,259 @@
+#!/usr/bin/env python
+"""Merge the committed ``BENCH_*.json`` baselines into one perf trajectory.
+
+Each PR that touched a performance-sensitive layer committed a
+full-config benchmark baseline at the repo root (``BENCH_PR2.json``,
+``BENCH_PR3.json``, ...).  They share metadata (``bench``, ``config``,
+``python``, ``platform``) but each has its own ``benchmarks`` shape, so
+comparing "how did we do over time" means opening seven files with
+seven schemas.  This script knows all of them: it extracts the headline
+metric(s) from every baseline it finds, prints one table, and can
+rewrite the matching section of ``docs/PERF.md`` in place (between the
+``<!-- perf-trajectory:begin -->`` / ``end`` markers) so the docs table
+never drifts from the committed JSON.
+
+Absolute numbers (events/s, users/s) track the host the baseline was
+recorded on — the trajectory is for spotting *relative* movement
+(overheads creeping up, speedups eroding) and for having every headline
+number in one place.  Fresh CI artifacts (``*.fresh.json``) are
+deliberately excluded: the trajectory reads committed baselines only.
+
+Usage::
+
+    python benchmarks/perf/trajectory.py                 # print table
+    python benchmarks/perf/trajectory.py --write-docs    # update docs/PERF.md
+    python benchmarks/perf/trajectory.py --out traj.json # CI artifact
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+DOCS_PATH = REPO_ROOT / "docs" / "PERF.md"
+
+BEGIN_MARK = "<!-- perf-trajectory:begin -->"
+END_MARK = "<!-- perf-trajectory:end -->"
+
+
+def _pct(value: float) -> str:
+    return f"{value * 100.0:+.1f}%"
+
+
+def _rate(value: float) -> str:
+    return f"{value:,.0f}"
+
+
+# ----------------------------------------------------------------------
+# Per-baseline extractors: file stem -> list of (metric, value, note)
+# ----------------------------------------------------------------------
+def _extract_pr2(b: dict) -> list:
+    rows = [
+        ("engine speedup vs legacy (rearm_heavy)",
+         f"{b['rearm_heavy']['speedup']:.2f}x", "bar: >= 2.0x"),
+        ("engine speedup vs legacy (event_throughput)",
+         f"{b['event_throughput']['speedup']:.2f}x", ""),
+        ("engine events/s (event_throughput)",
+         _rate(b["event_throughput"]["new"]["events_per_sec"]),
+         "host-absolute"),
+    ]
+    return rows
+
+
+def _extract_fleet_scaling(b: dict) -> list:
+    workers = b["fleet_scaling"]["workers"]
+    two = workers.get("2", {})
+    # PR7 split the 2-worker cell into batched/unbatched; PR3 did not.
+    if "batched" in two:
+        speedup = two["batched"]["speedup"]
+        note = "batched dispatch"
+    else:
+        speedup = two.get("speedup")
+        note = ""
+    rows = []
+    if speedup is not None:
+        rows.append(("fleet 2-worker speedup", f"{speedup:.2f}x", note))
+    rows.append(("fleet aggregates identical",
+                 str(b["fleet_scaling"]["aggregates_identical"]).lower(),
+                 "determinism"))
+    return rows
+
+
+def _extract_pr5(b: dict) -> list:
+    return [
+        ("obs stack overhead (tracer+registry+monitor)",
+         _pct(b["mar_session"]["overhead"]), "gate: <= +5%"),
+        ("obs span pairs/s",
+         _rate(b["span_ops"]["pairs_per_second"]), "host-absolute"),
+    ]
+
+
+def _extract_pr8(b: dict) -> list:
+    tiers = b["city_scale"]["tiers"]
+    return [
+        (f"city-scale users/s ({tier})",
+         _rate(tiers[tier]["users_per_sec"]), "host-absolute")
+        for tier in sorted(tiers)
+    ]
+
+
+def _extract_pr9(b: dict) -> list:
+    lint = b["lint_speed"]
+    return [
+        ("simlint files/s (serial)",
+         f"{lint['serial']['files_per_sec']:.1f}", "host-absolute"),
+        ("simlint findings identical serial vs parallel",
+         str(lint["findings_identical"]).lower(), "determinism"),
+    ]
+
+
+def _extract_pr10(b: dict) -> list:
+    prof = b["engine_profiler"]
+    tel = b["fleet_telemetry"]
+    flight = b["flight_recorder"]
+    return [
+        ("engine profiler overhead (counts)",
+         _pct(prof["overhead"]), "gate: <= +5%"),
+        ("engine profiler overhead (timed, stride-sampled)",
+         _pct(prof["timed_overhead"]), "informational"),
+        ("fleet telemetry bus overhead",
+         _pct(tel["overhead"]), "gate: <= +5%"),
+        ("flight recorder overhead (armed)",
+         _pct(flight["overhead"]), "informational"),
+    ]
+
+
+#: file stem -> extractor over the file's ``benchmarks`` dict.
+EXTRACTORS = {
+    "BENCH_PR2": _extract_pr2,
+    "BENCH_PR3": _extract_fleet_scaling,
+    "BENCH_PR5": _extract_pr5,
+    "BENCH_PR7": _extract_fleet_scaling,
+    "BENCH_PR8": _extract_pr8,
+    "BENCH_PR9": _extract_pr9,
+    "BENCH_PR10": _extract_pr10,
+}
+
+
+def _stem_order(stem: str) -> int:
+    match = re.search(r"(\d+)$", stem)
+    return int(match.group(1)) if match else 0
+
+
+def collect(root: pathlib.Path) -> list:
+    """Read every committed baseline under ``root`` into table rows.
+
+    Returns ``[{pr, bench, metric, value, note}, ...]``.  Missing files
+    are fine (not every PR commits a baseline — there is no PR6);
+    unreadable or unknown-shaped files are reported on stderr and
+    skipped rather than failing the trajectory.
+    """
+    rows = []
+    paths = sorted(root.glob("BENCH_*.json"),
+                   key=lambda p: _stem_order(p.stem))
+    for path in paths:
+        if path.name.endswith(".fresh.json"):
+            continue
+        extract = EXTRACTORS.get(path.stem)
+        if extract is None:
+            print(f"trajectory: no extractor for {path.name}, skipped",
+                  file=sys.stderr)
+            continue
+        try:
+            doc = json.loads(path.read_text())
+            extracted = extract(doc["benchmarks"])
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"trajectory: cannot read {path.name}: {exc!r}",
+                  file=sys.stderr)
+            continue
+        for metric, value, note in extracted:
+            rows.append({
+                "pr": path.stem.replace("BENCH_", ""),
+                "bench": doc.get("bench", "?"),
+                "metric": metric,
+                "value": value,
+                "note": note,
+            })
+    return rows
+
+
+def render_markdown(rows: list) -> str:
+    lines = [
+        "| PR | benchmark | metric | value | note |",
+        "| -- | --------- | ------ | ----- | ---- |",
+    ]
+    for row in rows:
+        lines.append("| {pr} | `{bench}` | {metric} | {value} | {note} |"
+                     .format(**row))
+    return "\n".join(lines)
+
+
+def splice_docs(docs_path: pathlib.Path, table: str) -> bool:
+    """Replace the marker-delimited table in PERF.md; True on change."""
+    text = docs_path.read_text()
+    begin = text.index(BEGIN_MARK)
+    end = text.index(END_MARK)
+    if end < begin:
+        raise ValueError("perf-trajectory markers out of order")
+    new = (text[:begin + len(BEGIN_MARK)] + "\n" + table + "\n"
+           + text[end:])
+    if new == text:
+        return False
+    docs_path.write_text(new)
+    return True
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--root", default=str(REPO_ROOT),
+                        help="directory holding the BENCH_*.json baselines")
+    parser.add_argument("--write-docs", action="store_true",
+                        help=f"rewrite the table in {DOCS_PATH.name} between "
+                             "the perf-trajectory markers")
+    parser.add_argument("--check-docs", action="store_true",
+                        help="fail if the docs table is stale (CI mode)")
+    parser.add_argument("--out", help="also write the rows as JSON (CI "
+                        "artifact)")
+    args = parser.parse_args(argv)
+
+    rows = collect(pathlib.Path(args.root))
+    if not rows:
+        print("trajectory: no committed BENCH_*.json baselines found",
+              file=sys.stderr)
+        return 1
+    table = render_markdown(rows)
+    print(table)
+
+    if args.out:
+        payload = {"trajectory": rows}
+        pathlib.Path(args.out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote {args.out}")
+
+    if args.write_docs or args.check_docs:
+        text = DOCS_PATH.read_text()
+        if BEGIN_MARK not in text or END_MARK not in text:
+            print(f"trajectory: markers missing from {DOCS_PATH}",
+                  file=sys.stderr)
+            return 1
+        if args.check_docs:
+            begin = text.index(BEGIN_MARK) + len(BEGIN_MARK)
+            end = text.index(END_MARK)
+            if text[begin:end].strip() != table.strip():
+                print("trajectory: docs table is stale — run "
+                      "`python benchmarks/perf/trajectory.py --write-docs`",
+                      file=sys.stderr)
+                return 1
+            print("\ndocs table is current")
+        else:
+            changed = splice_docs(DOCS_PATH, table)
+            print(f"\n{DOCS_PATH}: {'updated' if changed else 'already current'}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

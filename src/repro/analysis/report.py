@@ -200,8 +200,15 @@ def fleet_report(result) -> str:
                      "`python -m repro fleet <campaign> --replay TAG`):")
         for outcome in result.outcomes:
             if outcome.status == "quarantined":
+                # Errors may carry full worker tracebacks; the report
+                # keeps one line per shard and leaves the traceback to
+                # the ShardOutcome record / flight artifact.
+                brief = (outcome.error or "").splitlines()[0] \
+                    if outcome.error else None
                 lines.append(f"  {outcome.tag}  "
-                             f"[{outcome.attempts} attempts: {outcome.error}]")
+                             f"[{outcome.attempts} attempts: {brief}]")
+                if outcome.flight:
+                    lines.append(f"    flight recorder: {outcome.flight}")
     return "\n".join(lines)
 
 
@@ -231,6 +238,101 @@ def obs_breakdown_table(breakdowns, title: str = "Frame critical path") -> str:
     rows.append(["total", format_time(mean(totals)), format_time(max(totals))])
     return ascii_table(["bucket", "mean", "max"], rows,
                        title=f"{title} ({len(breakdowns)} frames)")
+
+
+def fleet_telemetry_table(doc: dict) -> str:
+    """Render a ``campaign_telemetry.json`` document as text.
+
+    This is the wall-clock side of the fleet: per-worker utilisation,
+    RSS high-water marks, retry/timeout counters and the slowest shards
+    normalised by their cost hints.  It is rendered *from recorded
+    data* — this module never reads a clock — and is intentionally not
+    part of :func:`fleet_report`, whose output must stay byte-identical
+    across equivalent runs.
+    """
+    run = doc.get("run", {})
+    shards = doc.get("shards", {})
+    cache = doc.get("cache", {})
+    elapsed = float(run.get("elapsed_s", 0.0))
+    lines = [
+        f"Telemetry — campaign {doc.get('campaign', {}).get('name', '?')!r} "
+        f"({doc.get('campaign', {}).get('scenario', '?')})",
+        f"elapsed: {format_time(elapsed)} · workers: {run.get('workers', 1)} "
+        f"({run.get('start_method') or 'serial'}) · "
+        f"batches: {run.get('batches', 0)} · "
+        f"reducer peak buffer: {run.get('max_buffered', 0)}",
+        f"shards: ok {shards.get('ok', 0)} · "
+        f"quarantined {shards.get('quarantined', 0)} · "
+        f"retries {shards.get('retries', 0)} · "
+        f"timeouts {shards.get('timeouts', 0)} · "
+        f"pool breaks {shards.get('pool_breaks', 0)} · "
+        f"cache {cache.get('hits', 0)}/{cache.get('hits', 0) + cache.get('misses', 0)} hit",
+    ]
+    meta = doc.get("meta", {})
+    if meta:
+        lines.append("meta: " + " · ".join(
+            f"{k}={v}" for k, v in sorted(meta.items())))
+    flight = doc.get("flight")
+    if flight:
+        lines.append(
+            f"flight recorder: {flight.get('spills', 0)} spills, "
+            f"{flight.get('crashes', 0)} crashes, "
+            f"{flight.get('quarantine', 0)} quarantine dumps "
+            f"({flight.get('events', 0)} ring events) in {flight.get('dir')}")
+    workers = doc.get("workers", {})
+    if workers:
+        rows = []
+        for pid, w in workers.items():
+            busy = float(w.get("busy_s", 0.0))
+            util = busy / elapsed if elapsed > 0 else 0.0
+            rows.append([pid, w.get("shards", 0), w.get("ok", 0),
+                         w.get("err", 0), w.get("batches", 0),
+                         format_time(busy), f"{util:6.1%}",
+                         f"{w.get('max_rss_kib', 0) / 1024:.1f} MiB"])
+        lines.append("")
+        lines.append(ascii_table(
+            ["pid", "shards", "ok", "err", "batches", "busy", "util",
+             "peak RSS"],
+            rows, title="Per-worker timeline"))
+    slowest = doc.get("slowest", [])
+    if slowest:
+        rows = [[s.get("tag"), s.get("pid"),
+                 format_time(float(s.get("wall_s", 0.0))),
+                 f"{s.get('cost', 1.0):.3g}",
+                 format_time(float(s.get("wall_per_cost", 0.0)))]
+                for s in slowest]
+        lines.append("")
+        lines.append(ascii_table(
+            ["tag", "pid", "wall", "cost", "wall/cost"],
+            rows, title="Slowest shards (cost-normalised)"))
+    return "\n".join(lines)
+
+
+def profile_hotspot_table(profiler, top: int = 12) -> str:
+    """Render an :class:`~repro.obs.profile.EngineProfiler` hotspot table.
+
+    Counts are deterministic; the wall columns appear only when the
+    caller injected a clock into the profiler (telemetry-only — the
+    hotspot *ordering* is then wall-driven, which is the point of
+    ``python -m repro obs --profile``).
+    """
+    rows = profiler.hotspots(top=top)
+    total = profiler.events or 1
+    if profiler.timed:
+        total_wall = sum(w for _, _, w in rows) or 1.0
+        table_rows = [
+            [name, n, f"{n / total:6.1%}", format_time(wall),
+             f"{wall / total_wall:6.1%}",
+             format_time(wall / n) if n else "—"]
+            for name, n, wall in rows]
+        headers = ["handler", "events", "ev%", "wall", "wall%", "per event"]
+    else:
+        table_rows = [[name, n, f"{n / total:6.1%}"]
+                      for name, n, _ in rows]
+        headers = ["handler", "events", "ev%"]
+    return ascii_table(
+        headers, table_rows,
+        title=f"Engine hotspots ({profiler.events} events)")
 
 
 class Figure:

@@ -182,17 +182,54 @@ def _fleet_progress(done: int, total: int, elapsed: float) -> None:
     """One-line progress/ETA on stderr (stdout stays report-only)."""
     eta = (elapsed / done) * (total - done) if done else float("inf")
     eta_s = f"{eta:5.1f}s" if eta != float("inf") else "   ??"
+    rate = done / elapsed if elapsed > 0 else 0.0
     sys.stderr.write(f"\r[fleet] {done}/{total} shards "
-                     f"({done / total:4.0%})  elapsed {elapsed:5.1f}s  "
-                     f"eta {eta_s}")
+                     f"({done / total:4.0%})  {rate:6.1f} shards/s  "
+                     f"elapsed {elapsed:5.1f}s  eta {eta_s}")
     sys.stderr.flush()
     if done == total:
         sys.stderr.write("\n")
 
 
+def _emit_telemetry(result, out_dir: pathlib.Path, quiet: bool) -> int:
+    """Write + validate the telemetry artifacts for a finished campaign.
+
+    Emits ``campaign_telemetry.json`` (canonical document) and
+    ``campaign_timeline.trace.json`` (Chrome trace-event worker
+    timelines, validated with the obs exporter's validator), prints the
+    telemetry table, and returns non-zero if the timeline fails schema
+    validation.
+    """
+    import json as _json
+
+    from repro.analysis.report import fleet_telemetry_table
+    from repro.fleet import worker_timeline_json, write_campaign_telemetry
+    from repro.obs import validate_chrome_trace
+
+    doc = result.telemetry
+    out_dir.mkdir(parents=True, exist_ok=True)
+    tel_path = write_campaign_telemetry(
+        out_dir / "campaign_telemetry.json", doc)
+    timeline = worker_timeline_json(doc)
+    timeline_path = out_dir / "campaign_timeline.trace.json"
+    timeline_path.write_text(timeline + "\n")
+    problems = validate_chrome_trace(_json.loads(timeline))
+    print()
+    print(fleet_telemetry_table(doc))
+    if not quiet:
+        print(f"[fleet] telemetry: {tel_path} · timeline: {timeline_path}",
+              file=sys.stderr)
+    if problems:
+        for p in problems:
+            print(f"[fleet] TELEMETRY TIMELINE INVALID: {p}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_fleet(args: argparse.Namespace) -> int:
-    from repro.fleet import (FaultInjection, ResultCache, demo_campaigns,
-                             run_campaign, run_shard, usable_cpus)
+    from repro.fleet import (FaultInjection, ResultCache, TelemetryCollector,
+                             demo_campaigns, run_campaign, run_shard,
+                             usable_cpus)
 
     campaigns = demo_campaigns()
     campaign = campaigns.get(args.campaign)
@@ -216,21 +253,36 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     cache = None if args.no_cache else ResultCache()
     faults = None
     if args.inject_fault:
-        # Persistently kill the first shard's worker: exercises the
+        # Persistently kill the second shard's worker: exercises the
         # broken-pool retry path end-to-end and must end in quarantine.
-        faults = FaultInjection(tags=(campaign.shards()[0].tag,), mode="kill")
+        # The *second* shard so that, under multi-shard batches, the
+        # dying worker has already fired engine events for its
+        # batch-mate — the flight-recorder spill it leaves is non-empty.
+        shards = campaign.shards()
+        victim = shards[1 if len(shards) > 1 else 0].tag
+        faults = FaultInjection(tags=(victim,), mode="kill")
+    telemetry = TelemetryCollector() if args.telemetry else None
+    flight_dir = pathlib.Path(args.flight_dir) if args.flight_dir else None
+    if flight_dir is None and (args.expect_flight or args.inject_fault):
+        # A fault-injection smoke without an explicit flight dir still
+        # gets a recorder: the post-mortem artifact is the point.
+        flight_dir = FLEET_RESULTS_DIR / "flight" / campaign.name
 
     t0 = time.monotonic()
     result = run_campaign(
         campaign, workers=workers, cache=cache, faults=faults,
         batch_size=args.batch_size,
-        progress=None if args.quiet else _fleet_progress)
+        progress=None if args.quiet else _fleet_progress,
+        telemetry=telemetry, flight_dir=flight_dir)
     text = fleet_report(result)
 
     FLEET_RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     out = FLEET_RESULTS_DIR / f"{campaign.name}.txt"
     out.write_text(text + "\n")
     print(text)
+    status = 0
+    if telemetry is not None:
+        status = _emit_telemetry(result, FLEET_RESULTS_DIR, args.quiet)
     if cache is not None:
         print(f"[fleet] cache: {result.cache_hits} hits / "
               f"{result.cache_misses} misses "
@@ -242,7 +294,25 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         print("[fleet] ERROR: expected the quarantine path to fire, "
               "but no shard was quarantined", file=sys.stderr)
         return 1
-    return 0
+    if args.expect_flight:
+        from repro.fleet import read_flight_dump
+
+        quarantined = [o for o in result.outcomes
+                       if o.status == "quarantined"]
+        dumps = [read_flight_dump(o.flight) for o in quarantined if o.flight]
+        if not dumps or any(d is None for d in dumps):
+            print("[fleet] ERROR: expected a flight-recorder dump for every "
+                  "quarantined shard, got "
+                  f"{len(dumps)}/{len(quarantined)} readable", file=sys.stderr)
+            return 1
+        if not any(d.get("ring") for d in dumps):
+            print("[fleet] ERROR: every flight-recorder dump has an empty "
+                  "event ring — the recorder saw no engine events",
+                  file=sys.stderr)
+            return 1
+        print(f"[fleet] flight recorder: {len(dumps)} quarantine dump(s) "
+              f"verified (non-empty ring) under {flight_dir}", file=sys.stderr)
+    return status
 
 
 def cmd_scale(args: argparse.Namespace) -> int:
@@ -258,8 +328,10 @@ def cmd_scale(args: argparse.Namespace) -> int:
     """
     import hashlib
 
-    from repro.fleet import ResultCache, run_campaign, usable_cpus
-    from repro.scale.shards import (CITY_BUDGETS, cell_contention_campaign,
+    from repro.fleet import (ResultCache, TelemetryCollector, run_campaign,
+                             usable_cpus)
+    from repro.scale.shards import (CITY_BUDGETS, campaign_telemetry_meta,
+                                    cell_contention_campaign,
                                     city_coverage_campaign, city_users)
 
     if args.campaign == "city_coverage":
@@ -283,9 +355,13 @@ def cmd_scale(args: argparse.Namespace) -> int:
         # enabled for plain single runs.
         cache = ResultCache() if not (args.no_cache or args.double_run) \
             else None
+        telemetry = TelemetryCollector() if args.telemetry else None
+        if telemetry is not None:
+            telemetry.meta.update(campaign_telemetry_meta(campaign))
         result = run_campaign(
             campaign, workers=workers, cache=cache,
-            progress=None if args.quiet else _fleet_progress)
+            progress=None if args.quiet else _fleet_progress,
+            telemetry=telemetry)
         digest = hashlib.sha256(
             result.aggregate.to_json().encode("utf-8")).hexdigest()
         digests.append(digest)
@@ -299,6 +375,10 @@ def cmd_scale(args: argparse.Namespace) -> int:
     out = FLEET_RESULTS_DIR / f"{campaign.name}.txt"
     out.write_text(text + "\n")
     print(text)
+    if args.telemetry:
+        status = _emit_telemetry(result, FLEET_RESULTS_DIR, args.quiet)
+        if status:
+            return status
 
     users = city_users(result.aggregate)
     budget_note = f" budget={args.budget} ({CITY_BUDGETS[args.budget].n_cells} cells)" \
@@ -336,21 +416,29 @@ def cmd_obs(args: argparse.Namespace) -> int:
     Emits three files under ``benchmarks/results/obs/`` (or ``--out``):
     a Perfetto-loadable Chrome trace, a qlog-schema JSON-lines stream,
     and a canonical metrics-registry dump — then prints the critical-
-    path breakdown table and headline summary.  ``--check`` validates
-    the trace schema and the stage-sum reconciliation invariant and
-    exits non-zero on any problem (the CI obs-smoke gate).
+    path breakdown table and headline summary.  ``--profile`` attaches
+    the deterministic engine profiler (wall clock injected here, in
+    harness code) and prints the handler hotspot table — the evidence
+    base for macro-event batching.  ``--check`` validates the trace
+    schema and the stage-sum reconciliation invariant — and, with
+    ``--profile``, that a second profiled run reproduces identical
+    handler counts — exiting non-zero on any problem (the CI obs-smoke
+    gate).
     """
-    from repro.analysis.report import obs_breakdown_table
-    from repro.obs import (OBS_SCENARIOS, chrome_trace_json, qlog_lines,
-                           reconcile_frame_spans, run_obs_scenario, snapshot,
-                           validate_chrome_trace)
+    from repro.analysis.report import obs_breakdown_table, profile_hotspot_table
+    from repro.obs import (EngineProfiler, OBS_SCENARIOS, chrome_trace_json,
+                           qlog_lines, reconcile_frame_spans,
+                           run_obs_scenario, snapshot, validate_chrome_trace)
 
     if args.scenario not in OBS_SCENARIOS:
         print(f"unknown obs scenario {args.scenario!r}; "
               f"try: {', '.join(OBS_SCENARIOS)}", file=sys.stderr)
         return 2
 
-    run = run_obs_scenario(args.scenario, seed=args.seed, frames=args.frames)
+    profiler = EngineProfiler(clock=time.perf_counter) if args.profile \
+        else None
+    run = run_obs_scenario(args.scenario, seed=args.seed, frames=args.frames,
+                           profiler=profiler)
     trace = chrome_trace_json(run.tracer)
     qlog = qlog_lines(tracer=run.tracer, log=run.event_log,
                       registry=run.registry)
@@ -368,6 +456,9 @@ def cmd_obs(args: argparse.Namespace) -> int:
             run.breakdowns,
             title=f"{args.scenario} (seed {args.seed}) critical path"))
         print()
+    if profiler is not None:
+        print(profile_hotspot_table(profiler))
+        print()
     snap = snapshot(run.registry, run.tracer)
     frames = snap.get("frames", {})
     print("summary: " + ", ".join(
@@ -384,13 +475,24 @@ def cmd_obs(args: argparse.Namespace) -> int:
         reconciled = bool(run.breakdowns)
         if reconciled:
             problems += reconcile_frame_spans(run.tracer)
+        if profiler is not None:
+            # Counts must be a pure function of (scenario, seed, frames):
+            # re-run with a fresh clockless profiler and compare the
+            # deterministic export (wall times are telemetry, excluded).
+            rerun_prof = EngineProfiler()
+            run_obs_scenario(args.scenario, seed=args.seed,
+                             frames=args.frames, profiler=rerun_prof)
+            if rerun_prof.to_dict() != profiler.to_dict():
+                problems.append(
+                    "profiler handler counts differ between identical runs")
         if problems:
             for p in problems:
                 print(f"[obs] CHECK FAIL: {p}", file=sys.stderr)
             return 1
         print("[obs] check OK: trace schema valid" + (
             ", stage sums reconcile with frame latency (±1 µs)"
-            if reconciled else ""))
+            if reconciled else "") + (
+            ", profiler counts deterministic" if profiler is not None else ""))
     return 0
 
 
@@ -475,6 +577,17 @@ def main(argv=None) -> int:
                             "attempt (CI smoke: exercises quarantine)")
     fleet.add_argument("--expect-quarantine", action="store_true",
                        help="exit non-zero unless a shard was quarantined")
+    fleet.add_argument("--telemetry", action="store_true",
+                       help="collect wall-clock runtime telemetry; writes "
+                            "campaign_telemetry.json + a Chrome trace of "
+                            "worker timelines and prints the report table")
+    fleet.add_argument("--flight-dir", metavar="DIR", default=None,
+                       help="arm the crash flight recorder, writing ring "
+                            "spills/dumps under DIR (implied for "
+                            "--inject-fault / --expect-flight)")
+    fleet.add_argument("--expect-flight", action="store_true",
+                       help="exit non-zero unless every quarantined shard "
+                            "has a readable flight-recorder dump")
     fleet.add_argument("--quiet", action="store_true",
                        help="suppress the progress/ETA line")
     fleet.set_defaults(func=cmd_fleet)
@@ -498,6 +611,10 @@ def main(argv=None) -> int:
                             "aggregate fingerprints (CI determinism gate)")
     scale.add_argument("--no-cache", action="store_true",
                        help="skip the on-disk result cache")
+    scale.add_argument("--telemetry", action="store_true",
+                       help="collect wall-clock runtime telemetry "
+                            "(campaign_telemetry.json + worker timeline "
+                            "trace + report table)")
     scale.add_argument("--quiet", action="store_true",
                        help="suppress the progress/ETA line")
     scale.set_defaults(func=cmd_scale)
@@ -519,8 +636,13 @@ def main(argv=None) -> int:
     obs.add_argument("--out", default=None,
                      help="output directory (default: "
                           "benchmarks/results/obs/)")
+    obs.add_argument("--profile", action="store_true",
+                     help="attach the engine profiler and print the handler "
+                          "hotspot table (counts deterministic, wall times "
+                          "telemetry-only)")
     obs.add_argument("--check", action="store_true",
-                     help="validate trace schema + stage-sum reconciliation; "
+                     help="validate trace schema + stage-sum reconciliation "
+                          "(and, with --profile, count determinism); "
                           "exit non-zero on problems")
     obs.set_defaults(func=cmd_obs)
     check = sub.add_parser(

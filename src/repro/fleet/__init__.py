@@ -27,7 +27,19 @@ from repro.fleet.campaign import (
     shard_seed,
 )
 from repro.fleet.cache import ResultCache
+from repro.fleet.flight import (
+    FlightRecorder,
+    collect_flight_dump,
+    flight_summary,
+    read_flight_dump,
+)
 from repro.fleet.scenarios import demo_campaigns
+from repro.fleet.telemetry import (
+    TelemetryCollector,
+    worker_timeline_events,
+    worker_timeline_json,
+    write_campaign_telemetry,
+)
 from repro.fleet.workers import (
     FaultInjection,
     FleetResult,
@@ -44,18 +56,26 @@ __all__ = [
     "FaultInjection",
     "FixedBinHistogram",
     "FleetResult",
+    "FlightRecorder",
     "OrderedReducer",
     "ResultCache",
     "ShardOutcome",
     "ShardSpec",
     "StreamingMoments",
+    "TelemetryCollector",
+    "collect_flight_dump",
     "demo_campaigns",
+    "flight_summary",
     "get_scenario",
     "plan_batches",
+    "read_flight_dump",
     "register_scenario",
     "run_campaign",
     "run_shard",
     "scenario_names",
     "shard_seed",
     "usable_cpus",
+    "worker_timeline_events",
+    "worker_timeline_json",
+    "write_campaign_telemetry",
 ]

@@ -74,6 +74,7 @@ import math
 import multiprocessing
 import os
 import time
+import traceback
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -84,6 +85,8 @@ from repro.core.resilience import DecorrelatedBackoff
 from repro.fleet.aggregate import Aggregate, OrderedReducer
 from repro.fleet.cache import ResultCache
 from repro.fleet.campaign import Campaign, ScenarioDef, ShardSpec, get_scenario
+from repro.fleet.flight import FlightRecorder, collect_flight_dump
+from repro.fleet.telemetry import TelemetryCollector, rss_kib
 
 #: Auto-batching targets this many batches per worker: enough slack for
 #: load balancing across heterogeneous shards, few enough that IPC per
@@ -149,6 +152,16 @@ class ShardOutcome:
     attempts: int
     cached: bool = False
     error: Optional[str] = None
+    #: scenario name, so a quarantine record is replayable on its own
+    #: (``python -m repro fleet <scenario> --replay TAG``) without the
+    #: surrounding FleetResult for context.
+    scenario: Optional[str] = None
+    #: full error history, one entry per failed attempt (``error`` keeps
+    #: only the last); pooled real failures carry the worker traceback.
+    errors: List[str] = field(default_factory=list)
+    #: path of the flight-recorder artifact collected for a quarantined
+    #: shard (None when no recorder ran or nothing matched the tag).
+    flight: Optional[str] = None
 
 
 @dataclass
@@ -174,6 +187,11 @@ class FleetResult:
     latency_key: Optional[str] = None
     rate_key: Optional[str] = None
     moment_keys: Tuple[str, ...] = ()
+    #: finalized campaign_telemetry.json document when a
+    #: :class:`~repro.fleet.telemetry.TelemetryCollector` was passed to
+    #: :func:`run_campaign`; wall-clock only, never part of the
+    #: deterministic result surface.
+    telemetry: Optional[dict] = None
 
     @property
     def quarantined(self) -> List[str]:
@@ -191,38 +209,66 @@ class FleetResult:
 _WORKER: dict = {}
 
 
-def _worker_init(spec_json: str) -> None:
+def _worker_init(spec_json: str, telemetry_epoch: Optional[float] = None,
+                 flight_dir: Optional[str] = None) -> None:
     """Pool initializer: install the campaign spec in this worker.
 
     Runs once per worker process for the lifetime of the pool.  After
     this, a shard task is a ``(tag, attempt, fault_mode)`` tuple — the
     spec, the scenario import, and the tag->spec expansion are never
     shipped or rebuilt per attempt.
+
+    ``telemetry_epoch`` is the driver's ``time.monotonic()`` reading at
+    collector creation; when set, batch execution stamps its telemetry
+    events with offsets from it (CLOCK_MONOTONIC is system-wide, so the
+    offsets line up across processes).  ``flight_dir`` turns on the
+    crash flight recorder: a process-wide engine trace hook plus a
+    spill file at every shard boundary.
     """
     campaign = Campaign.from_spec_dict(json.loads(spec_json))
     scenario = get_scenario(campaign.scenario)
     _WORKER["specs"] = campaign.shard_map()
     _WORKER["fn"] = scenario.fn
+    _WORKER["epoch"] = telemetry_epoch
+    flight = None
+    if flight_dir is not None:
+        flight = FlightRecorder(flight_dir)
+        flight.install()
+    _WORKER["flight"] = flight
 
 
 #: One shard task on the wire: (tag, attempt, injected fault mode).
 _Task = Tuple[str, int, Optional[str]]
 #: One shard result on the wire: (tag, "ok"|"err", aggregate JSON | error).
 _TaskResult = Tuple[str, str, str]
+#: One batch result on the wire: per-shard results + telemetry events
+#: (empty list when the driver did not pass an epoch — results first so
+#: the determinism-bearing payload never moves).
+_BatchResult = Tuple[List[_TaskResult], List[dict]]
 
 
-def _execute_batch(tasks: Sequence[_Task]) -> List[_TaskResult]:
+def _execute_batch(tasks: Sequence[_Task]) -> _BatchResult:
     """Run a batch of shard tasks in this (pre-warmed) worker.
 
     Per-shard failures are *data*, not exceptions: a raising shard is
-    reported as ``("err", message)`` and its batch-mates still run.
-    Only a process-killing fault (or a genuine crash) loses the batch,
-    which the runner repairs via single-shard isolation.
+    reported as ``("err", message)`` carrying the worker-side traceback,
+    and its batch-mates still run.  Only a process-killing fault (or a
+    genuine crash) loses the batch, which the runner repairs via
+    single-shard isolation.
     """
     specs: Dict[str, ShardSpec] = _WORKER["specs"]
     fn = _WORKER["fn"]
+    epoch = _WORKER.get("epoch")
+    flight: Optional[FlightRecorder] = _WORKER.get("flight")
+    pid = os.getpid()
+    events: List[dict] = []
+    b0 = time.monotonic() - epoch if epoch is not None else 0.0
     out: List[_TaskResult] = []
     for tag, attempt, fault_mode in tasks:
+        if flight is not None:
+            # Spill *before* the kill check: a dying worker must leave
+            # a flight artifact naming its victim shard behind.
+            flight.begin_shard(tag, attempt)
         if fault_mode == "kill":
             os._exit(86)  # simulate a crashed/OOM-killed worker
         if fault_mode:
@@ -231,11 +277,25 @@ def _execute_batch(tasks: Sequence[_Task]) -> List[_TaskResult]:
                         f"{tag!r} (attempt {attempt})"))
             continue
         spec = specs[tag]
+        t0 = time.monotonic() - epoch if epoch is not None else 0.0
         try:
             out.append((tag, "ok", fn(spec.seed, spec.param_dict()).to_json()))
+            ok = True
         except Exception as exc:  # noqa: BLE001 - reported per shard, retried
-            out.append((tag, "err", f"{type(exc).__name__}: {exc}"))
-    return out
+            tb = traceback.format_exc()
+            if flight is not None:
+                flight.dump_crash(tag, attempt, tb)
+            out.append((tag, "err", f"{type(exc).__name__}: {exc}\n{tb}"))
+            ok = False
+        if epoch is not None:
+            events.append({"ev": "shard", "pid": pid, "tag": tag,
+                           "attempt": attempt, "t0": t0,
+                           "t1": time.monotonic() - epoch, "ok": ok})
+    if epoch is not None:
+        events.append({"ev": "batch", "pid": pid, "t0": b0,
+                       "t1": time.monotonic() - epoch, "n": len(tasks),
+                       "rss_kib": rss_kib()})
+    return out, events
 
 
 def _run_shard_inline(spec: ShardSpec, fn, attempt: int,
@@ -381,6 +441,8 @@ def run_campaign(
     progress: Optional[ProgressFn] = None,
     batch_size: Optional[int] = None,
     mp_context: Optional[str] = None,
+    telemetry: Optional[TelemetryCollector] = None,
+    flight_dir=None,
 ) -> FleetResult:
     """Run every shard of ``campaign`` and merge the results.
 
@@ -390,6 +452,14 @@ def run_campaign(
     dispatch); ``mp_context`` pins the multiprocessing start method.
     ``cache`` (optional) is consulted before any execution and updated
     after every successful shard.
+
+    ``telemetry`` (optional :class:`TelemetryCollector`) turns on the
+    wall-clock telemetry bus; the finalized document lands in
+    ``FleetResult.telemetry``.  ``flight_dir`` (optional path) arms the
+    crash flight recorder in every worker (and in-process for serial
+    runs); quarantine records then carry the matching flight artifact
+    path.  Neither affects any aggregate byte — pinned by
+    ``tests/test_fleet_telemetry.py``.
     """
     if max_attempts < 1:
         raise ValueError("max_attempts must be >= 1")
@@ -403,6 +473,7 @@ def run_campaign(
         base=backoff_base, cap=backoff_cap)
 
     # -- cache pass ----------------------------------------------------
+    cache_t0 = telemetry.now() if telemetry is not None else 0.0
     todo: List[ShardSpec] = []
     cache_hits = cache_misses = 0
     for spec in shards:
@@ -411,18 +482,26 @@ def run_campaign(
             reducer.offer(spec.index, agg)
             outcomes[spec.index] = ShardOutcome(
                 tag=spec.tag, index=spec.index, status="ok", attempts=0,
-                cached=True)
+                cached=True, scenario=campaign.scenario)
             cache_hits += 1
         else:
             todo.append(spec)
             if cache is not None:
                 cache_misses += 1
+    if telemetry is not None and cache is not None:
+        telemetry.record({"ev": "cache_pass", "t0": cache_t0,
+                          "t1": telemetry.now(), "hits": cache_hits,
+                          "misses": cache_misses})
 
     def record_ok(spec: ShardSpec, attempts: int, agg_json: str) -> None:
         agg = Aggregate.from_json(agg_json)
         reducer.offer(spec.index, agg)
         outcomes[spec.index] = ShardOutcome(
-            tag=spec.tag, index=spec.index, status="ok", attempts=attempts)
+            tag=spec.tag, index=spec.index, status="ok", attempts=attempts,
+            scenario=campaign.scenario)
+        if telemetry is not None:
+            telemetry.record({"ev": "merge", "t": telemetry.now(),
+                              "tag": spec.tag, "buffered": reducer.pending})
         if cache is not None:
             cache.put(campaign, spec, agg)
         if progress is not None:
@@ -430,26 +509,47 @@ def run_campaign(
 
     def record_quarantine(state: _ShardState) -> None:
         reducer.offer(state.spec.index, None)
+        flight_path = None
+        if flight_dir is not None:
+            found = collect_flight_dump(flight_dir, state.spec.tag)
+            flight_path = str(found) if found is not None else None
         outcomes[state.spec.index] = ShardOutcome(
             tag=state.spec.tag, index=state.spec.index, status="quarantined",
             attempts=state.attempts,
-            error=state.errors[-1] if state.errors else None)
+            error=state.errors[-1] if state.errors else None,
+            scenario=campaign.scenario,
+            errors=list(state.errors),
+            flight=flight_path)
+        if telemetry is not None:
+            telemetry.record({"ev": "quarantine", "t": telemetry.now(),
+                              "tag": state.spec.tag,
+                              "attempts": state.attempts})
         if progress is not None:
             progress(len(outcomes), len(shards), time.monotonic() - t0)
 
     n_batches = 0
     start_method: Optional[str] = None
     if workers <= 1:
-        _run_serial(todo, scenario, faults, max_attempts, backoff,
-                    record_ok, record_quarantine)
+        flight = None
+        if flight_dir is not None:
+            flight = FlightRecorder(flight_dir)
+            flight.install()
+        try:
+            _run_serial(todo, scenario, faults, max_attempts, backoff,
+                        record_ok, record_quarantine,
+                        telemetry=telemetry, flight=flight)
+        finally:
+            if flight is not None:
+                flight.uninstall()
     else:
         ctx = _pool_context(mp_context)
         start_method = ctx.get_start_method()
         n_batches = _run_pool(campaign, todo, scenario, faults, workers,
                               batch_size, ctx, max_attempts, shard_timeout,
-                              backoff, record_ok, record_quarantine)
+                              backoff, record_ok, record_quarantine,
+                              telemetry=telemetry, flight_dir=flight_dir)
 
-    return FleetResult(
+    result = FleetResult(
         campaign=campaign,
         aggregate=reducer.finish(),
         per_point=reducer.per_point,
@@ -465,6 +565,10 @@ def run_campaign(
         rate_key=scenario.rate_key,
         moment_keys=scenario.moment_keys,
     )
+    if telemetry is not None:
+        result.telemetry = telemetry.finalize(
+            campaign, scenario, result, flight_dir=flight_dir)
+    return result
 
 
 def run_shard(campaign: Campaign, tag: str) -> Aggregate:
@@ -479,19 +583,42 @@ def run_shard(campaign: Campaign, tag: str) -> Aggregate:
 
 # ----------------------------------------------------------------------
 def _run_serial(todo, scenario, faults, max_attempts, backoff,
-                record_ok, record_quarantine) -> None:
+                record_ok, record_quarantine, telemetry=None,
+                flight=None) -> None:
+    pid = os.getpid()
     for spec in todo:
         state = _ShardState(spec)
         while state.attempts < max_attempts:
             attempt = state.attempts
             state.attempts += 1
+            if flight is not None:
+                flight.begin_shard(spec.tag, attempt)
+            t0 = telemetry.now() if telemetry is not None else 0.0
             try:
                 record_ok(spec, state.attempts,
                           _run_shard_inline(spec, scenario.fn, attempt, faults))
+                if telemetry is not None:
+                    telemetry.record({"ev": "shard", "pid": pid,
+                                      "tag": spec.tag, "attempt": attempt,
+                                      "t0": t0, "t1": telemetry.now(),
+                                      "ok": True})
                 break
             except Exception as exc:  # noqa: BLE001 - any shard failure retries
-                state.errors.append(f"{type(exc).__name__}: {exc}")
+                tb = traceback.format_exc()
+                if flight is not None:
+                    flight.dump_crash(spec.tag, attempt, tb)
+                state.errors.append(f"{type(exc).__name__}: {exc}\n{tb}")
+                if telemetry is not None:
+                    telemetry.record({"ev": "shard", "pid": pid,
+                                      "tag": spec.tag, "attempt": attempt,
+                                      "t0": t0, "t1": telemetry.now(),
+                                      "ok": False})
                 if state.attempts < max_attempts:
+                    if telemetry is not None:
+                        telemetry.record({"ev": "retry", "t": telemetry.now(),
+                                          "tag": spec.tag,
+                                          "attempt": state.attempts,
+                                          "error": type(exc).__name__})
                     time.sleep(backoff.next())
         else:
             record_quarantine(state)
@@ -499,14 +626,18 @@ def _run_serial(todo, scenario, faults, max_attempts, backoff,
 
 def _run_pool(campaign, todo, scenario, faults, workers, batch_size, ctx,
               max_attempts, shard_timeout, backoff,
-              record_ok, record_quarantine) -> int:
+              record_ok, record_quarantine, telemetry=None,
+              flight_dir=None) -> int:
     """Persistent-pool execution; returns the number of dispatched batches."""
     spec_json = campaign.spec_json()
+    epoch = telemetry.epoch if telemetry is not None else None
+    flight_arg = str(flight_dir) if flight_dir is not None else None
 
     def make_pool(n: int) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
             max_workers=n, mp_context=ctx,
-            initializer=_worker_init, initargs=(spec_json,))
+            initializer=_worker_init,
+            initargs=(spec_json, epoch, flight_arg))
 
     pending: deque = deque(
         plan_batches([_ShardState(spec) for spec in todo],
@@ -534,9 +665,13 @@ def _run_pool(campaign, todo, scenario, faults, workers, batch_size, ctx,
                     pool_broken = True
                     for state in batch:
                         state.errors.append("BrokenProcessPool: submit refused")
-                        _requeue(state, pending, max_attempts, record_quarantine)
+                        _requeue(state, pending, max_attempts,
+                                 record_quarantine, telemetry)
                     break
                 dispatched += 1
+                if telemetry is not None:
+                    telemetry.record({"ev": "dispatch", "t": telemetry.now(),
+                                      "batch": dispatched, "n": len(tasks)})
                 in_flight[fut] = (batch,
                                   time.monotonic()
                                   + shard_timeout * max(1, len(batch)))
@@ -547,16 +682,19 @@ def _run_pool(campaign, todo, scenario, faults, workers, batch_size, ctx,
             for fut in done:
                 batch, _deadline = in_flight.pop(fut)
                 try:
-                    results = fut.result()
+                    results, worker_events = fut.result()
                 except BrokenProcessPool:
                     pool_broken = True
                     for state in batch:
-                        state.errors.append("BrokenProcessPool: worker died")
+                        state.errors.append(
+                            f"BrokenProcessPool: worker died (shard "
+                            f"{state.spec.tag!r}, attempt {state.attempts})")
                     casualties.extend(batch)
                 except Exception as exc:  # noqa: BLE001 - whole batch failed
                     for state in batch:
                         state.errors.append(f"{type(exc).__name__}: {exc}")
-                        _requeue(state, pending, max_attempts, record_quarantine)
+                        _requeue(state, pending, max_attempts,
+                                 record_quarantine, telemetry)
                 else:
                     by_tag = {state.spec.tag: state for state in batch}
                     for tag, status, payload in results:
@@ -566,10 +704,16 @@ def _run_pool(campaign, todo, scenario, faults, workers, batch_size, ctx,
                         else:
                             state.errors.append(payload)
                             _requeue(state, pending, max_attempts,
-                                     record_quarantine)
+                                     record_quarantine, telemetry)
                     for state in by_tag.values():  # pragma: no cover - defensive
                         state.errors.append("shard missing from batch result")
-                        _requeue(state, pending, max_attempts, record_quarantine)
+                        _requeue(state, pending, max_attempts,
+                                 record_quarantine, telemetry)
+                    if telemetry is not None:
+                        telemetry.absorb(worker_events)
+                        telemetry.record({"ev": "batch_done",
+                                          "t": telemetry.now(),
+                                          "n": len(results)})
 
             if pool_broken:
                 # A dead worker poisons every in-flight future, and the
@@ -582,10 +726,13 @@ def _run_pool(campaign, todo, scenario, faults, workers, batch_size, ctx,
                     state for batch, _ in in_flight.values() for state in batch]
                 in_flight.clear()
                 pool.shutdown(wait=True, cancel_futures=True)
+                if telemetry is not None:
+                    telemetry.record({"ev": "pool_break", "t": telemetry.now(),
+                                      "suspects": len(suspects)})
                 time.sleep(backoff.next())
                 _isolate_suspects(suspects, faults, max_attempts,
                                   shard_timeout, make_pool, pending,
-                                  record_ok, record_quarantine)
+                                  record_ok, record_quarantine, telemetry)
                 pool = make_pool(workers)
                 continue
 
@@ -598,10 +745,15 @@ def _run_pool(campaign, todo, scenario, faults, workers, batch_size, ctx,
                     # charge the attempt; members retry as singletons.
                     del in_flight[fut]
                     abandoned = True
+                    if telemetry is not None:
+                        telemetry.record({"ev": "timeout",
+                                          "t": telemetry.now(),
+                                          "n": len(batch)})
                     for state in batch:
                         state.errors.append(
                             f"timeout after {shard_timeout * max(1, len(batch)):.1f}s")
-                        _requeue(state, pending, max_attempts, record_quarantine)
+                        _requeue(state, pending, max_attempts,
+                                 record_quarantine, telemetry)
     finally:
         # wait= joins the workers so nothing races interpreter teardown;
         # only skip the join when a timed-out batch was abandoned and a
@@ -612,7 +764,7 @@ def _run_pool(campaign, todo, scenario, faults, workers, batch_size, ctx,
 
 def _isolate_suspects(suspects, faults, max_attempts, shard_timeout,
                       make_pool, pending: deque,
-                      record_ok, record_quarantine) -> None:
+                      record_ok, record_quarantine, telemetry=None) -> None:
     """Identify which broken-pool casualty actually kills workers.
 
     Each suspect gets one attempt in its own single-worker (warm) pool.
@@ -631,29 +783,45 @@ def _isolate_suspects(suspects, faults, max_attempts, shard_timeout,
         state.attempts += 1
         iso = make_pool(1)
         try:
-            results = iso.submit(_execute_batch, (task,)).result(
-                timeout=shard_timeout)
+            results, worker_events = iso.submit(
+                _execute_batch, (task,)).result(timeout=shard_timeout)
+            if telemetry is not None:
+                telemetry.absorb(worker_events)
             tag, status, payload = results[0]
             if status == "ok":
                 record_ok(state.spec, state.attempts, payload)
             else:
                 state.errors.append(payload)
-                _requeue(state, pending, max_attempts, record_quarantine)
+                _requeue(state, pending, max_attempts, record_quarantine,
+                         telemetry)
         except BrokenProcessPool:
-            state.errors.append("BrokenProcessPool: worker died in isolation")
-            _requeue(state, pending, max_attempts, record_quarantine)
+            state.errors.append(
+                f"BrokenProcessPool: worker died in isolation running shard "
+                f"{state.spec.tag!r} (attempt {state.attempts})")
+            _requeue(state, pending, max_attempts, record_quarantine,
+                     telemetry)
         except Exception as exc:  # noqa: BLE001 - incl. TimeoutError
-            state.errors.append(f"{type(exc).__name__}: {exc}")
-            _requeue(state, pending, max_attempts, record_quarantine)
+            state.errors.append(
+                f"{type(exc).__name__}: {exc} "
+                f"[isolation of shard {state.spec.tag!r}, "
+                f"attempt {state.attempts}]")
+            _requeue(state, pending, max_attempts, record_quarantine,
+                     telemetry)
         finally:
             iso.shutdown(wait=True, cancel_futures=True)
 
 
 def _requeue(state: _ShardState, pending: deque, max_attempts: int,
-             record_quarantine) -> None:
+             record_quarantine, telemetry=None) -> None:
     if state.attempts >= max_attempts:
         record_quarantine(state)
     else:
+        if telemetry is not None:
+            telemetry.record({
+                "ev": "retry", "t": telemetry.now(), "tag": state.spec.tag,
+                "attempt": state.attempts,
+                "error": (state.errors[-1].splitlines()[0]
+                          if state.errors else None)})
         pending.append([state])   # retries run as singleton batches
 
 

@@ -1,0 +1,145 @@
+"""Deterministic engine profiler: per-handler event counts + wall times.
+
+An :class:`EngineProfiler` attaches to a
+:class:`~repro.simnet.engine.Simulator` (``sim.profiler = prof``): the
+engine's ``_fire`` bumps ``prof.counts[fn]`` for every dispatched
+event and — only when a wall clock was injected — attributes the
+handler's execution time to ``prof.wall[fn]``.  (The bookkeeping is
+inlined in the engine's hot path; this class holds the tallies and
+renders them.)  The result is the hotspot table behind ``python -m
+repro obs --profile``: which handlers dominate an event budget, the
+evidence base for batching homogeneous event storms (ROADMAP item 2).
+
+Determinism boundary
+--------------------
+The profiler splits its measurements into two strictly segregated
+halves:
+
+- **Counts** are sim-domain-deterministic: a pure function of
+  ``(scenario, seed)``, exactly as reproducible as ``events_fired``.
+  They are what :meth:`EngineProfiler.to_dict` exports, keyed by stable
+  ``module.qualname`` handler names.
+- **Wall times** exist only when the *caller* injects a clock callable
+  (``EngineProfiler(clock=time.perf_counter)``) — this module never
+  reads a clock itself, so it passes simlint SIM002 like any other
+  sim-domain file, and a profiler built without a clock cannot observe
+  host speed at all.  Wall times are excluded from :meth:`to_dict` and
+  surface only through :meth:`wall_by_name` / :meth:`hotspots`, which
+  harness code (the CLI, benchmarks) renders as telemetry.
+
+To keep a timed profiler cheap enough to leave on (the BENCH_PR10
+overhead gate), wall attribution is *sampled*: every ``stride``-th
+occurrence of each handler is timed and the accumulated sample is
+scaled by ``stride`` at export.  Because the counts are deterministic,
+*which* events get timed is deterministic too — only the measured
+durations vary run to run.  ``stride=1`` times every dispatch.
+
+Tallies are keyed by the raw handler callables the engine dispatches.
+Bound methods compare equal when they share the underlying function
+*and* instance, so per-instance rows exist in the raw dicts; the
+``*_by_name`` exports merge them under one ``module.qualname`` row —
+names are resolved once, at export time, never per event.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["EngineProfiler", "handler_name"]
+
+
+def handler_name(fn: Callable) -> str:
+    """Stable display name for a handler function object."""
+    module = getattr(fn, "__module__", None) or "?"
+    qual = getattr(fn, "__qualname__", None) or repr(fn)
+    return f"{module}.{qual}"
+
+
+class EngineProfiler:
+    """Opt-in per-event-type counters and handler wall-time attribution.
+
+    Attach with ``sim.profiler = EngineProfiler(...)`` before running.
+    One profiler may be attached to several simulators in turn (the
+    counts accumulate), but never to two simulators firing concurrently.
+    """
+
+    #: default wall-time sampling stride (time 1 in 16 per handler).
+    DEFAULT_STRIDE = 16
+
+    __slots__ = ("clock", "stride", "counts", "wall")
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 stride: Optional[int] = None) -> None:
+        #: injected wall clock (harness-only); None keeps the profiler
+        #: fully deterministic — counts only, no host-speed observable.
+        self.clock = clock
+        if stride is None:
+            stride = self.DEFAULT_STRIDE
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        #: wall-time sampling stride: every ``stride``-th occurrence of
+        #: a handler is timed; the sample scales back at export.
+        self.stride = stride
+        #: handler callable -> fired-event count (deterministic)
+        self.counts: Dict[Callable, int] = defaultdict(int)
+        #: handler callable -> *sampled* wall seconds (telemetry-only,
+        #: unscaled — read through :meth:`wall_by_name`).
+        self.wall: Dict[Callable, float] = defaultdict(float)
+
+    @property
+    def timed(self) -> bool:
+        """Whether wall-time attribution is active (a clock was injected)."""
+        return self.clock is not None
+
+    @property
+    def events(self) -> int:
+        """Total events dispatched while attached (deterministic)."""
+        return sum(self.counts.values())
+
+    # ------------------------------------------------------------------
+    # Deterministic export (counts only)
+    # ------------------------------------------------------------------
+    def counts_by_name(self) -> Dict[str, int]:
+        """Handler name -> fired count, sorted by name (deterministic)."""
+        out: Dict[str, int] = {}
+        for key, n in self.counts.items():
+            name = handler_name(key)
+            out[name] = out.get(name, 0) + n
+        return dict(sorted(out.items()))
+
+    def to_dict(self) -> dict:
+        """Canonical deterministic export: counts only, never wall times."""
+        return {"events": self.events, "handlers": self.counts_by_name()}
+
+    # ------------------------------------------------------------------
+    # Telemetry-only export (wall times; empty without a clock)
+    # ------------------------------------------------------------------
+    def wall_by_name(self) -> Dict[str, float]:
+        """Handler name -> estimated wall seconds (telemetry-only).
+
+        The 1-in-``stride`` sample is scaled back up here, so values
+        estimate the handler's *total* attributed wall time.
+        """
+        scale = float(self.stride)
+        out: Dict[str, float] = {}
+        for key, seconds in self.wall.items():
+            name = handler_name(key)
+            out[name] = out.get(name, 0.0) + seconds * scale
+        return dict(sorted(out.items()))
+
+    def hotspots(self, top: int = 10) -> List[Tuple[str, int, float]]:
+        """Top handlers as ``(name, count, wall_seconds)`` rows.
+
+        Sorted by attributed wall time when a clock was injected, by
+        count otherwise (wall reads 0.0 then).  Ties break by name so
+        the deterministic ordering is stable.
+        """
+        counts = self.counts_by_name()
+        wall = self.wall_by_name()
+        rows = [(name, n, wall.get(name, 0.0)) for name, n in counts.items()]
+        if self.timed:
+            rows.sort(key=lambda r: (-r[2], r[0]))
+        else:
+            rows.sort(key=lambda r: (-r[1], r[0]))
+        return rows[:top]

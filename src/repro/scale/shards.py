@@ -34,7 +34,12 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.fleet.aggregate import Aggregate
-from repro.fleet.campaign import Campaign, register_scenario, shard_seed
+from repro.fleet.campaign import (
+    Campaign,
+    get_scenario,
+    register_scenario,
+    shard_seed,
+)
 
 from repro.scale.coupling import (
     PromotionPolicy,
@@ -298,6 +303,43 @@ def city_users(result_aggregate: Aggregate) -> int:
     return int(result_aggregate.counts.get("scale.users", 0))
 
 
+def campaign_telemetry_meta(campaign: Campaign) -> Dict[str, object]:
+    """Deterministic scale-layer context for a campaign's telemetry doc.
+
+    Everything here is derived from the campaign spec alone (budget
+    tier, cell/cohort counts, summed cost hints) — no clocks, no run
+    state — so the telemetry header can explain *what* scale a run was
+    at without touching the determinism boundary.  Campaigns outside
+    the scale layer get the generic shard/cost summary only.
+    """
+    scenario = get_scenario(campaign.scenario)
+    shards = campaign.shards()
+    meta: Dict[str, object] = {
+        "layer": "scale" if campaign.scenario in (
+            "city_coverage", "cell_contention") else "fleet",
+        "shards": len(shards),
+        "cost_total": round(sum(
+            scenario.shard_cost(s.param_dict()) for s in shards), 6),
+    }
+    if campaign.scenario == "city_coverage":
+        budget, city_seed, _, _ = _city_params(shards[0].param_dict())
+        tier = str(campaign.params.get("budget", "small"))
+        meta.update({
+            "budget": tier,
+            "city_seed": city_seed,
+            "n_cells": budget.n_cells,
+            "cohort": budget.cohort,
+            "fluid_steps": budget.fluid_steps,
+        })
+    elif campaign.scenario == "cell_contention":
+        meta.update({
+            "loads": [s.param_dict()["load"] for s in shards
+                      if s.seed == shards[0].seed],
+            "seeds": campaign.seeds,
+        })
+    return meta
+
+
 __all__ = [
     "BACKGROUND_DEMAND_BPS",
     "CELL_CAPACITY_FACTOR",
@@ -305,6 +347,7 @@ __all__ = [
     "CELL_PROFILE_MIX",
     "CITY_BUDGETS",
     "CityBudget",
+    "campaign_telemetry_meta",
     "cell_contention_campaign",
     "city_cell_spec",
     "city_coverage_campaign",

@@ -54,6 +54,13 @@ _PENDING = 0
 _CANCELLED = 1
 _FIRED = 2
 
+#: Process-wide default per-fire hook: every *new* Simulator seeds its
+#: ``trace_hook`` from this.  Only harness code assigns it (the fleet
+#: flight recorder installs its ring-buffer hook per worker process);
+#: sim code never mutates it, and a hook only observes fired events, so
+#: results stay a pure function of ``(scenario, seed)`` either way.
+default_trace_hook: Optional[Callable[["Event"], None]] = None
+
 
 class Event:
     """A scheduled callback.
@@ -195,8 +202,17 @@ class Simulator:
         self.events_fired = 0
         self.compactions = 0
         #: optional per-fire hook ``hook(event)`` for trace capture;
-        #: costs one None-check per fired event when unset.
-        self.trace_hook: Optional[Callable[[Event], None]] = None
+        #: costs one None-check per fired event when unset.  Seeded from
+        #: the module-level ``default_trace_hook`` so a harness (the
+        #: fleet flight recorder) can observe every simulator a worker
+        #: process creates without threading a parameter through every
+        #: scenario runner.
+        self.trace_hook: Optional[Callable[[Event], None]] = default_trace_hook
+        #: optional :class:`repro.obs.profile.EngineProfiler`; when set,
+        #: :meth:`_fire` bumps ``profiler.counts[fn]`` per dispatch and,
+        #: if the profiler carries an injected clock, attributes handler
+        #: wall time to ``profiler.wall[fn]``.
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -314,11 +330,36 @@ class Simulator:
         self.events_fired += 1
         if self.trace_hook is not None:
             self.trace_hook(event)
+        fn = event.fn
+        prof = self.profiler
+        if prof is not None:
+            # Profiling is inlined here rather than delegated: a method
+            # call per event would alone cost more than the whole
+            # counts path.  Keys are the raw callables — equal bound
+            # methods collapse in the dict; names resolve at export.
+            # Wall attribution times every ``stride``-th occurrence per
+            # handler (scaled back at export), so the injected clock is
+            # read on a deterministic sample, not on every dispatch.
+            counts = prof.counts
+            n = counts[fn] + 1
+            counts[fn] = n
+            clock = prof.clock
+            if clock is not None and not n % prof.stride:
+                kw = event.kwargs
+                t0 = clock()
+                try:
+                    if kw is None:
+                        fn(*event.args)
+                    else:
+                        fn(*event.args, **kw)
+                finally:
+                    prof.wall[fn] += clock() - t0
+                return
         kw = event.kwargs
         if kw is None:
-            event.fn(*event.args)
+            fn(*event.args)
         else:
-            event.fn(*event.args, **kw)
+            fn(*event.args, **kw)
 
     def step(self) -> bool:
         """Fire the next pending event.  Returns False when none remain."""

@@ -93,6 +93,67 @@ class TestChromeTrace:
         tracer = Tracer(Simulator(seed=1))
         assert reconcile_frame_spans(tracer) == ["no completed frame traces"]
 
+    def test_empty_tracer_exports_valid_trace(self):
+        tracer = Tracer(Simulator(seed=1))
+        text = chrome_trace_json(tracer)
+        assert validate_chrome_trace(text) == []
+        events = json.loads(text)["traceEvents"]
+        # nothing but process metadata: no spans were recorded
+        assert all(e["ph"] == "M" for e in events)
+
+    def test_single_span_frame_reconciles_and_validates(self):
+        sim = Simulator(seed=1)
+        tracer = Tracer(sim)
+        trace = FrameTrace(tracer, 0)
+        stage = trace.begin("local")
+        sim.schedule(0.010, lambda: tracer.finish(stage))
+        sim.schedule(0.010, lambda: trace.complete())
+        sim.run()
+        # One stage covering the whole frame: no gap to flag.
+        assert reconcile_frame_spans(tracer) == []
+        assert validate_chrome_trace(chrome_trace_json(tracer)) == []
+
+
+class TestWorkerTimelineExport:
+    """The fleet's worker-timeline export reuses this module's validator."""
+
+    def doc(self):
+        return {
+            "run": {"driver_pid": 1000},
+            "workers": {"1000": {"shards": 1}, "1001": {"shards": 1}},
+            "events": [
+                {"ev": "shard", "pid": 1001, "tag": "s=0", "attempt": 0,
+                 "t0": 0.001, "t1": 0.004, "ok": True},
+                {"ev": "batch", "pid": 1001, "t0": 0.001, "t1": 0.005,
+                 "n": 2, "rss_kib": 1024},
+                {"ev": "cache_pass", "t0": 0.0, "t1": 0.0005,
+                 "hits": 0, "misses": 2},
+                {"ev": "retry", "t": 0.006, "tag": "s=1", "attempt": 1},
+            ],
+        }
+
+    def test_synthetic_timeline_validates(self):
+        from repro.fleet.telemetry import worker_timeline_json
+
+        assert validate_chrome_trace(worker_timeline_json(self.doc())) == []
+
+    def test_empty_document_validates(self):
+        from repro.fleet.telemetry import worker_timeline_json
+
+        text = worker_timeline_json({})
+        assert validate_chrome_trace(text) == []
+
+    def test_slices_land_on_their_worker_pid(self):
+        from repro.fleet.telemetry import worker_timeline_events
+
+        events = worker_timeline_events(self.doc())
+        shard = next(e for e in events if e.get("cat") == "shard")
+        assert shard["pid"] == 1001
+        assert shard["dur"] == 3000  # 3 ms in trace microseconds
+        names = {e["args"]["name"] for e in events
+                 if e.get("name") == "process_name"}
+        assert names == {"fleet driver", "worker 1001"}
+
 
 class TestDeterminism:
     def test_double_run_byte_identical_artifacts(self, run):

@@ -1,0 +1,215 @@
+"""Engine profiler: deterministic counts, segregated sampled wall times.
+
+The determinism boundary is the thing under test here: attaching a
+profiler (counts-only *or* with an injected clock) must change no
+result byte, counts must be a pure function of ``(scenario, seed)``,
+and wall times must never leak into the deterministic export.
+"""
+
+import pytest
+
+from repro.obs import chrome_trace_json, run_obs_scenario
+from repro.obs.profile import EngineProfiler, handler_name
+from repro.simnet.engine import Simulator
+
+FRAMES = 10
+
+
+class FakeClock:
+    """Deterministic injected clock: each reading advances by ``step``."""
+
+    def __init__(self, step=1.0):
+        self.t = 0.0
+        self.step = step
+        self.reads = 0
+
+    def __call__(self):
+        self.reads += 1
+        self.t += self.step
+        return self.t
+
+
+def profiled_run(profiler=None):
+    return run_obs_scenario("cell_offload", seed=11, frames=FRAMES,
+                            profiler=profiler)
+
+
+class TestDeterministicCounts:
+    def test_counts_reproduce_exactly(self):
+        a = EngineProfiler()
+        b = EngineProfiler()
+        profiled_run(a)
+        profiled_run(b)
+        assert a.counts_by_name() == b.counts_by_name()
+        assert a.to_dict() == b.to_dict()
+        assert a.events == b.events > 0
+
+    def test_events_property_sums_counts(self):
+        prof = EngineProfiler()
+        profiled_run(prof)
+        assert prof.events == sum(prof.counts.values())
+
+    def test_profiler_changes_no_result_byte(self):
+        plain = profiled_run()
+        counted = profiled_run(EngineProfiler())
+        timed = profiled_run(EngineProfiler(clock=FakeClock(), stride=1))
+        assert (counted.registry.to_json() == plain.registry.to_json()
+                == timed.registry.to_json())
+        assert (chrome_trace_json(counted.tracer)
+                == chrome_trace_json(plain.tracer)
+                == chrome_trace_json(timed.tracer))
+
+    def test_export_excludes_wall_times(self):
+        prof = EngineProfiler(clock=FakeClock(), stride=1)
+        profiled_run(prof)
+        doc = prof.to_dict()
+        assert set(doc) == {"events", "handlers"}
+        assert doc["handlers"] == prof.counts_by_name()
+
+    def test_workload_change_changes_counts(self):
+        a = EngineProfiler()
+        b = EngineProfiler()
+        run_obs_scenario("cell_offload", seed=11, frames=FRAMES, profiler=a)
+        run_obs_scenario("cell_offload", seed=11, frames=FRAMES + 2,
+                         profiler=b)
+        assert a.events < b.events
+
+
+class TestWallAttribution:
+    def run_handlers(self, prof, ticks=8, pings=3):
+        """Drive a real engine loop with two distinguishable handlers."""
+        sim = Simulator(seed=1)
+        sim.profiler = prof
+
+        def tick():
+            pass
+
+        def ping():
+            pass
+
+        for i in range(ticks):
+            sim.schedule(0.001 * (i + 1), tick)
+        for i in range(pings):
+            sim.schedule(0.002 * (i + 1), ping)
+        sim.run()
+        return tick, ping
+
+    def test_untimed_profiler_never_reads_a_clock(self):
+        clock = FakeClock()
+        prof = EngineProfiler()  # no clock injected
+        self.run_handlers(prof)
+        assert clock.reads == 0
+        assert prof.timed is False
+        assert prof.wall_by_name() == {}
+
+    def test_stride_one_times_every_dispatch(self):
+        clock = FakeClock(step=1.0)
+        prof = EngineProfiler(clock=clock, stride=1)
+        tick, ping = self.run_handlers(prof, ticks=8, pings=3)
+        assert prof.timed is True
+        # two clock reads per dispatch, 11 dispatches
+        assert clock.reads == 2 * 11
+        wall = prof.wall_by_name()
+        # each dispatch measures exactly one clock step
+        assert wall[handler_name(tick)] == pytest.approx(8.0)
+        assert wall[handler_name(ping)] == pytest.approx(3.0)
+
+    def test_stride_samples_and_scales_back(self):
+        clock = FakeClock(step=1.0)
+        prof = EngineProfiler(clock=clock, stride=4)
+        tick, ping = self.run_handlers(prof, ticks=10, pings=3)
+        # per-handler sampling: tick fired 10x -> 2 samples; ping 3x -> 0
+        assert clock.reads == 2 * 2
+        wall = prof.wall_by_name()
+        assert wall[handler_name(tick)] == pytest.approx(2 * 1.0 * 4)
+        assert wall.get(handler_name(ping), 0.0) == 0.0
+        # counts are complete even where the wall sample is empty
+        counts = prof.counts_by_name()
+        assert counts[handler_name(tick)] == 10
+        assert counts[handler_name(ping)] == 3
+
+    def test_sampled_dispatch_still_passes_args(self):
+        seen = []
+        sim = Simulator(seed=1)
+        sim.profiler = EngineProfiler(clock=FakeClock(), stride=1)
+        sim.schedule(0.001, seen.append, "pos")
+        sim.schedule(0.002, lambda **kw: seen.append(kw), tag="kw")
+        sim.run()
+        assert seen == ["pos", {"tag": "kw"}]
+
+    def test_stride_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EngineProfiler(stride=0)
+
+    def test_default_stride(self):
+        assert EngineProfiler().stride == EngineProfiler.DEFAULT_STRIDE >= 1
+
+
+class TestHotspots:
+    def test_untimed_sorts_by_count(self):
+        prof = EngineProfiler()
+
+        def a():
+            pass
+
+        def b():
+            pass
+
+        prof.counts[a] = 3
+        prof.counts[b] = 7
+        rows = prof.hotspots()
+        assert [r[0] for r in rows] == [handler_name(b), handler_name(a)]
+        assert rows[0][1:] == (7, 0.0)
+
+    def test_timed_sorts_by_wall(self):
+        prof = EngineProfiler(clock=FakeClock(), stride=1)
+
+        def a():
+            pass
+
+        def b():
+            pass
+
+        prof.counts[a] = 100
+        prof.counts[b] = 2
+        prof.wall[a] = 0.001
+        prof.wall[b] = 0.5
+        rows = prof.hotspots()
+        assert [r[0] for r in rows] == [handler_name(b), handler_name(a)]
+
+    def test_top_truncates(self):
+        prof = EngineProfiler()
+        profiled_run(prof)
+        assert len(prof.hotspots(top=2)) == 2
+        assert len(prof.hotspots(top=1000)) == len(prof.counts_by_name())
+
+    def test_bound_methods_merge_per_name(self):
+        class Node:
+            def fire(self):
+                pass
+
+        prof = EngineProfiler()
+        x, y = Node(), Node()
+        prof.counts[x.fire] = 2
+        prof.counts[y.fire] = 3
+        merged = prof.counts_by_name()
+        assert merged == {handler_name(Node.fire): 5}
+
+
+class TestHandlerName:
+    def test_plain_function(self):
+        def handler():
+            pass
+
+        name = handler_name(handler)
+        assert name.endswith("handler")
+        assert name.startswith(__name__)
+
+    def test_object_without_metadata(self):
+        class Opaque:
+            def __call__(self):
+                pass
+
+        obj = Opaque()  # instances expose neither __module__ nor __qualname__
+        name = handler_name(obj)
+        assert name == f"{Opaque.__module__}.{repr(obj)}"
